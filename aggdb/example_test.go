@@ -1,0 +1,38 @@
+package aggdb_test
+
+import (
+	"fmt"
+
+	"exaloglog/aggdb"
+)
+
+// Run a grouped approximate distinct-count query through the SQL
+// front-end.
+func ExampleTable_ExecuteSQL() {
+	table, err := aggdb.NewTable(aggdb.Schema{
+		{Name: "country", Type: aggdb.TypeString},
+		{Name: "user", Type: aggdb.TypeInt},
+	}, 4)
+	if err != nil {
+		panic(err)
+	}
+	for u := 0; u < 3000; u++ {
+		country := "at"
+		if u >= 1000 {
+			country = "de"
+		}
+		if err := table.Append(country, u); err != nil {
+			panic(err)
+		}
+	}
+	res, err := table.ExecuteSQL("events",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country EXACT", 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.Format())
+	// Output:
+	// country           count(distinct user)
+	// at                1000
+	// de                2000
+}

@@ -1,0 +1,149 @@
+package aggdb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaloglog/internal/hashing"
+)
+
+// TestQuickExactEngineMatchesMap cross-checks the exact query engine
+// against an independent map-based reference over random tables.
+func TestQuickExactEngineMatchesMap(t *testing.T) {
+	schema := Schema{
+		{Name: "g", Type: TypeInt},
+		{Name: "v", Type: TypeInt},
+	}
+	err := quick.Check(func(rows []struct{ G, V uint8 }, parts uint8) bool {
+		numParts := int(parts)%7 + 1
+		tbl, err := NewTable(schema, numParts)
+		if err != nil {
+			return false
+		}
+		ref := make(map[int64]map[int64]struct{})
+		for _, r := range rows {
+			g, v := int64(r.G%5), int64(r.V)
+			if err := tbl.Append(g, v); err != nil {
+				return false
+			}
+			if ref[g] == nil {
+				ref[g] = make(map[int64]struct{})
+			}
+			ref[g][v] = struct{}{}
+		}
+		results, err := tbl.DistinctCount(DistinctQuery{GroupBy: []string{"g"}, Of: "v", Exact: true})
+		if err != nil {
+			return false
+		}
+		if len(results) != len(ref) {
+			return false
+		}
+		for _, res := range results {
+			g := res.Key[0].(int64)
+			if int(res.Count) != len(ref[g]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApproxTracksExactOverScales sweeps per-group cardinalities over
+// three orders of magnitude and requires the approximate engine to stay
+// within a 6-sigma band of the exact engine.
+func TestApproxTracksExactOverScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep is slow")
+	}
+	schema := Schema{
+		{Name: "g", Type: TypeString},
+		{Name: "v", Type: TypeInt},
+	}
+	tbl, err := NewTable(schema, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{"tiny": 10, "small": 1000, "large": 100000}
+	id := int64(0)
+	for g, n := range sizes {
+		for i := 0; i < n; i++ {
+			id++
+			if err := tbl.Append(g, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const p = 12 // stderr ≈ 0.6 %
+	results, err := tbl.DistinctCount(DistinctQuery{GroupBy: []string{"g"}, Of: "v", Precision: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		want := float64(sizes[r.Key[0].(string)])
+		if rel := math.Abs(r.Count-want) / want; rel > 0.04 {
+			t.Errorf("group %v: approx %.0f, want %.0f (err %.2f%%)", r.Key, r.Count, want, 100*rel)
+		}
+	}
+}
+
+// TestConcurrentQueries runs many queries against one table from multiple
+// goroutines (tables are safe for concurrent reads).
+func TestConcurrentQueries(t *testing.T) {
+	tbl := buildEvents(t, 8, []string{"at", "de"}, 500, 2, 7)
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			q := DistinctQuery{GroupBy: []string{"country"}, Of: "user", Precision: 10, Exact: w%2 == 0}
+			results, err := tbl.DistinctCount(q)
+			if err == nil && len(results) != 2 {
+				err = fmt.Errorf("got %d groups", len(results))
+			}
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSketchReuseAcrossQueries: the sketches returned by one query merge
+// with sketches from an independent query over different data.
+func TestSketchReuseAcrossQueries(t *testing.T) {
+	mk := func(lo, hi int) *Table {
+		tbl, _ := NewTable(Schema{{Name: "v", Type: TypeInt}}, 2)
+		for i := lo; i < hi; i++ {
+			_ = tbl.Append(int64(i))
+		}
+		return tbl
+	}
+	a, _ := mk(0, 4000).DistinctCount(DistinctQuery{Of: "v", Precision: 11})
+	b, _ := mk(2000, 6000).DistinctCount(DistinctQuery{Of: "v", Precision: 11})
+	if err := a[0].Sketch.Merge(b[0].Sketch); err != nil {
+		t.Fatal(err)
+	}
+	got := a[0].Sketch.Estimate()
+	if rel := math.Abs(got-6000) / 6000; rel > 0.05 {
+		t.Errorf("cross-query union %.0f, want ≈6000", got)
+	}
+}
+
+// TestHashQuality sanity-checks that distinct int64 values hash to
+// distinct 64-bit values in practice (no systematic collisions that the
+// engine would silently absorb).
+func TestHashQuality(t *testing.T) {
+	seen := make(map[uint64]struct{}, 100000)
+	for i := int64(0); i < 100000; i++ {
+		h := hashing.Wy64Uint64(uint64(i), 0)
+		if _, dup := seen[h]; dup {
+			t.Fatalf("hash collision at %d", i)
+		}
+		seen[h] = struct{}{}
+	}
+}

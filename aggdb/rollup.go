@@ -1,0 +1,168 @@
+package aggdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"exaloglog/internal/core"
+)
+
+// Rollup is a materialized GROUP BY COUNT(DISTINCT) result: one ELL sketch
+// per group, answerable without re-scanning the table and mergeable with
+// rollups built over other tables (shards, time ranges, ...). This is the
+// pre-aggregation pattern the paper's mergeability property enables in
+// analytical stores: nightly per-day rollups merge into weekly or monthly
+// distinct counts at query time.
+type Rollup struct {
+	groupBy []string
+	of      string
+	cfg     core.Config
+	groups  map[string]*rollupGroup
+}
+
+type rollupGroup struct {
+	key    []any
+	sketch *core.Sketch
+}
+
+// MaterializeDistinct scans the table once and builds a rollup of
+// COUNT(DISTINCT of) per groupBy combination.
+func (t *Table) MaterializeDistinct(groupBy []string, of string, precision int) (*Rollup, error) {
+	results, err := t.DistinctCount(DistinctQuery{GroupBy: groupBy, Of: of, Precision: precision})
+	if err != nil {
+		return nil, err
+	}
+	r := &Rollup{
+		groupBy: append([]string(nil), groupBy...),
+		of:      of,
+		groups:  make(map[string]*rollupGroup, len(results)),
+	}
+	for _, g := range results {
+		r.cfg = g.Sketch.Config()
+		r.groups[rollupKey(g.Key)] = &rollupGroup{key: g.Key, sketch: g.Sketch}
+	}
+	if r.cfg == (core.Config{}) {
+		prec := precision
+		if prec == 0 {
+			prec = 12
+		}
+		r.cfg = core.RecommendedML(prec)
+	}
+	return r, nil
+}
+
+// rollupKey encodes group values unambiguously.
+func rollupKey(vals []any) string {
+	b := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		switch x := v.(type) {
+		case string:
+			b = binary.AppendUvarint(b, uint64(len(x))<<1)
+			b = append(b, x...)
+		case int64:
+			b = binary.AppendUvarint(b, 1)
+			b = binary.LittleEndian.AppendUint64(b, uint64(x))
+		default:
+			panic(fmt.Sprintf("aggdb: unsupported key type %T", v))
+		}
+	}
+	return string(b)
+}
+
+// NumGroups returns the number of materialized groups.
+func (r *Rollup) NumGroups() int { return len(r.groups) }
+
+// Count returns the distinct-count estimate for the given group key values
+// (in groupBy order), or 0 if the group does not exist.
+func (r *Rollup) Count(key ...any) float64 {
+	g, ok := r.groups[rollupKey(normalizeKey(key))]
+	if !ok {
+		return 0
+	}
+	return g.sketch.Estimate()
+}
+
+// normalizeKey converts int to int64 so lookups accept both.
+func normalizeKey(key []any) []any {
+	out := make([]any, len(key))
+	for i, v := range key {
+		if x, ok := v.(int); ok {
+			out[i] = int64(x)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Total returns the distinct count across all groups — a sketch union, so
+// elements appearing under several groups are counted once.
+func (r *Rollup) Total() float64 {
+	var acc *core.Sketch
+	for _, g := range r.groups {
+		if acc == nil {
+			acc = g.sketch.Clone()
+			continue
+		}
+		if err := acc.Merge(g.sketch); err != nil {
+			panic(err) // unreachable: one rollup has one configuration
+		}
+	}
+	if acc == nil {
+		return 0
+	}
+	return acc.Estimate()
+}
+
+// Merge folds another rollup (same groupBy, of, and sketch configuration)
+// into r. Groups present in either side appear in the result; shared
+// groups merge losslessly.
+func (r *Rollup) Merge(other *Rollup) error {
+	if len(r.groupBy) != len(other.groupBy) || r.of != other.of {
+		return fmt.Errorf("aggdb: rollup shapes differ: GROUP BY %v/%v vs %v/%v", r.groupBy, r.of, other.groupBy, other.of)
+	}
+	for i := range r.groupBy {
+		if r.groupBy[i] != other.groupBy[i] {
+			return fmt.Errorf("aggdb: rollup group-by columns differ: %v vs %v", r.groupBy, other.groupBy)
+		}
+	}
+	if r.cfg != other.cfg {
+		return fmt.Errorf("aggdb: rollup sketch configs differ: %+v vs %+v", r.cfg, other.cfg)
+	}
+	for key, og := range other.groups {
+		if g, ok := r.groups[key]; ok {
+			if err := g.sketch.Merge(og.sketch); err != nil {
+				return err
+			}
+		} else {
+			r.groups[key] = &rollupGroup{key: og.key, sketch: og.sketch.Clone()}
+		}
+	}
+	return nil
+}
+
+// Results returns all groups sorted by key, in the same shape as
+// Table.DistinctCount.
+func (r *Rollup) Results() []GroupResult {
+	keys := make([]string, 0, len(r.groups))
+	for k := range r.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]GroupResult, 0, len(keys))
+	for _, k := range keys {
+		g := r.groups[k]
+		out = append(out, GroupResult{Key: g.key, Count: g.sketch.Estimate(), Sketch: g.sketch})
+	}
+	return out
+}
+
+// SizeBytes returns the total sketch memory of the rollup.
+func (r *Rollup) SizeBytes() int {
+	total := 0
+	for _, g := range r.groups {
+		total += g.sketch.SizeBytes()
+	}
+	return total
+}

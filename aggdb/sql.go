@@ -1,0 +1,498 @@
+package aggdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file adds a small SQL front-end over the distinct-count engine, so
+// the analytical-store scenario of the paper's introduction can be
+// exercised with the syntax those stores actually offer:
+//
+//	SELECT country, APPROX_COUNT_DISTINCT(user)
+//	FROM events
+//	WHERE day >= 3 AND country != 'jp'
+//	GROUP BY country
+//
+// The supported grammar (case-insensitive keywords):
+//
+//	query   := SELECT items FROM ident [WHERE conj] [GROUP BY idents]
+//	           [ORDER BY (COUNT | ident) [ASC | DESC]] [LIMIT integer]
+//	items   := (ident ",")* agg
+//	agg     := (APPROX_COUNT_DISTINCT | COUNT) "(" [DISTINCT] ident ")"
+//	conj    := cmp (AND cmp)*
+//	cmp     := ident op literal
+//	op      := = | != | <> | < | <= | > | >=
+//	literal := integer | 'string'
+//
+// COUNT(DISTINCT col) and APPROX_COUNT_DISTINCT(col) are synonyms; both
+// run on ELL sketches. Appending EXACT after the query switches to the
+// exact hash-set engine (ground truth).
+
+// SQLResult is the outcome of ExecuteSQL: column headers plus rows.
+type SQLResult struct {
+	Columns []string
+	Rows    []GroupResult
+}
+
+// Format renders the result as an aligned text table.
+func (r SQLResult) Format() string {
+	var b strings.Builder
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, "%-18s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for _, v := range row.Key {
+			fmt.Fprintf(&b, "%-18v", v)
+		}
+		fmt.Fprintf(&b, "%.0f\n", row.Count)
+	}
+	return b.String()
+}
+
+// ExecuteSQL parses and runs a distinct-count query against the table.
+// The table name in FROM is checked against name. precision selects the
+// sketch precision p (0 means the engine default).
+func (t *Table) ExecuteSQL(name, query string, precision int) (SQLResult, error) {
+	stmt, err := parseSQL(query)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	if !strings.EqualFold(stmt.from, name) {
+		return SQLResult{}, fmt.Errorf("aggdb: unknown table %q (have %q)", stmt.from, name)
+	}
+	// The non-aggregate select items must match GROUP BY exactly.
+	if len(stmt.selectCols) != len(stmt.groupBy) {
+		return SQLResult{}, fmt.Errorf("aggdb: selected columns %v must match GROUP BY %v", stmt.selectCols, stmt.groupBy)
+	}
+	for i := range stmt.selectCols {
+		if !strings.EqualFold(stmt.selectCols[i], stmt.groupBy[i]) {
+			return SQLResult{}, fmt.Errorf("aggdb: selected column %q not in GROUP BY position %d", stmt.selectCols[i], i)
+		}
+	}
+	where, err := t.compileWhere(stmt.filters)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	rows, err := t.DistinctCount(DistinctQuery{
+		GroupBy:   stmt.groupBy,
+		Of:        stmt.aggCol,
+		Where:     where,
+		Precision: precision,
+		Exact:     stmt.exact,
+	})
+	if err != nil {
+		return SQLResult{}, err
+	}
+	if err := stmt.order(rows); err != nil {
+		return SQLResult{}, err
+	}
+	if stmt.limit >= 0 && stmt.limit < len(rows) {
+		rows = rows[:stmt.limit]
+	}
+	cols := append([]string(nil), stmt.groupBy...)
+	agg := "approx_count_distinct(" + stmt.aggCol + ")"
+	if stmt.exact {
+		agg = "count(distinct " + stmt.aggCol + ")"
+	}
+	cols = append(cols, agg)
+	return SQLResult{Columns: cols, Rows: rows}, nil
+}
+
+// sqlStmt is the parsed form of a query.
+type sqlStmt struct {
+	selectCols []string
+	aggCol     string
+	from       string
+	filters    []sqlFilter
+	groupBy    []string
+	orderBy    string // "" = group-key order; "COUNT" = the aggregate
+	orderDesc  bool
+	limit      int // -1 = no limit
+	exact      bool
+}
+
+// order sorts rows according to the ORDER BY clause (stable, so ties keep
+// the deterministic group-key order).
+func (s *sqlStmt) order(rows []GroupResult) error {
+	if s.orderBy == "" {
+		return nil
+	}
+	var key func(GroupResult) any
+	if strings.EqualFold(s.orderBy, "COUNT") {
+		key = func(r GroupResult) any { return r.Count }
+	} else {
+		idx := -1
+		for i, col := range s.groupBy {
+			if strings.EqualFold(col, s.orderBy) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("aggdb: ORDER BY column %q is not in GROUP BY", s.orderBy)
+		}
+		key = func(r GroupResult) any { return r.Key[idx] }
+	}
+	less := func(a, b any) bool {
+		switch x := a.(type) {
+		case float64:
+			return x < b.(float64)
+		case int64:
+			return x < b.(int64)
+		case string:
+			return x < b.(string)
+		default:
+			return false
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := key(rows[i]), key(rows[j])
+		if s.orderDesc {
+			return less(b, a)
+		}
+		return less(a, b)
+	})
+	return nil
+}
+
+type sqlFilter struct {
+	col string
+	op  string
+	// one of the two is set, matching the column type at compile time
+	strVal string
+	intVal int64
+	isStr  bool
+}
+
+// compileWhere turns the filter list into a predicate closure bound to
+// column indices.
+func (t *Table) compileWhere(filters []sqlFilter) (func(RowView) bool, error) {
+	if len(filters) == 0 {
+		return nil, nil
+	}
+	type bound struct {
+		col    int
+		typ    Type
+		op     string
+		strVal string
+		intVal int64
+	}
+	bounds := make([]bound, len(filters))
+	for i, f := range filters {
+		idx, err := t.schema.columnIndex(f.col)
+		if err != nil {
+			return nil, err
+		}
+		typ := t.schema[idx].Type
+		if typ == TypeString && !f.isStr {
+			return nil, fmt.Errorf("aggdb: column %q is STRING but compared to a number", f.col)
+		}
+		if typ == TypeInt && f.isStr {
+			return nil, fmt.Errorf("aggdb: column %q is INT but compared to a string", f.col)
+		}
+		if typ == TypeString && f.op != "=" && f.op != "!=" {
+			return nil, fmt.Errorf("aggdb: operator %q not supported for STRING column %q", f.op, f.col)
+		}
+		bounds[i] = bound{col: idx, typ: typ, op: f.op, strVal: f.strVal, intVal: f.intVal}
+	}
+	return func(r RowView) bool {
+		for _, b := range bounds {
+			var ok bool
+			if b.typ == TypeString {
+				v := r.String(b.col)
+				ok = (b.op == "=") == (v == b.strVal)
+			} else {
+				v := r.Int(b.col)
+				switch b.op {
+				case "=":
+					ok = v == b.intVal
+				case "!=":
+					ok = v != b.intVal
+				case "<":
+					ok = v < b.intVal
+				case "<=":
+					ok = v <= b.intVal
+				case ">":
+					ok = v > b.intVal
+				case ">=":
+					ok = v >= b.intVal
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// --- lexer ---
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string
+}
+
+type sqlTokKind int
+
+const (
+	tokIdent sqlTokKind = iota
+	tokNumber
+	tokString
+	tokSymbol
+	tokEOF
+)
+
+func lexSQL(s string) ([]sqlToken, error) {
+	var out []sqlToken
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j == len(s) {
+				return nil, fmt.Errorf("aggdb: unterminated string literal")
+			}
+			out = append(out, sqlToken{tokString, s[i+1 : j]})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1]))):
+			j := i + 1
+			for j < len(s) && unicode.IsDigit(rune(s[j])) {
+				j++
+			}
+			out = append(out, sqlToken{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			out = append(out, sqlToken{tokIdent, s[i:j]})
+			i = j
+		case strings.ContainsRune("(),", c):
+			out = append(out, sqlToken{tokSymbol, string(c)})
+			i++
+		case strings.ContainsRune("=!<>", c):
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			out = append(out, sqlToken{tokSymbol, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("aggdb: unexpected character %q", c)
+		}
+	}
+	return append(out, sqlToken{kind: tokEOF}), nil
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+func (p *sqlParser) peek() sqlToken { return p.toks[p.pos] }
+
+func (p *sqlParser) next() sqlToken {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("aggdb: expected %s near %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("aggdb: expected %q near %q", sym, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("aggdb: expected identifier near %q", t.text)
+	}
+	return t.text, nil
+}
+
+func parseSQL(query string) (*sqlStmt, error) {
+	toks, err := lexSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt := &sqlStmt{limit: -1}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	// Select items: idents until the aggregate.
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("aggdb: expected column or aggregate near %q", t.text)
+		}
+		up := strings.ToUpper(t.text)
+		if up == "APPROX_COUNT_DISTINCT" || up == "COUNT" {
+			p.pos++
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if up == "COUNT" {
+				if err := p.expectKeyword("DISTINCT"); err != nil {
+					return nil, fmt.Errorf("aggdb: only COUNT(DISTINCT col) is supported")
+				}
+			} else {
+				p.keyword("DISTINCT") // optional
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.aggCol = col
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.selectCols = append(stmt.selectCols, col)
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.from = from
+	if p.keyword("WHERE") {
+		for {
+			f, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			stmt.filters = append(stmt.filters, f)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.groupBy = append(stmt.groupBy, col)
+			if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.orderBy = col
+		switch {
+		case p.keyword("DESC"):
+			stmt.orderDesc = true
+		case p.keyword("ASC"):
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("aggdb: LIMIT needs an integer, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aggdb: bad LIMIT %q", t.text)
+		}
+		stmt.limit = n
+	}
+	stmt.exact = p.keyword("EXACT")
+	if t := p.next(); t.kind != tokEOF {
+		return nil, fmt.Errorf("aggdb: unexpected trailing input near %q", t.text)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseFilter() (sqlFilter, error) {
+	col, err := p.ident()
+	if err != nil {
+		return sqlFilter{}, err
+	}
+	opTok := p.next()
+	if opTok.kind != tokSymbol {
+		return sqlFilter{}, fmt.Errorf("aggdb: expected comparison operator near %q", opTok.text)
+	}
+	op := opTok.text
+	if op == "<>" {
+		op = "!="
+	}
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return sqlFilter{}, fmt.Errorf("aggdb: unsupported operator %q", op)
+	}
+	lit := p.next()
+	switch lit.kind {
+	case tokNumber:
+		v, err := strconv.ParseInt(lit.text, 10, 64)
+		if err != nil {
+			return sqlFilter{}, fmt.Errorf("aggdb: bad number %q", lit.text)
+		}
+		return sqlFilter{col: col, op: op, intVal: v}, nil
+	case tokString:
+		return sqlFilter{col: col, op: op, strVal: lit.text, isStr: true}, nil
+	default:
+		return sqlFilter{}, fmt.Errorf("aggdb: expected literal near %q", lit.text)
+	}
+}

@@ -1,0 +1,216 @@
+package aggdb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// sqlTable builds the events table used throughout the SQL tests: 100
+// users per country, each visiting on days 0..4.
+func sqlTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable(eventsSchema, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := int64(0)
+	for _, c := range []string{"at", "de", "us"} {
+		for u := 0; u < 100; u++ {
+			user++
+			for day := 0; day < 5; day++ {
+				if err := tbl.Append(c, day, user); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return tbl
+}
+
+func TestSQLGroupBy(t *testing.T) {
+	tbl := sqlTable(t)
+	res, err := tbl.ExecuteSQL("events",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country EXACT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Count != 100 {
+			t.Errorf("group %v count %.0f, want 100", r.Key, r.Count)
+		}
+	}
+	if res.Columns[0] != "country" || !strings.Contains(res.Columns[1], "user") {
+		t.Errorf("columns %v", res.Columns)
+	}
+}
+
+func TestSQLApproxSynonym(t *testing.T) {
+	tbl := sqlTable(t)
+	res, err := tbl.ExecuteSQL("events",
+		"select country, approx_count_distinct(user) from events group by country", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if math.Abs(r.Count-100) > 3 {
+			t.Errorf("group %v approx %.0f, want ≈100", r.Key, r.Count)
+		}
+	}
+}
+
+func TestSQLWhere(t *testing.T) {
+	tbl := sqlTable(t)
+	cases := []struct {
+		query string
+		want  float64
+	}{
+		{"SELECT COUNT(DISTINCT user) FROM events WHERE country = 'at' EXACT", 100},
+		{"SELECT COUNT(DISTINCT user) FROM events WHERE country != 'at' EXACT", 200},
+		{"SELECT COUNT(DISTINCT user) FROM events WHERE country <> 'at' EXACT", 200},
+		{"SELECT COUNT(DISTINCT user) FROM events WHERE day < 0 EXACT", 0},
+		{"SELECT COUNT(DISTINCT user) FROM events WHERE day >= 0 EXACT", 300},
+		{"SELECT COUNT(DISTINCT user) FROM events WHERE country = 'de' AND user <= 150 EXACT", 50},
+		{"SELECT COUNT(DISTINCT day) FROM events WHERE day != 2 EXACT", 4},
+	}
+	for _, c := range cases {
+		res, err := tbl.ExecuteSQL("events", c.query, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.query, err)
+		}
+		var got float64
+		if len(res.Rows) > 0 {
+			got = res.Rows[0].Count
+		}
+		if got != c.want {
+			t.Errorf("%s = %.0f, want %.0f", c.query, got, c.want)
+		}
+	}
+}
+
+func TestSQLMultiGroupBy(t *testing.T) {
+	tbl := sqlTable(t)
+	res, err := tbl.ExecuteSQL("events",
+		"SELECT country, day, COUNT(DISTINCT user) FROM events GROUP BY country, day EXACT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 15 {
+		t.Fatalf("got %d rows, want 15", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Count != 100 {
+			t.Errorf("group %v count %.0f, want 100", r.Key, r.Count)
+		}
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	tbl := sqlTable(t)
+	for _, q := range []string{
+		"",                                      // empty
+		"SELECT FROM events",                    // no items
+		"SELECT COUNT(user) FROM events",        // COUNT without DISTINCT
+		"SELECT COUNT(DISTINCT user) FROM nope", // wrong table
+		"SELECT COUNT(DISTINCT ghost) FROM events",                          // unknown column
+		"SELECT country, COUNT(DISTINCT user) FROM events",                  // select without group by
+		"SELECT day, COUNT(DISTINCT user) FROM events GROUP BY country",     // mismatch
+		"SELECT COUNT(DISTINCT user) FROM events WHERE country < 'at'",      // string inequality
+		"SELECT COUNT(DISTINCT user) FROM events WHERE day = 'x'",           // type mismatch
+		"SELECT COUNT(DISTINCT user) FROM events WHERE country = 3",         // type mismatch
+		"SELECT COUNT(DISTINCT user) FROM events trailing garbage",          // trailing tokens
+		"SELECT COUNT(DISTINCT user FROM events",                            // missing paren
+		"SELECT COUNT(DISTINCT user) FROM events WHERE day ==> 3",           // bad operator
+		"SELECT COUNT(DISTINCT user) FROM events WHERE day = 'unterminated", // bad literal
+		"SELECT COUNT(DISTINCT user) FROM events GROUP BY",                  // missing group col
+	} {
+		if _, err := tbl.ExecuteSQL("events", q, 0); err == nil {
+			t.Errorf("query accepted: %s", q)
+		}
+	}
+}
+
+func TestSQLOrderByLimit(t *testing.T) {
+	// Skewed groups: at=100, de=50, us=10 distinct users.
+	tbl, err := NewTable(eventsSchema, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := int64(0)
+	for _, cs := range []struct {
+		c string
+		n int
+	}{{"at", 100}, {"de", 50}, {"us", 10}} {
+		for u := 0; u < cs.n; u++ {
+			user++
+			if err := tbl.Append(cs.c, 0, user); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := tbl.ExecuteSQL("events",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country ORDER BY COUNT DESC LIMIT 2 EXACT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("LIMIT 2 returned %d rows", len(res.Rows))
+	}
+	if res.Rows[0].Key[0] != "at" || res.Rows[0].Count != 100 {
+		t.Errorf("top row %v %.0f, want at 100", res.Rows[0].Key, res.Rows[0].Count)
+	}
+	if res.Rows[1].Key[0] != "de" || res.Rows[1].Count != 50 {
+		t.Errorf("second row %v %.0f, want de 50", res.Rows[1].Key, res.Rows[1].Count)
+	}
+	// ORDER BY a group column ascending.
+	res, err = tbl.ExecuteSQL("events",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country ORDER BY country ASC EXACT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Key[0] != "at" || res.Rows[2].Key[0] != "us" {
+		t.Errorf("ascending order wrong: %v", res.Rows)
+	}
+	// Errors.
+	for _, q := range []string{
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country ORDER BY day EXACT",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country LIMIT x EXACT",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country ORDER country EXACT",
+	} {
+		if _, err := tbl.ExecuteSQL("events", q, 0); err == nil {
+			t.Errorf("query accepted: %s", q)
+		}
+	}
+}
+
+func TestSQLFormat(t *testing.T) {
+	tbl := sqlTable(t)
+	res, err := tbl.ExecuteSQL("events",
+		"SELECT country, COUNT(DISTINCT user) FROM events GROUP BY country EXACT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "country") || !strings.Contains(out, "at") || !strings.Contains(out, "100") {
+		t.Errorf("Format output malformed:\n%s", out)
+	}
+}
+
+func TestSQLLexerEdgeCases(t *testing.T) {
+	// Negative numbers and two-char operators.
+	tbl := sqlTable(t)
+	res, err := tbl.ExecuteSQL("events",
+		"SELECT COUNT(DISTINCT user) FROM events WHERE day >= -1 EXACT", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Count != 300 {
+		t.Errorf("count %.0f, want 300", res.Rows[0].Count)
+	}
+	if _, err := lexSQL("day @ 3"); err == nil {
+		t.Error("lexer accepted @")
+	}
+}

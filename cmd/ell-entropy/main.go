@@ -1,0 +1,64 @@
+// Command ell-entropy runs the compressibility study that Section 6 of the
+// ExaLogLog paper outlines as future work: it compares, per configuration
+// and distinct count,
+//
+//   - the dense register size (6+t+d bits/register),
+//   - the Shannon entropy of the register distribution (Section 3.1 PMF),
+//     i.e. the information-theoretic lower bound for lossless compression,
+//   - the size actually achieved by this repository's adaptive arithmetic
+//     coder (Sketch.MarshalCompressed), and
+//   - the theoretical compressed-MVP ratio of Figure 6 for reference.
+//
+// Output is TSV on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+	"exaloglog/internal/mvp"
+)
+
+func main() {
+	runs := flag.Int("runs", 10, "sketches averaged per measurement")
+	seed := flag.Uint64("seed", 7, "base random seed")
+	flag.Parse()
+
+	fmt.Println("# Section 6 compressibility study")
+	fmt.Println("t\td\tp\tn\tdense_bits_per_reg\tentropy_bits_per_reg\tcoded_bits_per_reg\tfig6_ratio")
+	configs := []core.Config{
+		{T: 0, D: 2, P: 10},  // ULL, the case the paper reports compresses well
+		{T: 1, D: 9, P: 10},  // 16-bit registers
+		{T: 2, D: 16, P: 10}, // 24-bit registers
+		{T: 2, D: 20, P: 10}, // the recommended ML configuration
+	}
+	for _, cfg := range configs {
+		dense := float64(cfg.RegisterWidth())
+		b := mvp.Base(cfg.T)
+		fig6 := mvp.CompressedML(b, cfg.D) / mvp.DenseML(b, 6+cfg.T, cfg.D)
+		for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
+			coded := 0.0
+			for r := 0; r < *runs; r++ {
+				s := core.MustNew(cfg)
+				state := *seed + uint64(r)*2654435761 + uint64(n)
+				for i := 0; i < n; i++ {
+					s.AddHash(hashing.SplitMix64(&state))
+				}
+				comp, err := s.MarshalCompressed()
+				if err != nil {
+					panic(err)
+				}
+				coded += float64(len(comp)-5) * 8 / float64(cfg.NumRegisters())
+			}
+			coded /= float64(*runs)
+			entropy := "-"
+			if cfg.D <= 16 {
+				entropy = fmt.Sprintf("%.3f", cfg.RegisterEntropy(float64(n)))
+			}
+			fmt.Printf("%d\t%d\t%d\t%d\t%.0f\t%s\t%.3f\t%.3f\n",
+				cfg.T, cfg.D, cfg.P, n, dense, entropy, coded, fig6)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command ell-mvp regenerates the analytic figures of the ExaLogLog paper:
+//
+//	Figure 1: memory over relative standard error for MVPs 2..8
+//	Figure 2: geometric vs approximated update-value PMFs (t = 1, 2)
+//	Figure 4: MVP (3) vs d    — dense registers, ML estimator
+//	Figure 5: MVP (6) vs d    — dense registers, martingale estimator
+//	Figure 6: MVP (5) vs d    — compressed state, ML estimator
+//	Figure 7: MVP (7) vs d    — compressed state, martingale estimator
+//
+// Output is TSV on stdout, one row per point, suitable for plotting.
+//
+// Usage:
+//
+//	ell-mvp -figure 4
+//	ell-mvp -figure all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exaloglog/internal/mvp"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: 1, 2, 4, 5, 6, 7 or all")
+	dmax := flag.Int("dmax", 60, "largest d for the MVP curves")
+	flag.Parse()
+
+	switch *figure {
+	case "1":
+		figure1()
+	case "2":
+		figure2()
+	case "4":
+		figureCurves(4, mvp.KindDenseML, *dmax)
+	case "5":
+		figureCurves(5, mvp.KindDenseMartingale, *dmax)
+	case "6":
+		figureCurves(6, mvp.KindCompressedML, *dmax)
+	case "7":
+		figureCurves(7, mvp.KindCompressedMartingale, *dmax)
+	case "all":
+		figure1()
+		figure2()
+		for _, f := range []struct {
+			id   int
+			kind mvp.CurveKind
+		}{{4, mvp.KindDenseML}, {5, mvp.KindDenseMartingale}, {6, mvp.KindCompressedML}, {7, mvp.KindCompressedMartingale}} {
+			figureCurves(f.id, f.kind, *dmax)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func figure1() {
+	fmt.Println("# Figure 1: memory (bytes) over relative standard error (%)")
+	fmt.Println("figure\tmvp\trel_err_pct\tmemory_bytes")
+	for _, s := range mvp.Figure1([]float64{2, 3, 4, 5, 6, 8}) {
+		for _, p := range s.Points {
+			fmt.Printf("1\t%s\t%.1f\t%.1f\n", s.Label, p.X, p.Y)
+		}
+	}
+}
+
+func figure2() {
+	fmt.Println("# Figure 2: update-value PMFs, geometric (2) vs approximate (8)")
+	fmt.Println("figure\tt\tk\tgeometric\tapproximate")
+	for _, t := range []int{1, 2} {
+		g, a := mvp.Figure2(t, 21)
+		for i := range g.Points {
+			fmt.Printf("2\t%d\t%d\t%.9f\t%.9f\n", t, i+1, g.Points[i].Y, a.Points[i].Y)
+		}
+	}
+}
+
+func figureCurves(id int, kind mvp.CurveKind, dmax int) {
+	names := map[int]string{
+		4: "dense registers, efficient (ML) estimator — eq. (3)",
+		5: "dense registers, martingale estimator — eq. (6)",
+		6: "compressed state, efficient (ML) estimator — eq. (5)",
+		7: "compressed state, martingale estimator — eq. (7)",
+	}
+	fmt.Printf("# Figure %d: MVP vs d — %s\n", id, names[id])
+	fmt.Println("figure\tt\td\tmvp")
+	for _, t := range []int{0, 1, 2, 3} {
+		c := mvp.Curve(kind, t, dmax)
+		for _, p := range c.Points {
+			fmt.Printf("%d\t%d\t%.0f\t%.4f\n", id, t, p.X, p.Y)
+		}
+		min := mvp.Minimum(c)
+		fmt.Printf("# figure %d t=%d minimum: d=%.0f MVP=%.4f\n", id, t, min.X, min.Y)
+	}
+	// Named reference points of the paper.
+	if kind == mvp.KindDenseML {
+		fmt.Printf("# reference: HLL=ELL(0,0) %.3f, EHLL=ELL(0,1) %.3f, ULL=ELL(0,2) %.3f, ELL(1,9) %.3f, ELL(2,16) %.3f, ELL(2,20) %.3f, ELL(2,24) %.3f\n",
+			mvp.DenseML(mvp.Base(0), 6, 0),
+			mvp.DenseML(mvp.Base(0), 6, 1),
+			mvp.DenseML(mvp.Base(0), 6, 2),
+			mvp.DenseML(mvp.Base(1), 7, 9),
+			mvp.DenseML(mvp.Base(2), 8, 16),
+			mvp.DenseML(mvp.Base(2), 8, 20),
+			mvp.DenseML(mvp.Base(2), 8, 24))
+	}
+}

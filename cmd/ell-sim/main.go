@@ -1,0 +1,125 @@
+// Command ell-sim regenerates the simulation figures of the ExaLogLog
+// paper:
+//
+//	Figure 8: relative bias and RMSE of the ML and martingale estimators
+//	          for (t,d) ∈ {(1,9),(2,16),(2,20),(2,24)} and p ∈ {4,6,8,10},
+//	          for distinct counts up to 10^21 (exa-scale).
+//	Figure 9: relative bias and RMSE when estimating directly from sets of
+//	          hash tokens, v ∈ {6,8,10,12,18,26}, n up to 10^5.
+//
+// The paper uses 100 000 simulation runs; the default here is smaller so
+// the full sweep finishes in minutes — pass -runs to scale up.
+//
+// Output is TSV on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/mvp"
+	"exaloglog/internal/simulation"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: 8, 9 or all")
+	runs := flag.Int("runs", 1000, "simulation runs per configuration (paper: 100000)")
+	directLimit := flag.Float64("direct", 1e6, "distinct-count limit for direct simulation before switching to the waiting-time strategy")
+	maxN := flag.Float64("maxn", 1e21, "largest simulated distinct count for figure 8")
+	seed := flag.Uint64("seed", 0x9e3779b97f4a7c15, "base random seed")
+	flag.Parse()
+
+	switch *figure {
+	case "8":
+		figure8(*runs, *directLimit, *maxN, *seed)
+	case "9":
+		figure9(*runs, *seed)
+	case "all":
+		figure8(*runs, *directLimit, *maxN, *seed)
+		figure9(*runs, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func figure8(runs int, directLimit, maxN float64, seed uint64) {
+	fmt.Println("# Figure 8: relative bias and RMSE of ML and martingale estimation")
+	fmt.Println("figure\tt\td\tp\tn\tml_bias\tml_rmse\tml_theory\tmart_bias\tmart_rmse\tmart_theory")
+	configs := []struct{ t, d int }{{1, 9}, {2, 16}, {2, 20}, {2, 24}}
+	checkpoints := simulation.Checkpoints(maxN, 3)
+	for _, c := range configs {
+		for _, p := range []int{4, 6, 8, 10} {
+			cfg := core.Config{T: c.t, D: c.d, P: p}
+			mlStats := make([]simulation.ErrorStats, len(checkpoints))
+			martStats := make([]simulation.ErrorStats, len(checkpoints))
+
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			workers := runtime.GOMAXPROCS(0)
+			perWorker := (runs + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				first := w * perWorker
+				count := perWorker
+				if first+count > runs {
+					count = runs - first
+				}
+				if count <= 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(first, count int) {
+					defer wg.Done()
+					localML := make([]simulation.ErrorStats, len(checkpoints))
+					localMart := make([]simulation.ErrorStats, len(checkpoints))
+					for r := 0; r < count; r++ {
+						runSeed := seed + uint64(first+r)*0x100000001b3 + uint64(p)<<32 + uint64(c.t*100+c.d)
+						res := simulation.RunELL(cfg, checkpoints, directLimit, runSeed, true)
+						for i, pt := range res {
+							localML[i].Add(pt.ML, pt.N)
+							localMart[i].Add(pt.Martingale, pt.N)
+						}
+					}
+					mu.Lock()
+					for i := range checkpoints {
+						mlStats[i].Merge(localML[i])
+						martStats[i].Merge(localMart[i])
+					}
+					mu.Unlock()
+				}(first, count)
+			}
+			wg.Wait()
+
+			thML := mvp.TheoreticalRMSE(c.t, c.d, p, false)
+			thMart := mvp.TheoreticalRMSE(c.t, c.d, p, true)
+			for i, cp := range checkpoints {
+				fmt.Printf("8\t%d\t%d\t%d\t%.6g\t%+.5f\t%.5f\t%.5f\t%+.5f\t%.5f\t%.5f\n",
+					c.t, c.d, p, cp,
+					mlStats[i].Bias(), mlStats[i].RMSE(), thML,
+					martStats[i].Bias(), martStats[i].RMSE(), thMart)
+			}
+		}
+	}
+}
+
+func figure9(runs int, seed uint64) {
+	fmt.Println("# Figure 9: bias and RMSE of ML estimation from hash-token sets")
+	fmt.Println("figure\tv\ttoken_bits\tn\tbias\trmse")
+	checkpoints := simulation.Checkpoints(1e5, 3)
+	for _, v := range []int{6, 8, 10, 12, 18, 26} {
+		stats := make([]simulation.ErrorStats, len(checkpoints))
+		for r := 0; r < runs; r++ {
+			res := simulation.RunTokens(v, checkpoints, seed+uint64(r)*2654435761+uint64(v)<<40)
+			for i, pt := range res {
+				stats[i].Add(pt.Estimate, pt.N)
+			}
+		}
+		for i, cp := range checkpoints {
+			fmt.Printf("9\t%d\t%d\t%.6g\t%+.5f\t%.5f\n", v, v+6, cp, stats[i].Bias(), stats[i].RMSE())
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command elld serves ExaLogLog sketches over TCP with Redis-style
+// PFADD / PFCOUNT / PFMERGE commands — the "approximate distinct counting
+// as a data-store command" scenario of the paper's introduction.
+//
+// Usage:
+//
+//	elld [-addr 127.0.0.1:7700] [-p 12]
+//
+// Try it with netcat:
+//
+//	$ printf 'PFADD visits alice bob\nPFCOUNT visits\nQUIT\n' | nc 127.0.0.1 7700
+//	:1
+//	:2
+//	+BYE
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"exaloglog/internal/core"
+	"exaloglog/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	p := flag.Int("p", 12, "sketch precision (2^p registers, ELL(2,20) configuration)")
+	snapshot := flag.String("snapshot", "", "snapshot file: loaded at startup if present, written by the SAVE command")
+	flag.Parse()
+
+	store, err := server.NewStore(core.RecommendedML(*p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		switch err := store.LoadFile(*snapshot); {
+		case err == nil:
+			fmt.Printf("loaded %d sketches from %s\n", store.Len(), *snapshot)
+		case os.IsNotExist(err):
+			fmt.Printf("snapshot %s not found, starting empty\n", *snapshot)
+		default:
+			log.Fatal(err)
+		}
+	}
+	srv := server.NewServer(store)
+	srv.SetSnapshotPath(*snapshot)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("elld listening on %s (ELL t=2 d=20 p=%d, %d bytes per sketch)\n",
+		srv.Addr(), *p, core.RecommendedML(*p).SizeBytes())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

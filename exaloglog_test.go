@@ -1,0 +1,215 @@
+package exaloglog_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"exaloglog"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	s := exaloglog.New(10)
+	s.AddString("alice")
+	s.AddString("bob")
+	s.AddString("alice")
+	got := s.Estimate()
+	if math.Abs(got-2) > 0.1 {
+		t.Errorf("estimate %.3f, want ≈2", got)
+	}
+}
+
+func TestNewPanicsOnBadPrecision(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1) did not panic")
+		}
+	}()
+	exaloglog.New(1)
+}
+
+func TestNewWithConfigValidation(t *testing.T) {
+	if _, err := exaloglog.NewWithConfig(exaloglog.Config{T: 9, D: 0, P: 8}); err == nil {
+		t.Error("accepted invalid t")
+	}
+	s, err := exaloglog.NewWithConfig(exaloglog.Config{T: 2, D: 24, P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SizeBytes() != 1024 {
+		t.Errorf("size %d, want 1024", s.SizeBytes())
+	}
+}
+
+func TestNewMartingale(t *testing.T) {
+	s := exaloglog.NewMartingale(8)
+	if !s.MartingaleEnabled() {
+		t.Fatal("martingale not enabled")
+	}
+	for i := 0; i < 5000; i++ {
+		s.AddUint64(uint64(i))
+	}
+	got := s.Estimate()
+	if math.Abs(got-5000)/5000 > 0.1 {
+		t.Errorf("estimate %.0f, want ≈5000", got)
+	}
+}
+
+func TestPublicSerializationAndMerge(t *testing.T) {
+	a := exaloglog.New(8)
+	b := exaloglog.New(8)
+	for i := 0; i < 3000; i++ {
+		a.AddUint64(uint64(i))
+	}
+	for i := 2000; i < 6000; i++ {
+		b.AddUint64(uint64(i))
+	}
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := exaloglog.FromBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a2.Estimate()
+	if math.Abs(got-6000)/6000 > 0.15 {
+		t.Errorf("merged estimate %.0f, want ≈6000", got)
+	}
+}
+
+func TestPublicMergeCompatible(t *testing.T) {
+	a, _ := exaloglog.NewWithConfig(exaloglog.Config{T: 2, D: 20, P: 10})
+	b, _ := exaloglog.NewWithConfig(exaloglog.Config{T: 2, D: 16, P: 8})
+	for i := 0; i < 4000; i++ {
+		a.AddUint64(uint64(i))
+		b.AddUint64(uint64(i + 2000))
+	}
+	m, err := exaloglog.MergeCompatible(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := m.Config(); cfg.D != 16 || cfg.P != 8 {
+		t.Errorf("merged config %+v, want d=16 p=8", cfg)
+	}
+	got := m.Estimate()
+	if math.Abs(got-6000)/6000 > 0.2 {
+		t.Errorf("estimate %.0f, want ≈6000", got)
+	}
+}
+
+func TestPublicTokens(t *testing.T) {
+	ts, err := exaloglog.NewTokenSet(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := uint64(0xdeadbeefcafebabe)
+	ts.AddHash(h)
+	w := exaloglog.TokenFromHash(h, 26)
+	hr := exaloglog.HashFromToken(w, 26)
+	if exaloglog.TokenFromHash(hr, 26) != w {
+		t.Error("token round trip broken through the public API")
+	}
+	s, err := ts.ToSketch(exaloglog.Config{T: 2, D: 20, P: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsEmpty() {
+		t.Error("dense sketch empty after token conversion")
+	}
+}
+
+func TestPublicAtomic(t *testing.T) {
+	s := exaloglog.NewAtomic(8)
+	for i := 0; i < 10000; i++ {
+		s.AddString(fmt.Sprintf("user-%d", i))
+	}
+	est := s.Estimate()
+	if math.Abs(est-10000)/10000 > 0.15 {
+		t.Errorf("atomic estimate %.0f", est)
+	}
+	snap := s.Snapshot()
+	if snap.Config() != (exaloglog.Config{T: 2, D: 24, P: 8}) {
+		t.Errorf("snapshot config %+v", snap.Config())
+	}
+}
+
+func TestPublicHybrid(t *testing.T) {
+	h, err := exaloglog.NewHybrid(exaloglog.Config{T: 2, D: 20, P: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSparse() {
+		t.Fatal("fresh hybrid not sparse")
+	}
+	for i := 0; i < 50; i++ {
+		h.AddString(fmt.Sprintf("item-%d", i))
+	}
+	if got := h.Estimate(); math.Abs(got-50) > 5 {
+		t.Errorf("sparse estimate %.1f", got)
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2 exaloglog.Hybrid
+	if err := h2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Estimate() != h.Estimate() {
+		t.Error("hybrid round trip changed the estimate")
+	}
+}
+
+func TestPublicCompressedSerialization(t *testing.T) {
+	s := exaloglog.New(10)
+	for i := 0; i < 50000; i++ {
+		s.AddUint64(uint64(i))
+	}
+	plain, _ := s.MarshalBinary()
+	comp, err := s.MarshalCompressed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(plain) {
+		t.Errorf("compressed %d not below plain %d", len(comp), len(plain))
+	}
+	restored := &exaloglog.Sketch{}
+	if err := restored.UnmarshalCompressed(comp); err != nil {
+		t.Fatal(err)
+	}
+	if restored.EstimateML() != s.EstimateML() {
+		t.Error("compressed round trip changed the estimate")
+	}
+}
+
+func TestPrecisionBounds(t *testing.T) {
+	if exaloglog.MinPrecision != 2 || exaloglog.MaxPrecision != 26 {
+		t.Errorf("precision bounds %d..%d", exaloglog.MinPrecision, exaloglog.MaxPrecision)
+	}
+}
+
+func ExampleNew() {
+	sketch := exaloglog.New(12)
+	for i := 0; i < 10000; i++ {
+		sketch.AddString(fmt.Sprintf("user-%d", i%100))
+	}
+	fmt.Printf("≈ %.0f distinct users\n", sketch.Estimate())
+	// Output: ≈ 100 distinct users
+}
+
+func ExampleSketch_Merge() {
+	east := exaloglog.New(12)
+	west := exaloglog.New(12)
+	east.AddString("alice")
+	west.AddString("alice") // seen in both regions
+	west.AddString("bob")
+	if err := east.Merge(west); err != nil {
+		panic(err)
+	}
+	fmt.Printf("≈ %.0f distinct users overall\n", east.Estimate())
+	// Output: ≈ 2 distinct users overall
+}

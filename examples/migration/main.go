@@ -1,0 +1,69 @@
+// Migration: reduce sketch precision without losing mergeability with
+// older records (Section 4.2 of the paper).
+//
+// A fleet has been recording daily sketches at high precision (p=12).
+// Storage pressure forces a move to p=8 with fewer indicator bits (d=16).
+// Reducibility makes old and new records compatible: reducing an old
+// sketch gives exactly the state that direct recording at the lower
+// parameters would have produced, so merges across the migration boundary
+// stay lossless.
+//
+// Run with:
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+
+	"exaloglog"
+	"exaloglog/internal/hashing"
+)
+
+func main() {
+	oldCfg := exaloglog.Config{T: 2, D: 20, P: 12}
+	newCfg := exaloglog.Config{T: 2, D: 16, P: 8}
+
+	// Day 1 and 2 were recorded with the old configuration.
+	day1, _ := exaloglog.NewWithConfig(oldCfg)
+	day2, _ := exaloglog.NewWithConfig(oldCfg)
+	fill(day1, 0, 40000)     // users 0..39999
+	fill(day2, 30000, 80000) // users 30000..79999 (overlaps day 1)
+
+	// Day 3 is recorded with the new, smaller configuration.
+	day3, _ := exaloglog.NewWithConfig(newCfg)
+	fill(day3, 70000, 120000) // users 70000..119999
+
+	fmt.Printf("day1: %6d bytes (old config p=%d d=%d)\n", day1.SizeBytes(), oldCfg.P, oldCfg.D)
+	fmt.Printf("day3: %6d bytes (new config p=%d d=%d)\n", day3.SizeBytes(), newCfg.P, newCfg.D)
+
+	// Weekly rollup across the migration boundary: MergeCompatible
+	// reduces everything to the common parameters and merges.
+	week, err := exaloglog.MergeCompatible(day1, day2)
+	if err != nil {
+		panic(err)
+	}
+	week, err = exaloglog.MergeCompatible(week, day3)
+	if err != nil {
+		panic(err)
+	}
+
+	est := week.Estimate()
+	fmt.Printf("weekly distinct users: ≈ %.0f (true 120000, off by %+.2f %%)\n",
+		est, (est/120000-1)*100)
+
+	// Losslessness check: direct recording of all three days at the new
+	// parameters gives the identical state.
+	direct, _ := exaloglog.NewWithConfig(newCfg)
+	fill(direct, 0, 80000)
+	fill(direct, 70000, 120000)
+	a, _ := week.MarshalBinary()
+	b, _ := direct.MarshalBinary()
+	fmt.Printf("reduced+merged state == direct low-precision state: %v\n", string(a) == string(b))
+}
+
+func fill(s *exaloglog.Sketch, from, to int) {
+	for u := from; u < to; u++ {
+		s.AddHash(hashing.Wy64Uint64(uint64(u), 0))
+	}
+}

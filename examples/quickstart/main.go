@@ -1,0 +1,44 @@
+// Quickstart: count distinct users in a click stream with ExaLogLog.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"exaloglog"
+)
+
+func main() {
+	// 2^12 = 4096 registers of 28 bits each: 14 KiB total, ~0.57 %
+	// standard error, valid up to distinct counts of ~1.8·10^19.
+	sketch := exaloglog.New(12)
+
+	// Simulate a click stream: 100 000 events from 25 000 distinct users.
+	// Duplicates never change the state (idempotency), so only the number
+	// of distinct users matters.
+	for event := 0; event < 100000; event++ {
+		userID := event % 25000
+		sketch.AddString(fmt.Sprintf("user-%d", userID))
+	}
+
+	estimate := sketch.Estimate()
+	fmt.Printf("distinct users:  ≈ %.0f (true: 25000, off by %+.2f %%)\n",
+		estimate, (estimate/25000-1)*100)
+	fmt.Printf("sketch size:     %d bytes (a hash set would need megabytes)\n",
+		sketch.SizeBytes())
+
+	// Sketches serialize to a flat byte slice — cheap to store or ship.
+	data, err := sketch.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	restored, err := exaloglog.FromBinary(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after round-trip: ≈ %.0f (bit-identical state, %d bytes serialized)\n",
+		restored.Estimate(), len(data))
+}

@@ -1,0 +1,71 @@
+// Sparse mode: track millions of mostly-small per-key cardinalities
+// without allocating dense register arrays up front (Section 4.3 of the
+// paper). Hash tokens of v+6 bits are collected per key; only keys that
+// grow past the break-even point are converted to dense sketches, and the
+// distinct count can be estimated straight from the tokens at any time.
+//
+// Run with:
+//
+//	go run ./examples/sparse
+package main
+
+import (
+	"fmt"
+
+	"exaloglog"
+	"exaloglog/internal/hashing"
+)
+
+func main() {
+	// v=26 gives 32-bit tokens, large enough for every practical dense
+	// configuration (p+t <= 26).
+	const v = 26
+	denseCfg := exaloglog.Config{T: 2, D: 20, P: 10}
+
+	// A per-customer distinct-URL counter: most customers touch a
+	// handful of URLs, a few touch millions.
+	customers := map[string]int{
+		"small-shop": 12,
+		"mid-size":   4200,
+		"whale":      300000,
+	}
+
+	for name, urls := range customers {
+		tokens, err := exaloglog.NewTokenSet(v)
+		if err != nil {
+			panic(err)
+		}
+		dense, _ := exaloglog.NewWithConfig(denseCfg)
+		denseBytes := dense.SizeBytes()
+
+		converted := false
+		var converted2 *exaloglog.Sketch
+		for u := 0; u < urls; u++ {
+			h := hashing.WyString(fmt.Sprintf("%s/url/%d", name, u), 0)
+			if !converted {
+				tokens.AddHash(h)
+				if tokens.SizeBytes() >= denseBytes {
+					// Break-even: switch to the dense representation.
+					// The conversion is lossless — the dense sketch is
+					// identical to direct insertion.
+					s, err := tokens.ToSketch(denseCfg)
+					if err != nil {
+						panic(err)
+					}
+					converted2 = s
+					converted = true
+				}
+			} else {
+				converted2.AddHash(h)
+			}
+		}
+
+		if converted {
+			fmt.Printf("%-12s dense   %7d bytes  ≈ %9.0f distinct (true %d)\n",
+				name, converted2.SizeBytes(), converted2.Estimate(), urls)
+		} else {
+			fmt.Printf("%-12s sparse  %7d bytes  ≈ %9.0f distinct (true %d, %d tokens)\n",
+				name, tokens.SizeBytes(), tokens.EstimateML(), urls, tokens.Len())
+		}
+	}
+}

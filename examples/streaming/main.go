@@ -1,0 +1,59 @@
+// Streaming analytics with the martingale estimator: when a stream is
+// processed by a single consumer and no merging is needed, the martingale
+// (HIP) estimator gives the same accuracy with 33 % less memory than the
+// best mergeable configuration (Section 3.3, Figure 5 of the paper).
+//
+// This example monitors distinct flows (src, dst, port) in a synthetic
+// packet stream and reports the running cardinality with its error,
+// side by side for the martingale and ML configurations.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+
+	"exaloglog"
+	"exaloglog/internal/hashing"
+)
+
+func main() {
+	// Martingale-optimal configuration: ELL(2,16), 24-bit registers.
+	mart := exaloglog.NewMartingale(10)
+	// Mergeable baseline at the same precision for comparison.
+	ml := exaloglog.New(10)
+
+	fmt.Printf("martingale sketch: %d bytes   ML sketch: %d bytes\n\n",
+		mart.SizeBytes(), ml.SizeBytes())
+	fmt.Printf("%12s %14s %14s %14s\n", "packets", "true flows", "martingale", "ML")
+
+	flows := 0
+	packet := 0
+	for _, burst := range []struct{ newFlows, repeats int }{
+		{1000, 50},
+		{9000, 20},
+		{40000, 5},
+		{150000, 2},
+	} {
+		for f := 0; f < burst.newFlows; f++ {
+			flowID := flows + f
+			h := hashing.Wy64Uint64(uint64(flowID), 7)
+			for r := 0; r <= burst.repeats; r++ {
+				// Re-seeing a flow never changes either sketch.
+				mart.AddHash(h)
+				ml.AddHash(h)
+				packet++
+			}
+		}
+		flows += burst.newFlows
+		fmt.Printf("%12d %14d %14.0f %14.0f\n",
+			packet, flows, mart.Estimate(), ml.Estimate())
+	}
+
+	fmt.Printf("\nstate-change probability is now %.6f — each new flow costs O(1)\n",
+		mart.StateChangeProbability())
+	fmt.Println("note: the martingale estimate is only valid for this single stream;")
+	fmt.Println("merging disables it and falls back to ML estimation.")
+}

@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+// BenchmarkApproxNeighborhood measures a full single-threaded HyperANF
+// run on a preferential-attachment graph — the dominant cost is per-edge
+// sketch merging, so this tracks the merge throughput of the core sketch.
+// BenchmarkApproxNeighborhoodParallel is the same run at GOMAXPROCS.
+func BenchmarkApproxNeighborhood(b *testing.B) {
+	g := PreferentialAttachment(1000, 3, 7)
+	cfg := core.Config{T: 2, D: 20, P: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApproxNeighborhood(g, cfg, Options{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactNeighborhood is the exact all-pairs BFS baseline at the
+// same size, for the asymptotic comparison (quadratic vs near-linear).
+func BenchmarkExactNeighborhood(b *testing.B) {
+	g := PreferentialAttachment(1000, 3, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ExactNeighborhood(g, 0)
+	}
+}

@@ -1,0 +1,24 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"exaloglog"
+	"exaloglog/graph"
+)
+
+// Estimate how tightly connected a social-style graph is without an
+// all-pairs BFS.
+func ExampleApproxNeighborhood() {
+	g := graph.PreferentialAttachment(1000, 3, 42)
+	res, err := graph.ApproxNeighborhood(g, exaloglog.Config{T: 2, D: 20, P: 8}, graph.Options{})
+	if err != nil {
+		panic(err)
+	}
+	d := res.EffectiveDiameter(0.9)
+	fmt.Printf("small world (effective diameter < 6): %v\n", d < 6)
+	fmt.Printf("all pairs reachable: %v\n", res.Converged)
+	// Output:
+	// small world (effective diameter < 6): true
+	// all pairs reachable: true
+}

@@ -1,0 +1,78 @@
+package graph
+
+import "exaloglog/internal/hashing"
+
+// Deterministic graph generators for tests, examples and the experiment
+// harness. All randomness comes from SplitMix64 seeded explicitly, so
+// every run sees the same graph.
+
+// Path returns the undirected path graph 0 — 1 — ... — n-1.
+func Path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddUndirectedEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the undirected cycle graph on n nodes.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n > 2 {
+		g.AddUndirectedEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the undirected star graph: node 0 connected to 1..n-1.
+func Star(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddUndirectedEdge(0, i)
+	}
+	return g
+}
+
+// Random returns an undirected Erdős–Rényi-style graph with n nodes and
+// approximately edges edges, drawn deterministically from seed.
+func Random(n, edges int, seed uint64) *Graph {
+	g := NewGraph(n)
+	state := seed
+	for e := 0; e < edges; e++ {
+		u := int(hashing.SplitMix64(&state) % uint64(n))
+		v := int(hashing.SplitMix64(&state) % uint64(n))
+		if u != v {
+			g.AddUndirectedEdge(u, v)
+		}
+	}
+	return g
+}
+
+// PreferentialAttachment returns an undirected Barabási–Albert-style graph:
+// each new node attaches to k endpoints sampled from the existing edge
+// list, producing the heavy-tailed degree distribution of web and social
+// graphs (the workloads HyperANF was designed for).
+func PreferentialAttachment(n, k int, seed uint64) *Graph {
+	g := NewGraph(n)
+	if n == 0 {
+		return g
+	}
+	state := seed
+	// Endpoint pool: sampling uniformly from it is sampling nodes
+	// proportionally to degree.
+	pool := make([]int32, 0, 2*n*k)
+	pool = append(pool, 0)
+	for v := 1; v < n; v++ {
+		attach := k
+		if attach > v {
+			attach = v
+		}
+		for j := 0; j < attach; j++ {
+			w := pool[hashing.SplitMix64(&state)%uint64(len(pool))]
+			g.AddUndirectedEdge(v, int(w))
+			pool = append(pool, w)
+		}
+		pool = append(pool, int32(v))
+	}
+	return g
+}

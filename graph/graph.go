@@ -1,0 +1,322 @@
+// Package graph implements approximate neighborhood-function estimation on
+// large graphs with ExaLogLog sketches — the HyperANF algorithm of Boldi,
+// Rosa and Vigna (WWW 2011), one of the motivating applications named in
+// the paper's introduction (reference [7], "graph analysis").
+//
+// The neighborhood function N(r) counts the pairs of nodes within distance
+// at most r. Computing it exactly needs an all-pairs BFS; HyperANF instead
+// keeps one mergeable distinct-count sketch per node holding the set of
+// nodes reachable within r hops, and advances r by merging each node's
+// sketch with its neighbors' sketches. Everything HyperANF needs from the
+// sketch — cheap union, idempotency, bounded error — ELL provides at 43 %
+// less memory than the HyperLogLog counters used originally, which is
+// exactly the regime (millions of counters at once) where the paper's
+// space savings matter most.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"exaloglog/internal/core"
+)
+
+// Graph is a simple directed graph with nodes 0..NumNodes-1 stored as
+// adjacency lists. Use AddUndirectedEdge to build an undirected graph.
+type Graph struct {
+	adj [][]int32
+}
+
+// NewGraph returns an empty graph with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total
+}
+
+// AddEdge adds the directed edge u → v. Self-loops and parallel edges are
+// permitted; they do not affect neighborhood estimates (sketch union is
+// idempotent).
+func (g *Graph) AddEdge(u, v int) {
+	g.adj[u] = append(g.adj[u], int32(v))
+}
+
+// AddUndirectedEdge adds u → v and v → u.
+func (g *Graph) AddUndirectedEdge(u, v int) {
+	g.AddEdge(u, v)
+	if u != v {
+		g.AddEdge(v, u)
+	}
+}
+
+// Neighbors returns the out-neighbors of u (shared slice; do not modify).
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Result holds an estimated neighborhood function.
+type Result struct {
+	// N[r] estimates the number of ordered node pairs (u, v) with
+	// d(u, v) <= r; N[0] = number of nodes.
+	N []float64
+	// Iterations is the number of hop expansions performed.
+	Iterations int
+	// Converged reports whether the iteration stopped because the
+	// estimate stabilized (rather than hitting the iteration cap).
+	Converged bool
+}
+
+// Options configures ApproxNeighborhood.
+type Options struct {
+	// MaxIterations caps the number of hop expansions. Zero means the
+	// number of nodes (an upper bound on any finite diameter).
+	MaxIterations int
+	// Epsilon is the relative change of ΣN under which the iteration is
+	// considered converged. Zero means 1e-9 (effectively: no register
+	// changed anywhere).
+	Epsilon float64
+	// Parallelism is the number of goroutines expanding nodes per hop.
+	// Zero means GOMAXPROCS. The result is deterministic regardless of
+	// the setting: each node's next sketch depends only on the previous
+	// iteration's sketches.
+	Parallelism int
+}
+
+// ApproxNeighborhood estimates the neighborhood function of g with one ELL
+// sketch of configuration cfg per node. Memory is
+// NumNodes·2^cfg.P·(6+t+d)/8 bytes; p=8 with ELL(2,20) costs 896 bytes per
+// node for ≈2.3 % per-counter error, and errors largely average out in the
+// sum over nodes.
+func ApproxNeighborhood(g *Graph, cfg core.Config, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{N: []float64{0}, Converged: true}, nil
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 1e-9
+	}
+
+	// b[v] holds the sketch of nodes within the current radius of v.
+	b := make([]*core.Sketch, n)
+	for v := range b {
+		b[v] = core.MustNew(cfg)
+		b[v].AddUint64(uint64(v))
+	}
+	res := &Result{N: []float64{sumEstimates(b)}}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	next := make([]*core.Sketch, n)
+	for iter := 1; iter <= maxIter; iter++ {
+		if err := expandHop(g, b, next, workers); err != nil {
+			return nil, err
+		}
+		b, next = next, b
+		total := sumEstimates(b)
+		res.N = append(res.N, total)
+		res.Iterations = iter
+		prev := res.N[len(res.N)-2]
+		if total <= prev*(1+eps) {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// expandHop computes next[v] = b[v] ∪ ⋃_{(v,w)∈E} b[w] for all nodes,
+// sharded over the given number of workers.
+func expandHop(g *Graph, b, next []*core.Sketch, workers int) error {
+	n := len(b)
+	if workers <= 1 {
+		return expandRange(g, b, next, 0, n)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = expandRange(g, b, next, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandRange expands nodes [lo, hi).
+func expandRange(g *Graph, b, next []*core.Sketch, lo, hi int) error {
+	for v := lo; v < hi; v++ {
+		nb := b[v].Clone()
+		for _, w := range g.adj[v] {
+			if err := nb.Merge(b[w]); err != nil {
+				return fmt.Errorf("graph: %w", err)
+			}
+		}
+		next[v] = nb
+	}
+	return nil
+}
+
+// sumEstimates returns Σ_v |b(v)|.
+func sumEstimates(b []*core.Sketch) float64 {
+	total := 0.0
+	for _, s := range b {
+		total += s.Estimate()
+	}
+	return total
+}
+
+// EffectiveDiameter returns the q-effective diameter: the interpolated
+// smallest r such that N(r) >= q·N(r_max). The conventional q is 0.9.
+func (r *Result) EffectiveDiameter(q float64) float64 {
+	if len(r.N) == 0 {
+		return 0
+	}
+	target := q * r.N[len(r.N)-1]
+	for i, v := range r.N {
+		if v >= target {
+			if i == 0 {
+				return 0
+			}
+			// Linear interpolation between (i-1, N[i-1]) and (i, N[i]).
+			lo, hi := r.N[i-1], v
+			if hi == lo {
+				return float64(i)
+			}
+			return float64(i-1) + (target-lo)/(hi-lo)
+		}
+	}
+	return float64(len(r.N) - 1)
+}
+
+// AverageDistance returns the estimated mean distance over all connected
+// ordered pairs, Σ_r r·(N(r)-N(r-1)) / (N(r_max)-N(0)). Pairs (v, v) at
+// distance 0 are excluded.
+func (r *Result) AverageDistance() float64 {
+	if len(r.N) < 2 {
+		return 0
+	}
+	reachable := r.N[len(r.N)-1] - r.N[0]
+	if reachable <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < len(r.N); i++ {
+		sum += float64(i) * (r.N[i] - r.N[i-1])
+	}
+	return sum / reachable
+}
+
+// ExactNeighborhood computes the exact neighborhood function by BFS from
+// every node, up to radius maxR (or the true eccentricity bound if maxR
+// <= 0). Quadratic; intended as ground truth for tests and experiments on
+// small graphs.
+func ExactNeighborhood(g *Graph, maxR int) []float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return []float64{0}
+	}
+	if maxR <= 0 {
+		maxR = n - 1
+	}
+	counts := make([]float64, maxR+1)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		reached := []int{1} // reached[r] = nodes at distance exactly r
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			du := dist[u]
+			if int(du) >= maxR {
+				continue
+			}
+			for _, w := range g.adj[u] {
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					queue = append(queue, w)
+					for len(reached) <= int(du)+1 {
+						reached = append(reached, 0)
+					}
+					reached[du+1]++
+				}
+			}
+		}
+		cum := 0
+		for r := 0; r <= maxR; r++ {
+			if r < len(reached) {
+				cum += reached[r]
+			}
+			counts[r] += float64(cum)
+		}
+	}
+	// Trim the flat tail so len(counts)-1 is the largest finite distance.
+	last := len(counts) - 1
+	for last > 0 && counts[last] == counts[last-1] {
+		last--
+	}
+	return counts[:last+1]
+}
+
+// RelativeError returns max_r |approx.N(r) - exact(r)| / exact(r) over the
+// overlapping radius range — a convenience for experiments.
+func RelativeError(approx *Result, exact []float64) float64 {
+	worst := 0.0
+	n := len(approx.N)
+	if len(exact) < n {
+		n = len(exact)
+	}
+	for r := 0; r < n; r++ {
+		if exact[r] == 0 {
+			continue
+		}
+		if e := math.Abs(approx.N[r]-exact[r]) / exact[r]; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

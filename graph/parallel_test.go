@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+// TestParallelismDeterministic: any worker count yields exactly the same
+// neighborhood function (per-node expansion only reads the previous
+// iteration).
+func TestParallelismDeterministic(t *testing.T) {
+	g := PreferentialAttachment(400, 3, 11)
+	cfg := core.Config{T: 2, D: 20, P: 6}
+	var ref *Result
+	for _, workers := range []int{1, 2, 7, 64} {
+		res, err := ApproxNeighborhood(g, cfg, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.N) != len(ref.N) {
+			t.Fatalf("workers=%d: %d radii vs %d", workers, len(res.N), len(ref.N))
+		}
+		for r := range res.N {
+			if res.N[r] != ref.N[r] {
+				t.Fatalf("workers=%d: N[%d] = %v != %v", workers, r, res.N[r], ref.N[r])
+			}
+		}
+	}
+}
+
+// TestParallelismMoreWorkersThanNodes must not panic or deadlock.
+func TestParallelismMoreWorkersThanNodes(t *testing.T) {
+	g := Path(3)
+	res, err := ApproxNeighborhood(g, core.Config{T: 2, D: 20, P: 4}, Options{Parallelism: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("tiny graph did not converge")
+	}
+}
+
+func BenchmarkApproxNeighborhoodParallel(b *testing.B) {
+	g := PreferentialAttachment(1000, 3, 7)
+	cfg := core.Config{T: 2, D: 20, P: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApproxNeighborhood(g, cfg, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, bits []int, nCtx int, ctxOf func(i int) int) []byte {
+	t.Helper()
+	enc := NewEncoder()
+	m := NewModel(nCtx)
+	for i, b := range bits {
+		enc.EncodeBit(m, ctxOf(i), b)
+	}
+	data := enc.Close()
+
+	dec := NewDecoder(data)
+	m.Reset()
+	for i, want := range bits {
+		if got := dec.DecodeBit(m, ctxOf(i)); got != want {
+			t.Fatalf("bit %d: decoded %d, want %d", i, got, want)
+		}
+	}
+	return data
+}
+
+func TestRoundTripPatterns(t *testing.T) {
+	patterns := map[string][]int{
+		"empty":     {},
+		"single0":   {0},
+		"single1":   {1},
+		"all-zeros": make([]int, 1000),
+		"alternate": func() []int {
+			b := make([]int, 999)
+			for i := range b {
+				b[i] = i & 1
+			}
+			return b
+		}(),
+		"all-ones": func() []int {
+			b := make([]int, 1000)
+			for i := range b {
+				b[i] = 1
+			}
+			return b
+		}(),
+	}
+	for name, bits := range patterns {
+		t.Run(name, func(t *testing.T) {
+			roundTrip(t, bits, 1, func(int) int { return 0 })
+		})
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(5000)
+		bias := r.Float64()
+		bits := make([]int, n)
+		for i := range bits {
+			if r.Float64() < bias {
+				bits[i] = 1
+			}
+		}
+		roundTrip(t, bits, 4, func(i int) int { return i & 3 })
+	}
+}
+
+func TestCompressionApproachesEntropy(t *testing.T) {
+	// A biased source with P(1) = 0.05 has entropy ≈ 0.286 bits/bit;
+	// the adaptive coder should get within ~20 % of that.
+	r := rand.New(rand.NewSource(7))
+	const n = 100000
+	bits := make([]int, n)
+	ones := 0
+	for i := range bits {
+		if r.Float64() < 0.05 {
+			bits[i] = 1
+			ones++
+		}
+	}
+	data := roundTrip(t, bits, 1, func(int) int { return 0 })
+	p := float64(ones) / n
+	entropy := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	idealBytes := entropy * n / 8
+	if got := float64(len(data)); got > idealBytes*1.25 {
+		t.Errorf("compressed to %d bytes; entropy bound is %.0f", len(data), idealBytes)
+	}
+	if got := float64(len(data)); got < idealBytes*0.8 {
+		t.Errorf("compressed to %d bytes, below the entropy bound %.0f — impossible, coder must be broken", len(data), idealBytes)
+	}
+}
+
+func TestContextsImprove(t *testing.T) {
+	// Interleave a heavily-biased stream (ctx 0) with an unbiased one
+	// (ctx 1); with contexts the size should be near (0 + 1)/2 bits/bit,
+	// without contexts near the mixed entropy which is larger.
+	r := rand.New(rand.NewSource(9))
+	const n = 40000
+	bits := make([]int, n)
+	for i := range bits {
+		if i&1 == 0 {
+			bits[i] = 0 // deterministic in context 0
+		} else if r.Float64() < 0.5 {
+			bits[i] = 1
+		}
+	}
+	withCtx := roundTrip(t, bits, 2, func(i int) int { return i & 1 })
+	withoutCtx := roundTrip(t, bits, 1, func(int) int { return 0 })
+	if len(withCtx) >= len(withoutCtx) {
+		t.Errorf("contexts did not help: %d vs %d bytes", len(withCtx), len(withoutCtx))
+	}
+}
+
+func TestCarryPropagation(t *testing.T) {
+	// Stress the carry path: long runs of bits that keep low near
+	// 0xff... Use adversarial alternation of very likely/unlikely bits.
+	m := NewModel(1)
+	enc := NewEncoder()
+	r := rand.New(rand.NewSource(11))
+	bits := make([]int, 20000)
+	for i := range bits {
+		// Mostly 0s so prob drifts low, then occasional 1s force wide
+		// low jumps that exercise carries.
+		if r.Intn(37) == 0 {
+			bits[i] = 1
+		}
+		enc.EncodeBit(m, 0, bits[i])
+	}
+	data := enc.Close()
+	dec := NewDecoder(data)
+	m.Reset()
+	for i, want := range bits {
+		if got := dec.DecodeBit(m, 0); got != want {
+			t.Fatalf("carry stress: bit %d decoded %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestModelAdaptationBounds(t *testing.T) {
+	m := NewModel(1)
+	for i := 0; i < 10000; i++ {
+		m.update(0, 1)
+	}
+	if m.p[0] > probOne-probMin {
+		t.Errorf("probability escaped upper clamp: %d", m.p[0])
+	}
+	for i := 0; i < 10000; i++ {
+		m.update(0, 0)
+	}
+	if m.p[0] < probMin {
+		t.Errorf("probability escaped lower clamp: %d", m.p[0])
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"exaloglog/internal/hashing"
+)
+
+// AtomicSketch is a lock-free ExaLogLog sketch for concurrent insertion.
+//
+// Section 2.4 of the paper singles out the ELL(2,24) configuration because
+// its 32-bit registers align exactly with a machine word, making updates
+// "convenient for concurrent updates using compare-and-swap instructions".
+// This type realizes that: registers live in a []uint32 and every update
+// is a CAS loop. Because a register update is monotone (the register value
+// lattice is a join-semilattice and updateRegister computes an upper
+// bound), concurrent insertions linearize and the final state is exactly
+// the state sequential insertion of the same elements would produce.
+//
+// Estimation and serialization take a Snapshot first; the snapshot is a
+// plain Sketch and supports the full API (merge, reduce, ML estimation).
+type AtomicSketch struct {
+	cfg  Config
+	regs []uint32
+}
+
+// NewAtomic creates an empty lock-free sketch. The configuration's
+// register width 6+t+d must be exactly 32 bits (e.g. T:2, D:24).
+func NewAtomic(cfg Config) (*AtomicSketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RegisterWidth() != 32 {
+		return nil, fmt.Errorf("exaloglog: atomic sketches need 32-bit registers, got 6+%d+%d = %d bits",
+			cfg.T, cfg.D, cfg.RegisterWidth())
+	}
+	return &AtomicSketch{cfg: cfg, regs: make([]uint32, cfg.NumRegisters())}, nil
+}
+
+// Config returns the sketch parameters.
+func (s *AtomicSketch) Config() Config { return s.cfg }
+
+// AddHash inserts an element by its 64-bit hash. Safe for concurrent use.
+func (s *AtomicSketch) AddHash(h uint64) {
+	i := s.cfg.registerIndex(h)
+	k := s.cfg.updateValue(h)
+	for {
+		old := atomic.LoadUint32(&s.regs[i])
+		updated := uint32(updateRegister(uint64(old), k, s.cfg.D))
+		if updated == old {
+			return
+		}
+		if atomic.CompareAndSwapUint32(&s.regs[i], old, updated) {
+			return
+		}
+		// Lost the race: another writer changed the register. The update
+		// is monotone, so retrying against the new value converges.
+	}
+}
+
+// Add inserts a byte-slice element (hashes with the default hash).
+func (s *AtomicSketch) Add(element []byte) { s.AddHash(hashing.Wy64(element, 0)) }
+
+// AddString inserts a string element.
+func (s *AtomicSketch) AddString(element string) { s.AddHash(hashing.WyString(element, 0)) }
+
+// Snapshot copies the current state into a regular Sketch. Concurrent
+// insertions during the copy may be partially included; the result is
+// always a valid sketch state (each register is read atomically).
+func (s *AtomicSketch) Snapshot() *Sketch {
+	out := MustNew(s.cfg)
+	for i := range s.regs {
+		if v := atomic.LoadUint32(&s.regs[i]); v != 0 {
+			out.setRegister(i, uint64(v))
+		}
+	}
+	return out
+}
+
+// Estimate returns the ML distinct-count estimate of a snapshot.
+func (s *AtomicSketch) Estimate() float64 {
+	return s.Snapshot().EstimateML()
+}
+
+// SizeBytes returns the register array size: 4 bytes per register.
+func (s *AtomicSketch) SizeBytes() int { return 4 * len(s.regs) }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAtomicRequires32BitRegisters(t *testing.T) {
+	if _, err := NewAtomic(Config{T: 2, D: 20, P: 8}); err == nil {
+		t.Error("accepted 28-bit registers")
+	}
+	if _, err := NewAtomic(Config{T: 2, D: 24, P: 8}); err != nil {
+		t.Errorf("rejected ELL(2,24): %v", err)
+	}
+	// Any width-32 combination works, e.g. t=0, d=26.
+	if _, err := NewAtomic(Config{T: 0, D: 26, P: 8}); err != nil {
+		t.Errorf("rejected ELL(0,26): %v", err)
+	}
+}
+
+// TestAtomicMatchesSequential: concurrent insertion of a fixed element set
+// must land in exactly the state sequential insertion produces, because
+// register updates are monotone joins applied via CAS.
+func TestAtomicMatchesSequential(t *testing.T) {
+	cfg := Config{T: 2, D: 24, P: 8}
+	r := rng(101)
+	hashes := make([]uint64, 100000)
+	for i := range hashes {
+		hashes[i] = r.Uint64()
+	}
+
+	seq := MustNew(cfg)
+	for _, h := range hashes {
+		seq.AddHash(h)
+	}
+
+	atom, err := NewAtomic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Overlapping stripes so the same registers race.
+			for i := w; i < len(hashes); i += workers {
+				atom.AddHash(hashes[i])
+			}
+			for i := 0; i < len(hashes); i += 17 {
+				atom.AddHash(hashes[i]) // duplicates from every worker
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := atom.Snapshot()
+	if string(snap.RegisterBytes()) != string(seq.RegisterBytes()) {
+		t.Fatal("concurrent state differs from sequential state")
+	}
+	if est := atom.Estimate(); math.Abs(est-float64(len(hashes)))/float64(len(hashes)) > 0.15 {
+		t.Errorf("estimate %.0f for n=%d", est, len(hashes))
+	}
+}
+
+func TestAtomicAddVariants(t *testing.T) {
+	cfg := Config{T: 2, D: 24, P: 6}
+	atom, err := NewAtomic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustNew(cfg)
+	atom.Add([]byte("x"))
+	atom.AddString("y")
+	plain.Add([]byte("x"))
+	plain.AddString("y")
+	if string(atom.Snapshot().RegisterBytes()) != string(plain.RegisterBytes()) {
+		t.Error("Add/AddString disagree with the plain sketch")
+	}
+	if atom.SizeBytes() != 4*cfg.NumRegisters() {
+		t.Errorf("SizeBytes %d", atom.SizeBytes())
+	}
+	if atom.Config() != cfg {
+		t.Errorf("Config %+v", atom.Config())
+	}
+}
+
+// TestAtomicSnapshotMergeable: snapshots integrate with the rest of the
+// API (merge with a plain sketch of the same configuration).
+func TestAtomicSnapshotMergeable(t *testing.T) {
+	cfg := Config{T: 2, D: 24, P: 6}
+	atom, _ := NewAtomic(cfg)
+	plain := MustNew(cfg)
+	union := MustNew(cfg)
+	r := rng(103)
+	for i := 0; i < 2000; i++ {
+		h := r.Uint64()
+		atom.AddHash(h)
+		union.AddHash(h)
+	}
+	for i := 0; i < 3000; i++ {
+		h := r.Uint64()
+		plain.AddHash(h)
+		union.AddHash(h)
+	}
+	snap := atom.Snapshot()
+	if err := snap.Merge(plain); err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.RegisterBytes()) != string(union.RegisterBytes()) {
+		t.Error("snapshot merge differs from unified stream")
+	}
+}

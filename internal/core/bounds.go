@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"exaloglog/internal/mvp"
+)
+
+// Interval is a two-sided confidence interval around a distinct-count
+// estimate.
+type Interval struct {
+	Estimate float64
+	Lower    float64
+	Upper    float64
+	// Confidence is the nominal coverage probability, e.g. 0.95.
+	Confidence float64
+}
+
+// EstimateWithBounds returns the sketch's best estimate together with a
+// confidence interval at the given nominal coverage (0 < confidence < 1).
+//
+// The interval is derived from the theoretical relative standard error
+// σ = sqrt(MVP/((6+t+d)·m)) (Section 5.1), using the asymptotic normality
+// of the ML estimator (and of the martingale estimator, whose smaller MVP
+// of equation (6) is used automatically when martingale tracking is
+// enabled). Since the estimation error is relative, n̂ ≈ n·(1+ε), the
+// bounds divide rather than subtract: [n̂/(1+zσ), n̂/(1-zσ)]. For very
+// small estimates the error is far below σ (Figure 8), so the interval is
+// conservative there.
+func (s *Sketch) EstimateWithBounds(confidence float64) (Interval, error) {
+	if !(confidence > 0 && confidence < 1) {
+		return Interval{}, fmt.Errorf("exaloglog: confidence %v outside (0, 1)", confidence)
+	}
+	est := s.Estimate()
+	sigma := s.RelativeStandardError()
+	z := math.Sqrt2 * math.Erfinv(confidence)
+	iv := Interval{Estimate: est, Confidence: confidence}
+	iv.Lower = est / (1 + z*sigma)
+	if z*sigma >= 1 {
+		iv.Upper = math.Inf(1)
+	} else {
+		iv.Upper = est / (1 - z*sigma)
+	}
+	return iv, nil
+}
+
+// RelativeStandardError returns the theoretical asymptotic relative
+// standard error of the sketch's estimator: sqrt(MVP/((6+t+d)·m)) with the
+// MVP of equation (3) for ML estimation or equation (6) when martingale
+// tracking is enabled.
+func (s *Sketch) RelativeStandardError() float64 {
+	return mvp.TheoreticalRMSE(s.cfg.T, s.cfg.D, s.cfg.P, s.martingale)
+}

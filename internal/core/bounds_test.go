@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"exaloglog/internal/hashing"
+)
+
+func TestEstimateWithBoundsValidation(t *testing.T) {
+	s := MustNew(RecommendedML(6))
+	for _, bad := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := s.EstimateWithBounds(bad); err == nil {
+			t.Errorf("confidence %v should be rejected", bad)
+		}
+	}
+	if _, err := s.EstimateWithBounds(0.95); err != nil {
+		t.Errorf("confidence 0.95 rejected: %v", err)
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	s := MustNew(RecommendedML(8))
+	state := uint64(17)
+	for i := 0; i < 10000; i++ {
+		s.AddHash(hashing.SplitMix64(&state))
+	}
+	iv, err := s.EstimateWithBounds(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(iv.Lower < iv.Estimate && iv.Estimate < iv.Upper) {
+		t.Fatalf("interval not ordered: %+v", iv)
+	}
+	// Higher confidence must widen the interval.
+	iv90, _ := s.EstimateWithBounds(0.90)
+	if iv90.Upper-iv90.Lower >= iv.Upper-iv.Lower {
+		t.Fatalf("99%% interval (%g) not wider than 90%% (%g)",
+			iv.Upper-iv.Lower, iv90.Upper-iv90.Lower)
+	}
+}
+
+func TestBoundsInfiniteUpper(t *testing.T) {
+	// At p=2 with an extreme confidence, z·σ can exceed 1; the upper bound
+	// must then degrade gracefully to +Inf rather than turn negative.
+	s := MustNew(Config{T: 2, D: 20, P: 2})
+	state := uint64(3)
+	for i := 0; i < 100; i++ {
+		s.AddHash(hashing.SplitMix64(&state))
+	}
+	iv, err := s.EstimateWithBounds(0.999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Upper < iv.Estimate {
+		t.Fatalf("upper bound %g below estimate %g", iv.Upper, iv.Estimate)
+	}
+}
+
+// TestBoundsCoverage empirically checks the nominal coverage of the 95 %
+// interval at an intermediate distinct count, where the estimator error is
+// in its asymptotic regime (Figure 8 shows perfect agreement with theory
+// there). With 400 runs and true coverage >= 0.95 the failure probability
+// of the 0.88 acceptance threshold is negligible.
+func TestBoundsCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage simulation is slow")
+	}
+	const (
+		runs = 400
+		n    = 20000
+		conf = 0.95
+	)
+	covered := 0
+	state := uint64(20240615)
+	for r := 0; r < runs; r++ {
+		s := MustNew(RecommendedML(8))
+		for i := 0; i < n; i++ {
+			s.AddHash(hashing.SplitMix64(&state))
+		}
+		iv, err := s.EstimateWithBounds(conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lower <= n && n <= iv.Upper {
+			covered++
+		}
+	}
+	if frac := float64(covered) / runs; frac < 0.88 {
+		t.Fatalf("95%% interval covered the truth in only %.1f%% of %d runs", 100*frac, runs)
+	}
+}
+
+func TestRelativeStandardError(t *testing.T) {
+	// ELL(2,20,8): sqrt(3.67/(28·256)) ≈ 2.26 %.
+	s := MustNew(RecommendedML(8))
+	got := s.RelativeStandardError()
+	if got < 0.020 || got > 0.026 {
+		t.Fatalf("RelativeStandardError = %g, want ≈ 0.0226", got)
+	}
+	// Martingale mode must report the smaller equation-(6) error.
+	m := MustNew(RecommendedMartingale(8))
+	if err := m.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	if m.RelativeStandardError() >= got {
+		t.Fatalf("martingale stderr %g not below ML stderr %g", m.RelativeStandardError(), got)
+	}
+}

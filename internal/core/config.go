@@ -1,0 +1,145 @@
+// Package core implements ExaLogLog (ELL), the approximate distinct-counting
+// data structure of the paper, together with its maximum-likelihood and
+// martingale estimators, merging, reduction, and the sparse hash-token mode.
+//
+// An ExaLogLog sketch consists of m = 2^p registers of 6+t+d bits. Inserting
+// an element hashes it to 64 bits; p bits select a register and the
+// remaining bits produce an update value distributed according to the
+// paper's approximated distribution (8), which mimics a geometric
+// distribution with base b = 2^(2^-t). The first 6+t bits of a register
+// store the maximum update value u seen; the remaining d bits record which
+// of the update values u-1, ..., u-d have occurred.
+//
+// The three parameters trade space for accuracy and speed:
+//
+//   - t: shape of the update distribution. t=2 yields the most
+//     space-efficient configurations; t=0 recovers HyperLogLog-family
+//     sketches (HLL = ELL(0,0), EHLL = ELL(0,1), ULL = ELL(0,2)).
+//   - d: number of indicator bits. The paper's recommended configurations
+//     are ELL(2,20) (MVP 3.67, 28-bit registers), ELL(2,24) (MVP 3.78,
+//     32-bit registers), ELL(1,9) (MVP 3.90, 16-bit registers) and, for
+//     martingale estimation, ELL(2,16) (MVP 2.77, 24-bit registers).
+//   - p: precision. The relative standard error scales with 2^(-p/2).
+package core
+
+import (
+	"fmt"
+
+	"exaloglog/internal/bitpack"
+)
+
+// Parameter limits. p >= 2 is required by Algorithm 2 (update values must
+// fit into 6+t bits); the upper bounds keep register widths within the
+// bit-packed array's capabilities and sketch sizes within memory reason.
+const (
+	MinP = 2
+	MaxP = 26
+	MaxT = 6
+	// MaxD bounds the register width 6+t+d to bitpack.MaxWidth.
+	MaxD = bitpack.MaxWidth - 6
+)
+
+// Config describes an ExaLogLog parameterization (t, d, p).
+type Config struct {
+	// T is the update-value distribution parameter; the distribution
+	// approximates a geometric distribution with base 2^(2^-T).
+	T int
+	// D is the number of indicator bits per register.
+	D int
+	// P is the precision; the sketch has 2^P registers.
+	P int
+}
+
+// Validate checks the parameter ranges and their combined constraints.
+func (c Config) Validate() error {
+	if c.T < 0 || c.T > MaxT {
+		return fmt.Errorf("exaloglog: t=%d out of range [0, %d]", c.T, MaxT)
+	}
+	if c.D < 0 || c.D > MaxD {
+		return fmt.Errorf("exaloglog: d=%d out of range [0, %d]", c.D, MaxD)
+	}
+	if c.P < MinP || c.P > MaxP {
+		return fmt.Errorf("exaloglog: p=%d out of range [%d, %d]", c.P, MinP, MaxP)
+	}
+	if w := c.RegisterWidth(); w > bitpack.MaxWidth {
+		return fmt.Errorf("exaloglog: register width 6+t+d = %d exceeds %d bits", w, bitpack.MaxWidth)
+	}
+	if 64-c.P-c.T < 1 {
+		return fmt.Errorf("exaloglog: p+t = %d leaves no bits for the update value", c.P+c.T)
+	}
+	return nil
+}
+
+// NumRegisters returns m = 2^p.
+func (c Config) NumRegisters() int { return 1 << uint(c.P) }
+
+// RegisterWidth returns the register size in bits, q+d = 6+t+d.
+func (c Config) RegisterWidth() uint { return uint(6 + c.T + c.D) }
+
+// MaxUpdateValue returns the largest possible update value
+// (65-p-t)·2^t produced by Algorithm 2 with 64-bit hashes.
+func (c Config) MaxUpdateValue() uint64 {
+	return uint64(65-c.P-c.T) << uint(c.T)
+}
+
+// SizeBytes returns the dense in-memory register array size in bytes,
+// ceil(m·(6+t+d)/8) — the paper's space accounting for ELL.
+func (c Config) SizeBytes() int {
+	return int((uint64(c.NumRegisters())*uint64(c.RegisterWidth()) + 7) / 8)
+}
+
+// phi evaluates the exponent function φ(k) of equation (11):
+// min(t+1+⌊(k-1)/2^t⌋, 64-p). ρ_update(k) = 2^-φ(k) per equation (10).
+// The floor division must round toward -∞ so that φ(0) = t.
+func (c Config) phi(k int64) int {
+	v := int64(c.T) + 1 + (k-1)>>uint(c.T)
+	if cap := int64(64 - c.P); v > cap {
+		return int(cap)
+	}
+	return int(v)
+}
+
+// omegaNumerator returns the numerator 2^t·(1-t+φ(u)) - u of ω(u) in
+// equation (14), so that ω(u) = omegaNumerator(u) / 2^φ(u). ω(u) is the
+// total probability of update values greater than u; ω(0) = 1.
+func (c Config) omegaNumerator(u int64) int64 {
+	return int64(1)<<uint(c.T)*(1-int64(c.T)+int64(c.phi(u))) - u
+}
+
+// hInt returns the per-register contribution to both the α' coefficient of
+// Algorithm 3 and the (scaled) state-change probability of the martingale
+// estimator: h(r)·m·2^(64-p) = h(r)·2^64, an exact integer
+//
+//	ω(u)·2^(64-p) + Σ_{k=max(1,u-d)}^{u-1} (1-l_{u-k}) · 2^(64-p-φ(k)),
+//
+// where u = ⌊r/2^d⌋ and l_j are the indicator bits of r. For the all-zero
+// register this is 2^(64-p), and the sum over all m registers is 2^64.
+func (c Config) hInt(r uint64) uint64 {
+	u := int64(r >> uint(c.D))
+	sum := uint64(c.omegaNumerator(u)) << uint(64-c.P-c.phi(u))
+	if u >= 2 {
+		k := u - int64(c.D)
+		if k < 1 {
+			k = 1
+		}
+		for ; k < u; k++ {
+			if r&(uint64(1)<<uint(int64(c.D)-u+k)) == 0 {
+				sum += uint64(1) << uint(64-c.P-c.phi(k))
+			}
+		}
+	}
+	return sum
+}
+
+// updateValue computes the update value of Algorithm 2 / equation (9) from
+// a 64-bit hash: k = nlz(a)·2^t + (low t bits of h) + 1, where a is h with
+// its low p+t bits forced to 1.
+func (c Config) updateValue(h uint64) uint64 {
+	a := h | (uint64(1)<<uint(c.P+c.T) - 1)
+	return uint64(nlz(a))<<uint(c.T) + h&(uint64(1)<<uint(c.T)-1) + 1
+}
+
+// registerIndex extracts the register index bits h_{p+t-1} ... h_t.
+func (c Config) registerIndex(h uint64) int {
+	return int(h >> uint(c.T) & (uint64(1)<<uint(c.P) - 1))
+}

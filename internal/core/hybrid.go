@@ -1,0 +1,226 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"exaloglog/internal/hashing"
+)
+
+// Hybrid is a sketch that starts in sparse mode — collecting (v+6)-bit
+// hash tokens with a linearly growing footprint — and transparently
+// converts itself to a dense ExaLogLog sketch at the break-even point, as
+// proposed in Section 4.3 of the paper. Use it when many sketches are
+// kept and most stay almost empty (e.g. one per customer/key).
+//
+// Estimation works in both modes: sparse mode estimates directly from the
+// token set (Algorithm 7), dense mode uses the ML estimator. Conversion
+// is lossless — the dense state is identical to direct recording.
+type Hybrid struct {
+	cfg    Config
+	v      int
+	tokens *TokenSet // non-nil while sparse
+	dense  *Sketch   // non-nil once converted
+}
+
+// DefaultTokenV is the default sparse-token parameter: 32-bit tokens,
+// compatible with every configuration up to p+t = 26.
+const DefaultTokenV = 26
+
+// NewHybrid creates a sparse-mode sketch that will densify into cfg. The
+// token parameter is DefaultTokenV; cfg must satisfy p+t <= 26.
+func NewHybrid(cfg Config) (*Hybrid, error) {
+	return NewHybridWithV(cfg, DefaultTokenV)
+}
+
+// NewHybridWithV creates a sparse-mode sketch with an explicit token
+// parameter v >= p+t.
+func NewHybridWithV(cfg Config, v int) (*Hybrid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.P+cfg.T > v {
+		return nil, fmt.Errorf("exaloglog: tokens with v=%d cannot feed a sketch with p+t=%d", v, cfg.P+cfg.T)
+	}
+	ts, err := NewTokenSet(v)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{cfg: cfg, v: v, tokens: ts}, nil
+}
+
+// Config returns the dense-mode configuration.
+func (h *Hybrid) Config() Config { return h.cfg }
+
+// IsSparse reports whether the sketch is still in sparse (token) mode.
+func (h *Hybrid) IsSparse() bool { return h.dense == nil }
+
+// AddHash inserts an element by its 64-bit hash.
+func (h *Hybrid) AddHash(hash uint64) {
+	if h.dense != nil {
+		h.dense.AddHash(hash)
+		return
+	}
+	h.tokens.AddHash(hash)
+	if h.tokens.SizeBytes() >= h.cfg.SizeBytes() {
+		h.densify()
+	}
+}
+
+// AddString inserts a string element.
+func (h *Hybrid) AddString(element string) { h.AddHash(hashing.WyString(element, 0)) }
+
+// densify converts the token set to the dense representation.
+func (h *Hybrid) densify() {
+	s, err := h.tokens.ToSketch(h.cfg)
+	if err != nil {
+		// Unreachable: v >= p+t is checked at construction.
+		panic(err)
+	}
+	h.dense = s
+	h.tokens = nil
+}
+
+// Densify forces the conversion to dense mode (idempotent).
+func (h *Hybrid) Densify() *Sketch {
+	if h.dense == nil {
+		h.densify()
+	}
+	return h.dense
+}
+
+// Estimate returns the distinct-count estimate for the current mode.
+func (h *Hybrid) Estimate() float64 {
+	if h.dense != nil {
+		return h.dense.EstimateML()
+	}
+	return h.tokens.EstimateML()
+}
+
+// MemoryFootprint approximates allocated bytes in the current mode. In
+// sparse mode the map overhead is charged at 16 bytes per token.
+func (h *Hybrid) MemoryFootprint() int {
+	if h.dense != nil {
+		return h.dense.MemoryFootprint() + 32
+	}
+	return h.tokens.Len()*16 + 96
+}
+
+// SizeBytes returns the serialized payload size in the current mode.
+func (h *Hybrid) SizeBytes() int {
+	if h.dense != nil {
+		return h.dense.SizeBytes()
+	}
+	return h.tokens.SizeBytes()
+}
+
+// Merge folds other into h. Both must target the same dense configuration
+// and share v. If both are sparse the token sets merge (staying sparse
+// until break-even); otherwise both densify first.
+func (h *Hybrid) Merge(other *Hybrid) error {
+	if h.cfg != other.cfg || h.v != other.v {
+		return fmt.Errorf("exaloglog: cannot merge hybrid (%+v, v=%d) with (%+v, v=%d)", h.cfg, h.v, other.cfg, other.v)
+	}
+	if h.dense == nil && other.dense == nil {
+		if err := h.tokens.Merge(other.tokens); err != nil {
+			return err
+		}
+		if h.tokens.SizeBytes() >= h.cfg.SizeBytes() {
+			h.densify()
+		}
+		return nil
+	}
+	h.Densify()
+	if other.dense != nil {
+		return h.dense.Merge(other.dense)
+	}
+	od, err := other.tokens.ToSketch(other.cfg)
+	if err != nil {
+		return err
+	}
+	return h.dense.Merge(od)
+}
+
+// Serialization format:
+//
+//	byte 0     'H'
+//	byte 1     mode: 0 sparse, 1 dense
+//	byte 2-5   t, d, p, v
+//	sparse:    uint32 token count, then tokens packed little-endian in
+//	           ceil((v+6)/8) bytes each, ascending
+//	dense:     the dense sketch's MarshalBinary output
+
+// MarshalBinary serializes the hybrid sketch in its current mode.
+func (h *Hybrid) MarshalBinary() ([]byte, error) {
+	head := []byte{'H', 0, byte(h.cfg.T), byte(h.cfg.D), byte(h.cfg.P), byte(h.v)}
+	if h.dense != nil {
+		head[1] = 1
+		body, err := h.dense.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		return append(head, body...), nil
+	}
+	tokens := h.tokens.Tokens()
+	tokBytes := (h.v + 6 + 7) / 8
+	out := make([]byte, 0, len(head)+4+len(tokens)*tokBytes)
+	out = append(out, head...)
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(tokens)))
+	out = append(out, buf[:4]...)
+	for _, w := range tokens {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		out = append(out, buf[:tokBytes]...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a hybrid sketch serialized by MarshalBinary.
+func (h *Hybrid) UnmarshalBinary(data []byte) error {
+	if len(data) < 6 || data[0] != 'H' {
+		return fmt.Errorf("exaloglog: bad hybrid payload")
+	}
+	cfg := Config{T: int(data[2]), D: int(data[3]), P: int(data[4])}
+	v := int(data[5])
+	n, err := NewHybridWithV(cfg, v)
+	if err != nil {
+		return err
+	}
+	switch data[1] {
+	case 1:
+		dense, err := FromBinary(data[6:])
+		if err != nil {
+			return err
+		}
+		if dense.Config() != cfg {
+			return fmt.Errorf("exaloglog: hybrid header %+v disagrees with dense payload %+v", cfg, dense.Config())
+		}
+		n.dense = dense
+		n.tokens = nil
+	case 0:
+		if len(data) < 10 {
+			return fmt.Errorf("exaloglog: hybrid token payload too short")
+		}
+		count := int(binary.LittleEndian.Uint32(data[6:]))
+		tokBytes := (v + 6 + 7) / 8
+		pos := 10
+		if len(data) != pos+count*tokBytes {
+			return fmt.Errorf("exaloglog: hybrid token payload malformed")
+		}
+		limit := uint64(1) << uint(v+6)
+		for i := 0; i < count; i++ {
+			var buf [8]byte
+			copy(buf[:], data[pos:pos+tokBytes])
+			w := binary.LittleEndian.Uint64(buf[:])
+			if w >= limit {
+				return fmt.Errorf("exaloglog: token %#x exceeds %d bits", w, v+6)
+			}
+			n.tokens.AddToken(w)
+			pos += tokBytes
+		}
+	default:
+		return fmt.Errorf("exaloglog: unknown hybrid mode %d", data[1])
+	}
+	*h = *n
+	return nil
+}

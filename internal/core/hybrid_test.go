@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHybridValidation(t *testing.T) {
+	if _, err := NewHybrid(Config{T: 2, D: 20, P: 25}); err == nil {
+		t.Error("accepted p+t > 26")
+	}
+	if _, err := NewHybridWithV(Config{T: 2, D: 20, P: 10}, 8); err == nil {
+		t.Error("accepted v < p+t")
+	}
+	if _, err := NewHybrid(Config{T: 9, D: 20, P: 10}); err == nil {
+		t.Error("accepted invalid config")
+	}
+}
+
+func TestHybridStartsSparseAndDensifies(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 8} // 896 dense bytes
+	h, err := NewHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSparse() {
+		t.Fatal("fresh hybrid not sparse")
+	}
+	r := rng(50)
+	n := 0
+	for h.IsSparse() {
+		h.AddHash(r.Uint64())
+		n++
+		if n > 100000 {
+			t.Fatal("never densified")
+		}
+	}
+	// Break-even for 32-bit tokens at 896 bytes ≈ 224 tokens.
+	if n < 150 || n > 400 {
+		t.Errorf("densified after %d inserts; expected ≈ 224", n)
+	}
+	// Memory in sparse mode must have been below the dense footprint
+	// right up to the switch, and estimates stay sane across it.
+	est := h.Estimate()
+	if math.Abs(est-float64(n))/float64(n) > 0.25 {
+		t.Errorf("estimate %.0f right after densify (n=%d)", est, n)
+	}
+}
+
+// TestHybridDensifyLossless: the dense state after conversion equals
+// direct insertion through tokens (v-truncated hashes).
+func TestHybridDensifyLossless(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 6}
+	h, _ := NewHybrid(cfg)
+	direct := MustNew(cfg)
+	r := rng(51)
+	for i := 0; i < 5000; i++ {
+		hash := r.Uint64()
+		h.AddHash(hash)
+		direct.AddHash(HashFromToken(TokenFromHash(hash, DefaultTokenV), DefaultTokenV))
+	}
+	if h.IsSparse() {
+		t.Fatal("still sparse after 5000 inserts at p=6")
+	}
+	if string(h.Densify().RegisterBytes()) != string(direct.RegisterBytes()) {
+		t.Error("hybrid dense state differs from direct token-insertion")
+	}
+}
+
+func TestHybridSparseEstimate(t *testing.T) {
+	h, _ := NewHybrid(Config{T: 2, D: 20, P: 10})
+	r := rng(52)
+	for i := 0; i < 100; i++ {
+		h.AddHash(r.Uint64())
+	}
+	if !h.IsSparse() {
+		t.Fatal("should still be sparse at 100 tokens vs 3584 dense bytes")
+	}
+	est := h.Estimate()
+	if math.Abs(est-100) > 10 {
+		t.Errorf("sparse estimate %.1f, want ≈100", est)
+	}
+	if h.SizeBytes() >= 3584 {
+		t.Errorf("sparse size %d not below dense size", h.SizeBytes())
+	}
+}
+
+func TestHybridMergeSparseSparse(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 10}
+	a, _ := NewHybrid(cfg)
+	b, _ := NewHybrid(cfg)
+	u, _ := NewHybrid(cfg)
+	r := rng(53)
+	for i := 0; i < 150; i++ {
+		h := r.Uint64()
+		a.AddHash(h)
+		u.AddHash(h)
+	}
+	for i := 0; i < 150; i++ {
+		h := r.Uint64()
+		b.AddHash(h)
+		u.AddHash(h)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsSparse() {
+		t.Error("sparse+sparse below break-even should stay sparse")
+	}
+	if math.Abs(a.Estimate()-u.Estimate()) > 1e-9 {
+		t.Errorf("merged estimate %.2f vs unified %.2f", a.Estimate(), u.Estimate())
+	}
+}
+
+func TestHybridMergeMixedModes(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 6}
+	sparse, _ := NewHybrid(cfg)
+	denseH, _ := NewHybrid(cfg)
+	union := MustNew(cfg)
+	r := rng(54)
+	for i := 0; i < 50; i++ {
+		h := r.Uint64()
+		sparse.AddHash(h)
+		union.AddHash(HashFromToken(TokenFromHash(h, DefaultTokenV), DefaultTokenV))
+	}
+	for i := 0; i < 5000; i++ {
+		h := r.Uint64()
+		denseH.AddHash(h)
+		union.AddHash(HashFromToken(TokenFromHash(h, DefaultTokenV), DefaultTokenV))
+	}
+	if sparse.IsSparse() == false || denseH.IsSparse() == true {
+		t.Fatal("unexpected modes")
+	}
+	if err := denseH.Merge(sparse); err != nil {
+		t.Fatal(err)
+	}
+	if string(denseH.Densify().RegisterBytes()) != string(union.RegisterBytes()) {
+		t.Error("mixed-mode merge differs from unified token stream")
+	}
+	other, _ := NewHybrid(Config{T: 2, D: 16, P: 6})
+	if err := denseH.Merge(other); err == nil {
+		t.Error("merge accepted different config")
+	}
+}
+
+func TestHybridSerializationBothModes(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 8}
+	// Sparse mode round trip.
+	h, _ := NewHybrid(cfg)
+	r := rng(55)
+	for i := 0; i < 100; i++ {
+		h.AddHash(r.Uint64())
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2 Hybrid
+	if err := h2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !h2.IsSparse() || h2.Estimate() != h.Estimate() {
+		t.Error("sparse round trip changed state")
+	}
+	// Dense mode round trip.
+	for i := 0; i < 5000; i++ {
+		h.AddHash(r.Uint64())
+	}
+	data, err = h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h3 Hybrid
+	if err := h3.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if h3.IsSparse() || h3.Estimate() != h.Estimate() {
+		t.Error("dense round trip changed state")
+	}
+	// Corrupt payloads.
+	if err := new(Hybrid).UnmarshalBinary([]byte{'X'}); err == nil {
+		t.Error("accepted bad magic")
+	}
+	if err := new(Hybrid).UnmarshalBinary([]byte{'H', 5, 2, 20, 8, 26}); err == nil {
+		t.Error("accepted unknown mode")
+	}
+	bad := append([]byte(nil), data...)
+	bad[1] = 0 // dense payload declared sparse
+	if err := new(Hybrid).UnmarshalBinary(bad); err == nil {
+		t.Error("accepted inconsistent mode")
+	}
+}
+
+func TestHybridAddString(t *testing.T) {
+	h, _ := NewHybrid(Config{T: 2, D: 20, P: 8})
+	h.AddString("a")
+	h.AddString("a")
+	h.AddString("b")
+	if got := h.Estimate(); math.Abs(got-2) > 0.1 {
+		t.Errorf("estimate %.2f, want 2", got)
+	}
+}

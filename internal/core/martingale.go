@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// EnableMartingale turns on martingale (HIP) estimation for this sketch
+// (Section 3.3, Algorithm 4). It must be called on an empty sketch: the
+// martingale estimate depends on observing every state change, so it cannot
+// be reconstructed retroactively. Martingale estimation yields a smaller
+// error (MVP 2.77 for ELL(2,16) vs 3.67 for the best ML configuration) but
+// is only valid for a single, unmerged insertion stream; Merge disables it.
+func (s *Sketch) EnableMartingale() error {
+	if !s.IsEmpty() {
+		return errNotEmpty
+	}
+	s.martingale = true
+	s.resetMartingale()
+	return nil
+}
+
+// MartingaleEnabled reports whether martingale tracking is active.
+func (s *Sketch) MartingaleEnabled() bool { return s.martingale }
+
+// EstimateMartingale returns the martingale estimate. It returns NaN if
+// martingale tracking is not (or no longer) enabled.
+func (s *Sketch) EstimateMartingale() float64 {
+	if !s.martingale {
+		return math.NaN()
+	}
+	return s.martingaleN
+}
+
+// StateChangeProbability returns the probability μ that inserting one more
+// previously unseen element changes the sketch state (equation (23)). For
+// an empty sketch μ = 1. The value is reconstructed from the exact 128-bit
+// fixed-point accumulator, so it is reproducible across insertion orders.
+func (s *Sketch) StateChangeProbability() float64 {
+	return math.Ldexp(float64(s.muHi), 0) + math.Ldexp(float64(s.muLo), -64)
+}
+
+// resetMartingale restores μ = 1 (scaled: 2^64 as hi=1, lo=0) and a zero
+// estimate.
+func (s *Sketch) resetMartingale() {
+	s.martingaleN = 0
+	s.muHi, s.muLo = 1, 0
+}
+
+var errNotEmpty = errorString("exaloglog: martingale estimation must be enabled on an empty sketch")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// noteChange implements Algorithm 4: when a register transitions from r to
+// rNew (r < rNew), the estimate grows by 1/μ and μ shrinks by
+// h(r) - h(rNew). Both h values are exact dyadic rationals scaled by 2^64
+// (see Config.hInt), so μ is maintained without accumulation drift.
+func (s *Sketch) noteChange(r, rNew uint64) {
+	s.changedCount++
+	if !s.martingale {
+		return
+	}
+	mu := math.Ldexp(float64(s.muHi), 64) + float64(s.muLo)
+	s.martingaleN += math.Ldexp(1, 64) / mu
+	delta := s.cfg.hInt(r) - s.cfg.hInt(rNew)
+	var borrow uint64
+	s.muLo, borrow = bits.Sub64(s.muLo, delta, 0)
+	s.muHi -= borrow
+}
+
+// StateChanges returns how many insertions modified the sketch state so
+// far (a diagnostic; duplicate and non-informative insertions don't count).
+func (s *Sketch) StateChanges() uint64 { return s.changedCount }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMartingaleRequiresEmptySketch(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 16, P: 4})
+	s.AddHash(12345)
+	if err := s.EnableMartingale(); err == nil {
+		t.Error("EnableMartingale accepted a non-empty sketch")
+	}
+}
+
+func TestMartingaleInitialState(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 16, P: 4})
+	if err := s.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StateChangeProbability(); got != 1 {
+		t.Errorf("initial μ = %g, want 1", got)
+	}
+	if got := s.EstimateMartingale(); got != 0 {
+		t.Errorf("initial estimate = %g, want 0", got)
+	}
+}
+
+func TestMartingaleFirstInsert(t *testing.T) {
+	// The first insertion changes the state with certainty, so the
+	// estimate becomes exactly 1.
+	s := MustNew(Config{T: 2, D: 16, P: 4})
+	if err := s.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	s.AddHash(987654321)
+	if got := s.EstimateMartingale(); got != 1 {
+		t.Errorf("estimate after first insert = %g, want exactly 1", got)
+	}
+	if mu := s.StateChangeProbability(); mu >= 1 || mu <= 0 {
+		t.Errorf("μ after first insert = %g, want in (0,1)", mu)
+	}
+}
+
+func TestMartingaleMuDecreasing(t *testing.T) {
+	s := MustNew(Config{T: 1, D: 9, P: 4})
+	if err := s.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng(21)
+	prev := 1.0
+	for i := 0; i < 2000; i++ {
+		before := s.changedCount
+		s.AddHash(r.Uint64())
+		mu := s.StateChangeProbability()
+		if s.changedCount != before {
+			if mu >= prev {
+				t.Fatalf("insert %d: μ did not decrease on state change (%.17g -> %.17g)", i, prev, mu)
+			}
+		} else if mu != prev {
+			t.Fatalf("insert %d: μ changed without state change", i)
+		}
+		if mu <= 0 {
+			t.Fatalf("insert %d: μ = %g not positive", i, mu)
+		}
+		prev = mu
+	}
+}
+
+func TestMartingaleAccuracy(t *testing.T) {
+	// Martingale estimates should track the true count well; tolerance
+	// ≈ 5x theoretical RMSE for ELL(2,16) p=8 (≈ 1.3 %).
+	s := MustNew(Config{T: 2, D: 16, P: 8})
+	if err := s.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng(22)
+	checkpoints := map[int]bool{100: true, 1000: true, 10000: true, 50000: true}
+	for n := 1; n <= 50000; n++ {
+		s.AddHash(r.Uint64())
+		if checkpoints[n] {
+			got := s.EstimateMartingale()
+			if relErr := math.Abs(got-float64(n)) / float64(n); relErr > 0.08 {
+				t.Errorf("n=%d: martingale estimate %.1f (rel err %.3f)", n, got, relErr)
+			}
+		}
+	}
+}
+
+func TestMartingaleMeanUnbiased(t *testing.T) {
+	// Average the estimate over many independent runs at fixed n; the
+	// mean must be within a few standard errors of n (unbiasedness).
+	const n = 200
+	const runs = 400
+	cfg := Config{T: 2, D: 16, P: 4}
+	sum := 0.0
+	for run := 0; run < runs; run++ {
+		s := MustNew(cfg)
+		if err := s.EnableMartingale(); err != nil {
+			t.Fatal(err)
+		}
+		r := rng(int64(run) * 7919)
+		for i := 0; i < n; i++ {
+			s.AddHash(r.Uint64())
+		}
+		sum += s.EstimateMartingale()
+	}
+	mean := sum / runs
+	// Single-run σ ≈ n·sqrt(MVP/((q+d)m)) ≈ 0.085n; mean σ = that/sqrt(runs).
+	tol := 4 * 0.085 * n / math.Sqrt(runs)
+	if math.Abs(mean-n) > tol {
+		t.Errorf("martingale mean over %d runs = %.2f, want %d ± %.2f", runs, mean, n, tol)
+	}
+}
+
+func TestMartingaleBetterThanML(t *testing.T) {
+	// Compare empirical RMSE of martingale vs ML over repeated runs; the
+	// theory (Figures 4 vs 5) says martingale has ~25 % smaller variance
+	// for ELL(2,16). With limited runs just require it not be worse by
+	// more than 20 %.
+	const n = 3000
+	const runs = 60
+	cfg := Config{T: 2, D: 16, P: 6}
+	var seMart, seML float64
+	for run := 0; run < runs; run++ {
+		s := MustNew(cfg)
+		if err := s.EnableMartingale(); err != nil {
+			t.Fatal(err)
+		}
+		r := rng(int64(run)*104729 + 1)
+		for i := 0; i < n; i++ {
+			s.AddHash(r.Uint64())
+		}
+		em := s.EstimateMartingale()/float64(n) - 1
+		el := s.EstimateML()/float64(n) - 1
+		seMart += em * em
+		seML += el * el
+	}
+	if seMart > seML*1.2 {
+		t.Errorf("martingale squared error %.6f worse than ML %.6f by more than 20%%", seMart/runs, seML/runs)
+	}
+}
+
+func TestMartingaleIgnoredWhenDisabled(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 16, P: 4})
+	s.AddHash(1)
+	if !math.IsNaN(s.EstimateMartingale()) {
+		t.Error("EstimateMartingale should be NaN when not enabled")
+	}
+}
+
+func TestStateChangesCounter(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 20, P: 4})
+	s.AddHash(42)
+	s.AddHash(42) // duplicate: no change
+	if got := s.StateChanges(); got != 1 {
+		t.Errorf("StateChanges = %d, want 1", got)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"exaloglog/internal/zeta"
+)
+
+// Coefficients holds the sufficient statistics (α, β) of the log-likelihood
+// function (15),
+//
+//	ln L = -(n/m)·α + Σ_u β_u · ln(1 - e^(-n/(m·2^u))),
+//
+// extracted from register or token states. Beta[j] stores β_{Lo+j}.
+type Coefficients struct {
+	// Alpha is α ≥ 0; the per-register contributions are exact integer
+	// multiples of 2^-(64-p) and are accumulated in 128-bit fixed point,
+	// so Alpha carries no summation error beyond one final rounding.
+	Alpha float64
+	// Beta[j] counts likelihood terms with exponent u = Lo + j.
+	Beta []int32
+	// Lo is the smallest possible exponent, t+1 for registers (v+1 for
+	// hash tokens).
+	Lo int
+}
+
+// mlCoefficients computes the coefficients of the log-likelihood function
+// (15) from the register states, following Algorithm 3. The α' accumulator
+// is α·2^(64-p) held as a 128-bit integer (hi, lo); individual
+// contributions are bounded by 2^(64-p), so the total is at most 2^64·…
+// and never overflows the pair.
+func (s *Sketch) mlCoefficients() Coefficients {
+	cfg := s.cfg
+	lo := cfg.T + 1
+	hi := 64 - cfg.P
+	beta := make([]int32, hi-lo+1)
+	var aHi, aLo uint64
+
+	m := cfg.NumRegisters()
+	for i := 0; i < m; i++ {
+		r := s.regs.Get(i)
+		u := int64(r >> uint(cfg.D))
+		var carry uint64
+		aLo, carry = bits.Add64(aLo, uint64(cfg.omegaNumerator(u))<<uint(64-cfg.P-cfg.phi(u)), 0)
+		aHi += carry
+		if u >= 1 {
+			beta[cfg.phi(u)-lo]++
+			if u >= 2 {
+				k := u - int64(cfg.D)
+				if k < 1 {
+					k = 1
+				}
+				for ; k < u; k++ {
+					j := cfg.phi(k)
+					if r&(uint64(1)<<uint(int64(cfg.D)-u+k)) == 0 {
+						aLo, carry = bits.Add64(aLo, uint64(1)<<uint(64-cfg.P-j), 0)
+						aHi += carry
+					} else {
+						beta[j-lo]++
+					}
+				}
+			}
+		}
+	}
+	alpha := math.Ldexp(float64(aHi), cfg.P) + math.Ldexp(float64(aLo), cfg.P-64)
+	return Coefficients{Alpha: alpha, Beta: beta, Lo: lo}
+}
+
+// SolveML finds the maximum-likelihood distinct-count estimate for a
+// likelihood of shape (15) with coefficients c and register count m,
+// using the Newton iteration of Algorithm 8 (Appendix A). It returns 0 if
+// all β are zero (pristine state) and +Inf if α = 0 (fully saturated
+// state, which the paper notes occurs only at entirely unrealistic
+// distinct counts).
+func SolveML(c Coefficients, m float64) float64 {
+	est, _ := SolveMLCounted(c, m)
+	return est
+}
+
+// SolveMLCounted is SolveML plus the number of Newton iterations
+// performed. Appendix A reports that the iteration count never exceeded
+// 10 in any of the paper's experiments; tests assert the same here.
+func SolveMLCounted(c Coefficients, m float64) (float64, int) {
+	sigma0 := 0.0
+	sigma1 := 0.0
+	uMin, uMax := -1, 0
+	for j, b := range c.Beta {
+		if b > 0 {
+			u := c.Lo + j
+			if uMin < 0 {
+				uMin = u
+			}
+			uMax = u
+			sigma0 += float64(b)
+			sigma1 += math.Ldexp(float64(b), -u) // β_j · 2^-j, see (27)
+		}
+	}
+	if uMin < 0 {
+		return 0, 0 // all β_j zero: the ML estimate of a pristine state
+	}
+	if c.Alpha <= 0 {
+		return math.Inf(1), 0 // all registers saturated
+	}
+	sigma1 = math.Ldexp(sigma1, uMax)
+	a2u := c.Alpha * math.Ldexp(1, uMax)
+	x := sigma1 / a2u
+	iterations := 0
+	if uMin < uMax {
+		// Lower bracket (27); guaranteed f(x0) <= 0 by Lemma B.3.
+		x = math.Expm1(math.Log1p(x) * (sigma0 / sigma1))
+		for {
+			iterations++
+			// Sum φ(x) (17) and ψ(x) (28) with the recursions
+			// (20)-(22) and (30); all quantities stay in safe ranges.
+			lambda := 1.0
+			eta := 0.0
+			y := x
+			u := uMax
+			phi := float64(c.Beta[u-c.Lo])
+			psi := 0.0
+			for {
+				u--
+				z := 2 / (2 + y)
+				lambda *= z
+				eta = eta*(2-z) + (1 - z)
+				if b := c.Beta[u-c.Lo]; b > 0 {
+					phi += float64(b) * lambda
+					psi += float64(b) * lambda * eta
+				}
+				if u <= uMin {
+					break
+				}
+				y *= y + 2
+			}
+			xp := a2u * x
+			if phi <= xp {
+				break // f(x) >= 0: converged (or numeric error floor)
+			}
+			xOld := x
+			x *= 1 + (phi-xp)/(psi+xp)
+			if x <= xOld {
+				break // numerically converged
+			}
+		}
+	}
+	return m * math.Ldexp(1, uMax) * math.Log1p(x), iterations
+}
+
+// EstimateML returns the maximum-likelihood distinct-count estimate with
+// the first-order bias correction of equation (4) applied.
+func (s *Sketch) EstimateML() float64 {
+	raw := SolveML(s.mlCoefficients(), float64(s.cfg.NumRegisters()))
+	if s.biasC == 0 {
+		// Cached lazily: Hurwitz zeta evaluation is ~100x the cost of
+		// the remaining estimation work.
+		s.biasC = s.biasCorrectionConstant()
+	}
+	return raw / (1 + s.biasC/float64(s.cfg.NumRegisters()))
+}
+
+// EstimateMLUncorrected returns the raw ML estimate without bias
+// correction (used by tests and the ablation benchmarks).
+func (s *Sketch) EstimateMLUncorrected() float64 {
+	return SolveML(s.mlCoefficients(), float64(s.cfg.NumRegisters()))
+}
+
+// Estimate returns the sketch's best distinct-count estimate: the
+// martingale estimate when martingale tracking is enabled (smaller error,
+// Section 3.3), and the bias-corrected ML estimate otherwise.
+func (s *Sketch) Estimate() float64 {
+	if s.martingale {
+		return s.martingaleN
+	}
+	return s.EstimateML()
+}
+
+// biasCorrectionConstant computes c of equation (4) with b = 2^(2^-t).
+func (s *Sketch) biasCorrectionConstant() float64 {
+	return BiasCorrectionConstant(s.cfg.T, s.cfg.D)
+}
+
+// BiasCorrectionConstant returns the constant c of the first-order ML bias
+// correction (4) for parameters (t, d), with b = 2^(2^-t). The corrected
+// estimate is n̂_ML / (1 + c/m). Exposed for the hardcoded fast-path
+// variants and estimator tooling.
+func BiasCorrectionConstant(t, d int) float64 {
+	b := math.Exp2(math.Exp2(-float64(t)))
+	y := math.Pow(b, -float64(d)) / (b - 1)
+	z2 := zeta.Hurwitz(2, 1+y)
+	z3 := zeta.Hurwitz(3, 1+y)
+	return math.Log(b) * (1 + 2*y) * z3 / (z2 * z2)
+}

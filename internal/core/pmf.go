@@ -1,0 +1,108 @@
+package core
+
+import "math"
+
+// This file implements the register probability mass function of
+// Section 3.1 and derived quantities (entropy), used by the
+// compressibility study (Section 6 / future work) and as a statistical
+// oracle in tests.
+
+// RegisterPMF returns the probability of observing register value r after
+// n distinct insertions under the Poisson approximation (Section 3.1).
+//
+// One deviation from the paper's printed formulas: Algorithm 2 leaves the
+// "phantom" occurrence bit of the empty register in place (see
+// updateRegister), so for 1 <= u <= d the bit at position d-u is always
+// set; register values violating that have probability zero. The
+// indicator bits for real update values (>= 1) follow exactly the paper's
+// product form.
+func (c Config) RegisterPMF(r uint64, n float64) float64 {
+	m := float64(c.NumRegisters())
+	if r == 0 {
+		return math.Exp(-n / m)
+	}
+	u := int64(r >> uint(c.D))
+	kmax := int64(c.MaxUpdateValue())
+	if u < 1 || u > kmax {
+		return 0
+	}
+	// Phantom bit position d-u for u <= d must be set; bits below it must
+	// be zero.
+	if u <= int64(c.D) {
+		phantom := uint64(1) << uint(int64(c.D)-u)
+		if r&phantom == 0 {
+			return 0
+		}
+		if r&(phantom-1) != 0 {
+			return 0
+		}
+	}
+	rho := func(k int64) float64 { return math.Exp2(-float64(c.phi(k))) }
+	omega := func(u int64) float64 {
+		return float64(c.omegaNumerator(u)) * math.Exp2(-float64(c.phi(u)))
+	}
+	// P(max update value = u, no larger values).
+	p := -math.Expm1(-n / m * rho(u))
+	p *= math.Exp(-n / m * omega(u))
+	// Indicator bits for values u-1 .. max(1, u-d).
+	lo := u - int64(c.D)
+	if lo < 1 {
+		lo = 1
+	}
+	for k := lo; k < u; k++ {
+		set := r&(uint64(1)<<uint(int64(c.D)-u+k)) != 0
+		q := -math.Expm1(-n / m * rho(k))
+		if set {
+			p *= q
+		} else {
+			p *= 1 - q
+		}
+	}
+	return p
+}
+
+// RegisterEntropy computes the Shannon entropy (in bits) of the register
+// distribution at distinct count n by enumerating all register values with
+// non-negligible probability. It quantifies the compression potential the
+// paper's Section 6 points to: entropy × m is the information-theoretic
+// lower bound for the state size, compared to the (6+t+d)·m dense bits.
+//
+// The enumeration is exponential in d, so this is intended for small-d
+// configurations and analysis tooling (d <= 16).
+func (c Config) RegisterEntropy(n float64) float64 {
+	if c.D > 16 {
+		panic("exaloglog: RegisterEntropy is exponential in d; use d <= 16")
+	}
+	h := 0.0
+	total := 0.0
+	add := func(p float64) {
+		total += p
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	add(c.RegisterPMF(0, n))
+	kmax := int64(c.MaxUpdateValue())
+	for u := int64(1); u <= kmax; u++ {
+		// Enumerate the free indicator bits: values u-1 .. max(1, u-d).
+		nBits := int64(c.D)
+		if u-1 < nBits {
+			nBits = u - 1
+		}
+		base := uint64(u) << uint(c.D)
+		if u <= int64(c.D) {
+			base |= uint64(1) << uint(int64(c.D)-u) // phantom bit
+		}
+		for mask := uint64(0); mask < uint64(1)<<uint(nBits); mask++ {
+			// Free bits occupy positions d-1 .. d-nBits.
+			r := base | mask<<uint(int64(c.D)-u+(u-nBits))
+			add(c.RegisterPMF(r, n))
+		}
+	}
+	// total should be ≈ 1; expose gross inconsistencies to callers by
+	// normalizing (tests assert closeness separately).
+	if total > 0 {
+		h /= total
+	}
+	return h
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRegisterPMFSumsToOne: the PMF over all reachable register values
+// must total 1 for various n (validates Section 3.1 against Algorithm 2's
+// state space, including the always-set phantom bit).
+func TestRegisterPMFSumsToOne(t *testing.T) {
+	for _, cfg := range []Config{
+		{T: 0, D: 0, P: 4},
+		{T: 0, D: 2, P: 4},
+		{T: 1, D: 3, P: 4},
+		{T: 2, D: 6, P: 2},
+	} {
+		for _, n := range []float64{1, 10, 1000, 1e6, 1e12} {
+			total := cfg.RegisterPMF(0, n)
+			kmax := int64(cfg.MaxUpdateValue())
+			for u := int64(1); u <= kmax; u++ {
+				nBits := int64(cfg.D)
+				if u-1 < nBits {
+					nBits = u - 1
+				}
+				base := uint64(u) << uint(cfg.D)
+				if u <= int64(cfg.D) {
+					base |= uint64(1) << uint(int64(cfg.D)-u)
+				}
+				for mask := uint64(0); mask < uint64(1)<<uint(nBits); mask++ {
+					r := base | mask<<uint(int64(cfg.D)-nBits)
+					total += cfg.RegisterPMF(r, n)
+				}
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Errorf("cfg %+v n=%g: ΣPMF = %.12f, want 1", cfg, n, total)
+			}
+		}
+	}
+}
+
+// TestRegisterPMFMatchesEmpirical compares the analytic PMF with observed
+// register frequencies over many simulated sketches.
+func TestRegisterPMFMatchesEmpirical(t *testing.T) {
+	cfg := Config{T: 1, D: 2, P: 4}
+	const n = 200
+	const runs = 2000
+	counts := map[uint64]int{}
+	for run := 0; run < runs; run++ {
+		s := MustNew(cfg)
+		fillRandom(s, n, int64(run)*131+7)
+		for i := 0; i < cfg.NumRegisters(); i++ {
+			counts[s.Register(i)]++
+		}
+	}
+	totalObs := float64(runs * cfg.NumRegisters())
+	// Check all register values with expected probability > 1 %.
+	checked := 0
+	for r, c := range counts {
+		pObs := float64(c) / totalObs
+		pTheory := cfg.RegisterPMF(r, n)
+		if pTheory < 0.01 {
+			continue
+		}
+		checked++
+		if math.Abs(pObs-pTheory)/pTheory > 0.1 {
+			t.Errorf("register value %#x: observed %.4f, theory %.4f", r, pObs, pTheory)
+		}
+	}
+	if checked < 5 {
+		t.Errorf("only %d register values had non-negligible probability; test too weak", checked)
+	}
+	// Impossible states (phantom bit cleared) must never be observed and
+	// must have zero probability.
+	for r := range counts {
+		if cfg.RegisterPMF(r, n) == 0 {
+			t.Errorf("observed register value %#x has zero theoretical probability", r)
+		}
+	}
+}
+
+// TestRegisterEntropyProperties: entropy is positive once the sketch can
+// be non-empty, bounded by the register width, and the dense encoding
+// leaves compression headroom (the Section 6 observation).
+func TestRegisterEntropyProperties(t *testing.T) {
+	cfg := Config{T: 0, D: 2, P: 6} // ULL
+	width := float64(cfg.RegisterWidth())
+	for _, n := range []float64{100, 10000, 1e8} {
+		h := cfg.RegisterEntropy(n)
+		if h <= 0 || h >= width {
+			t.Errorf("n=%g: entropy %.3f outside (0, %g)", n, h, width)
+		}
+	}
+	// At n around m the entropy should be far below the 8 dense bits —
+	// this is why ULL compresses well with standard algorithms.
+	if h := cfg.RegisterEntropy(64); h > 6 {
+		t.Errorf("entropy %.2f at n=m leaves too little headroom", h)
+	}
+}
+
+func TestRegisterEntropyPanicsOnLargeD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for d > 16")
+		}
+	}()
+	(Config{T: 2, D: 20, P: 4}).RegisterEntropy(100)
+}

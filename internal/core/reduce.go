@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ReduceTo returns a new sketch with parameters (t, d', p'), d' <= d and
+// p' <= p, whose state is identical to what direct recording of the same
+// elements into a sketch with the smaller parameters would have produced
+// (Algorithm 6). This losslessness is what makes ELL reducible: precision
+// can be lowered without breaking mergeability with older records.
+//
+// The t parameter cannot change; sketches with different t are fundamentally
+// incompatible (Section 4.1).
+func (s *Sketch) ReduceTo(dNew, pNew int) (*Sketch, error) {
+	cfg := s.cfg
+	if dNew > cfg.D || dNew < 0 {
+		return nil, fmt.Errorf("exaloglog: cannot reduce d from %d to %d", cfg.D, dNew)
+	}
+	if pNew > cfg.P || pNew < MinP {
+		return nil, fmt.Errorf("exaloglog: cannot reduce p from %d to %d", cfg.P, pNew)
+	}
+	out, err := New(Config{T: cfg.T, D: dNew, P: pNew})
+	if err != nil {
+		return nil, err
+	}
+
+	// a is the smallest update value whose number of leading zeros was
+	// saturated at 64-t-p in equation (9); only those update values grow
+	// when index bits are reassigned to the NLZ range.
+	a := uint64(64-cfg.T-cfg.P)<<uint(cfg.T) + 1
+	mNew := out.cfg.NumRegisters()
+	sub := 1 << uint(cfg.P-pNew)
+	for i := 0; i < mNew; i++ {
+		var rNew uint64
+		for j := 0; j < sub; j++ {
+			r := s.regs.Get(i+j*mNew) >> uint(cfg.D-dNew)
+			u := r >> uint(dNew)
+			if u >= a {
+				// The p-p' dropped index bits equal j; their leading
+				// zeros extend the NLZ at the reduced precision, raising
+				// every update value >= a of this sub-register by s.
+				leading := (cfg.P - pNew) - (64 - bits.LeadingZeros64(uint64(j)))
+				sFix := uint64(leading) << uint(cfg.T)
+				if leading > 0 {
+					// v low indicator bits refer to update values < a,
+					// which stay fixed; their offset to the grown maximum
+					// increases by s, so they shift right by s.
+					v := int64(dNew) + int64(a) - int64(u)
+					if v > 0 {
+						r = r>>uint64(v)<<uint64(v) + (r&(uint64(1)<<uint64(v)-1))>>sFix
+					}
+					r += sFix << uint(dNew)
+				}
+			}
+			rNew = MergeRegister(r, rNew, dNew)
+		}
+		out.regs.Set(i, rNew)
+	}
+	return out, nil
+}
+
+// MergeCompatible merges two sketches that share t but may differ in d and
+// p, by first reducing both to the common parameters
+// (t, min(d,d'), min(p,p')) as described in Section 4.1. It returns the
+// merged sketch; neither input is modified.
+func MergeCompatible(a, b *Sketch) (*Sketch, error) {
+	if a.cfg.T != b.cfg.T {
+		return nil, fmt.Errorf("exaloglog: cannot merge t=%d with t=%d", a.cfg.T, b.cfg.T)
+	}
+	d := a.cfg.D
+	if b.cfg.D < d {
+		d = b.cfg.D
+	}
+	p := a.cfg.P
+	if b.cfg.P < p {
+		p = b.cfg.P
+	}
+	ra, err := a.ReduceTo(d, p)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := b.ReduceTo(d, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := ra.Merge(rb); err != nil {
+		return nil, err
+	}
+	return ra, nil
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestReduceEqualsDirectRecording reproduces the paper's reducibility test
+// (Section 5): insert identical elements into sketches with different
+// configurations and check the states agree after reduction to common
+// parameters. This exercises Algorithm 6 including the NLZ-extension
+// branch for saturated update values.
+func TestReduceEqualsDirectRecording(t *testing.T) {
+	cases := []struct {
+		from Config
+		d, p int
+	}{
+		{Config{T: 2, D: 20, P: 8}, 20, 6}, // p-only reduction
+		{Config{T: 2, D: 20, P: 8}, 12, 8}, // d-only reduction
+		{Config{T: 2, D: 20, P: 8}, 8, 5},  // both
+		{Config{T: 2, D: 20, P: 6}, 0, 4},  // drop all indicator bits
+		{Config{T: 0, D: 2, P: 9}, 1, 7},   // ULL → EHLL-ish
+		{Config{T: 1, D: 9, P: 7}, 9, 3},   // deep p reduction
+		{Config{T: 0, D: 0, P: 8}, 0, 6},   // plain HLL reduction
+		{Config{T: 3, D: 5, P: 6}, 2, 4},
+	}
+	for _, c := range cases {
+		r := rng(int64(c.from.P)*1000 + int64(c.d)*10 + int64(c.p))
+		big := MustNew(c.from)
+		small := MustNew(Config{T: c.from.T, D: c.d, P: c.p})
+		for i := 0; i < 5000; i++ {
+			h := r.Uint64()
+			big.AddHash(h)
+			small.AddHash(h)
+		}
+		reduced, err := big.ReduceTo(c.d, c.p)
+		if err != nil {
+			t.Fatalf("%+v -> d=%d p=%d: %v", c.from, c.d, c.p, err)
+		}
+		if string(reduced.RegisterBytes()) != string(small.RegisterBytes()) {
+			t.Errorf("%+v -> d=%d p=%d: reduced state differs from direct recording", c.from, c.d, c.p)
+		}
+	}
+}
+
+// TestReduceSaturatedNLZ drives the NLZ-saturation branch deterministically
+// with crafted hashes whose upper bits are zero (maximal NLZ at the
+// original precision).
+func TestReduceSaturatedNLZ(t *testing.T) {
+	from := Config{T: 2, D: 8, P: 6}
+	toP := 3
+	big := MustNew(from)
+	small := MustNew(Config{T: from.T, D: from.D, P: toP})
+	// Hashes with all upper bits zero: h = index<<t | lowbits only.
+	for idx := 0; idx < from.NumRegisters(); idx++ {
+		for low := uint64(0); low < 4; low++ {
+			h := uint64(idx)<<uint(from.T) | low
+			big.AddHash(h)
+			small.AddHash(h)
+		}
+	}
+	reduced, err := big.ReduceTo(from.D, toP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reduced.RegisterBytes()) != string(small.RegisterBytes()) {
+		t.Error("saturated-NLZ reduction differs from direct recording")
+	}
+}
+
+func TestReduceIdentity(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 6}
+	s := MustNew(cfg)
+	fillRandom(s, 1000, 77)
+	same, err := s.ReduceTo(cfg.D, cfg.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(same.RegisterBytes()) != string(s.RegisterBytes()) {
+		t.Error("identity reduction changed the state")
+	}
+}
+
+func TestReduceDOnlyIsRightShift(t *testing.T) {
+	// Reducing only d right-shifts every register by d-d' bits
+	// (Section 4.2).
+	cfg := Config{T: 2, D: 20, P: 5}
+	s := MustNew(cfg)
+	fillRandom(s, 2000, 78)
+	red, err := s.ReduceTo(12, cfg.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumRegisters(); i++ {
+		if got, want := red.Register(i), s.Register(i)>>8; got != want {
+			t.Fatalf("register %d: reduced %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestReduceRejectsInvalid(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 20, P: 6})
+	if _, err := s.ReduceTo(24, 6); err == nil {
+		t.Error("accepted d increase")
+	}
+	if _, err := s.ReduceTo(20, 8); err == nil {
+		t.Error("accepted p increase")
+	}
+	if _, err := s.ReduceTo(-1, 6); err == nil {
+		t.Error("accepted negative d")
+	}
+	if _, err := s.ReduceTo(20, 1); err == nil {
+		t.Error("accepted p below MinP")
+	}
+}
+
+// TestMergeCompatible checks the migration scenario of Section 4.1:
+// sketches with equal t but different d and p merge after implicit
+// reduction, and the result equals direct recording of the union at the
+// common parameters.
+func TestMergeCompatible(t *testing.T) {
+	r := rng(80)
+	a := MustNew(Config{T: 2, D: 20, P: 8})
+	b := MustNew(Config{T: 2, D: 16, P: 6})
+	union := MustNew(Config{T: 2, D: 16, P: 6})
+	for i := 0; i < 3000; i++ {
+		h := r.Uint64()
+		a.AddHash(h)
+		union.AddHash(h)
+	}
+	for i := 0; i < 2000; i++ {
+		h := r.Uint64()
+		b.AddHash(h)
+		union.AddHash(h)
+	}
+	merged, err := MergeCompatible(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Config(); got != (Config{T: 2, D: 16, P: 6}) {
+		t.Fatalf("merged config = %+v", got)
+	}
+	if string(merged.RegisterBytes()) != string(union.RegisterBytes()) {
+		t.Error("MergeCompatible state differs from direct recording at common parameters")
+	}
+	if _, err := MergeCompatible(a, MustNew(Config{T: 1, D: 9, P: 6})); err == nil {
+		t.Error("MergeCompatible accepted different t")
+	}
+}
+
+// TestQuickReduceEquivalence drives Algorithm 6 with randomized
+// configurations, reduction targets and data, asserting the fundamental
+// reducibility property every time: reduce(record(S)) == record'(S).
+func TestQuickReduceEquivalence(t *testing.T) {
+	f := func(seed int64, tSeed, dSeed, pSeed, dNewSeed, pNewSeed uint8, nSeed uint16) bool {
+		tt := int(tSeed) % 3
+		d := int(dSeed) % 12
+		p := int(pSeed)%6 + MinP
+		from := Config{T: tt, D: d, P: p}
+		if from.Validate() != nil {
+			return true
+		}
+		dNew := 0
+		if d > 0 {
+			dNew = int(dNewSeed) % (d + 1)
+		}
+		pNew := MinP + int(pNewSeed)%(p-MinP+1)
+		n := int(nSeed)%3000 + 1
+
+		r := rng(seed)
+		big := MustNew(from)
+		small := MustNew(Config{T: tt, D: dNew, P: pNew})
+		for i := 0; i < n; i++ {
+			h := r.Uint64()
+			big.AddHash(h)
+			small.AddHash(h)
+		}
+		reduced, err := big.ReduceTo(dNew, pNew)
+		if err != nil {
+			return false
+		}
+		return string(reduced.RegisterBytes()) == string(small.RegisterBytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReduceComposition: reducing in two steps equals reducing in
+// one (the reduction operation composes).
+func TestQuickReduceComposition(t *testing.T) {
+	f := func(seed int64, nSeed uint16) bool {
+		cfg := Config{T: 2, D: 20, P: 9}
+		s := MustNew(cfg)
+		r := rng(seed)
+		n := int(nSeed)%5000 + 10
+		for i := 0; i < n; i++ {
+			s.AddHash(r.Uint64())
+		}
+		oneStep, err := s.ReduceTo(8, 4)
+		if err != nil {
+			return false
+		}
+		mid, err := s.ReduceTo(14, 6)
+		if err != nil {
+			return false
+		}
+		twoStep, err := mid.ReduceTo(8, 4)
+		if err != nil {
+			return false
+		}
+		return string(oneStep.RegisterBytes()) == string(twoStep.RegisterBytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReduceMergeCommute: reduce(merge(a,b)) == merge(reduce(a),
+// reduce(b)) — reduction is a sketch homomorphism.
+func TestQuickReduceMergeCommute(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{T: 1, D: 9, P: 7}
+		r := rng(seed)
+		a, b := MustNew(cfg), MustNew(cfg)
+		for i := 0; i < 800; i++ {
+			a.AddHash(r.Uint64())
+		}
+		for i := 0; i < 1200; i++ {
+			b.AddHash(r.Uint64())
+		}
+		merged := a.Clone()
+		if err := merged.Merge(b); err != nil {
+			return false
+		}
+		lhs, err := merged.ReduceTo(4, 4)
+		if err != nil {
+			return false
+		}
+		ra, err := a.ReduceTo(4, 4)
+		if err != nil {
+			return false
+		}
+		rb, err := b.ReduceTo(4, 4)
+		if err != nil {
+			return false
+		}
+		if err := ra.Merge(rb); err != nil {
+			return false
+		}
+		return string(lhs.RegisterBytes()) == string(ra.RegisterBytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReduceThenEstimate: the reduced sketch must still estimate well
+// (it is exactly the lower-precision recording of the same stream).
+func TestReduceThenEstimate(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 20, P: 10})
+	const n = 20000
+	fillRandom(s, n, 81)
+	red, err := s.ReduceTo(20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := red.EstimateML()
+	if got < n*0.75 || got > n*1.25 {
+		t.Errorf("reduced-sketch estimate %.0f too far from %d", got, n)
+	}
+}

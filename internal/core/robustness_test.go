@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Failure-injection tests: the estimators must stay finite, non-negative
+// and terminating on *any* register contents — including states that no
+// insertion sequence can produce (e.g. data corrupted in transit and
+// accepted by a lenient deserializer).
+
+func TestEstimatorsRobustToArbitraryRegisters(t *testing.T) {
+	cfg := Config{T: 2, D: 20, P: 4}
+	mask := uint64(1)<<cfg.RegisterWidth() - 1
+	maxReg := cfg.MaxUpdateValue()<<uint(cfg.D) | (uint64(1)<<uint(cfg.D) - 1)
+	f := func(vals [16]uint64) bool {
+		s := MustNew(cfg)
+		for i, v := range vals {
+			v &= mask
+			if v > maxReg {
+				v = maxReg // keep u within the decodable range
+			}
+			s.setRegister(i, v)
+		}
+		est := s.EstimateML()
+		return !math.IsNaN(est) && est >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolverTerminatesOnAdversarialCoefficients(t *testing.T) {
+	// Extreme β spreads and tiny α: the Newton loop must terminate and
+	// return something non-negative.
+	cases := []Coefficients{
+		{Alpha: 1e-300, Beta: []int32{1, 0, 0, 0, 0, 0, 0, 0, 0, 1}, Lo: 3},
+		{Alpha: 16, Beta: []int32{1 << 30, 0, 1 << 30}, Lo: 1},
+		{Alpha: 1e-12, Beta: []int32{1}, Lo: 60},
+		{Alpha: 0.5, Beta: []int32{0, 0, 0, 1}, Lo: 1},
+		{Alpha: 8, Beta: []int32{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9}, Lo: 2},
+	}
+	for i, c := range cases {
+		est, iters := SolveMLCounted(c, 16)
+		if math.IsNaN(est) || est < 0 {
+			t.Errorf("case %d: estimate %v", i, est)
+		}
+		if iters > 64 {
+			t.Errorf("case %d: %d iterations", i, iters)
+		}
+	}
+}
+
+func TestMergeRobustToCorruptIndicatorBits(t *testing.T) {
+	// Registers whose indicator bits violate the phantom-bit convention
+	// (possible after corruption) must still merge without panicking, and
+	// the merged max must be the max of the inputs.
+	f := func(a, b uint64) bool {
+		d := 6
+		a &= 1<<14 - 1
+		b &= 1<<14 - 1
+		merged := MergeRegister(a, b, d)
+		return merged>>uint(d) == max64(a>>uint(d), b>>uint(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateRegisterNeverDecreases(t *testing.T) {
+	// The register content is monotone under updates: the max never
+	// drops, and set indicator bits are never cleared by further updates
+	// with values <= max.
+	f := func(r uint64, k uint16) bool {
+		d := 8
+		r &= 1<<16 - 1
+		kk := uint64(k)%200 + 1
+		nr := updateRegister(r, kk, d)
+		if nr>>uint(d) < r>>uint(d) {
+			return false
+		}
+		if kk <= r>>uint(d) {
+			// No new maximum: old bits must be preserved exactly.
+			return nr|r == nr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMartingaleSurvivesSaturation(t *testing.T) {
+	// Drive a tiny sketch toward saturation with crafted maximal update
+	// values; μ must remain positive (it only reaches 0 at full
+	// saturation) and the estimate finite.
+	cfg := Config{T: 0, D: 2, P: 2}
+	s := MustNew(cfg)
+	if err := s.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumRegisters(); i++ {
+		for k := uint64(1); k <= cfg.MaxUpdateValue(); k++ {
+			s.AddPair(i, k)
+		}
+	}
+	if mu := s.StateChangeProbability(); mu != 0 {
+		t.Errorf("fully saturated sketch has μ = %g, want exactly 0", mu)
+	}
+	if est := s.EstimateMartingale(); math.IsNaN(est) || est <= 0 {
+		t.Errorf("martingale estimate %v after saturation", est)
+	}
+	if est := s.EstimateMLUncorrected(); !math.IsInf(est, 1) {
+		t.Errorf("ML estimate of saturated sketch = %v, want +Inf", est)
+	}
+}
+
+func TestDeserializedCorruptRegistersStillEstimable(t *testing.T) {
+	// Bit-flip a serialized sketch; deserialization accepts it (the
+	// payload length and header stay valid) and estimation must not
+	// panic or return NaN. (u values beyond MaxUpdateValue can appear;
+	// φ caps them at 64-p so ω stays well-defined.)
+	s := MustNew(Config{T: 2, D: 20, P: 4})
+	fillRandom(s, 1000, 3)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < (len(data)-8)*8; bit += 7 {
+		corrupt := append([]byte(nil), data...)
+		corrupt[8+bit/8] ^= 1 << uint(bit%8)
+		restored, err := FromBinary(corrupt)
+		if err != nil {
+			continue
+		}
+		est := restored.EstimateML()
+		if math.IsNaN(est) || est < 0 {
+			t.Fatalf("bit flip %d: estimate %v", bit, est)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSerializationRoundTrip(t *testing.T) {
+	for _, cfg := range testConfigs {
+		s := MustNew(cfg)
+		fillRandom(s, 1234, int64(cfg.P))
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != s.SerializedSizeBytes() {
+			t.Errorf("cfg %+v: serialized %d bytes, want %d", cfg, len(data), s.SerializedSizeBytes())
+		}
+		restored, err := FromBinary(data)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if restored.Config() != cfg {
+			t.Errorf("cfg %+v: restored config %+v", cfg, restored.Config())
+		}
+		if string(restored.RegisterBytes()) != string(s.RegisterBytes()) {
+			t.Errorf("cfg %+v: register state lost in round trip", cfg)
+		}
+		// Estimates must agree exactly.
+		if restored.EstimateML() != s.EstimateML() {
+			t.Errorf("cfg %+v: estimate changed after round trip", cfg)
+		}
+	}
+}
+
+func TestSerializationSizeAccounting(t *testing.T) {
+	// Table 2's ELL rows: serialized register arrays of 896 and 1024
+	// bytes for (t=2,d=20,p=8) and (t=2,d=24,p=8).
+	s1 := MustNew(Config{T: 2, D: 20, P: 8})
+	if got := len(s1.RegisterBytes()); got != 896 {
+		t.Errorf("ELL(2,20,8) register bytes = %d, want 896", got)
+	}
+	s2 := MustNew(Config{T: 2, D: 24, P: 8})
+	if got := len(s2.RegisterBytes()); got != 1024 {
+		t.Errorf("ELL(2,24,8) register bytes = %d, want 1024", got)
+	}
+}
+
+func TestUnmarshalRejectsCorruptData(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 20, P: 4})
+	data, _ := s.MarshalBinary()
+
+	short := data[:4]
+	if err := new(Sketch).UnmarshalBinary(short); err == nil {
+		t.Error("accepted truncated data")
+	}
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] = 'X'
+	if err := new(Sketch).UnmarshalBinary(badMagic); err == nil {
+		t.Error("accepted bad magic")
+	}
+
+	badVersion := append([]byte(nil), data...)
+	badVersion[2] = 99
+	if err := new(Sketch).UnmarshalBinary(badVersion); err == nil {
+		t.Error("accepted unknown version")
+	}
+
+	badParams := append([]byte(nil), data...)
+	badParams[5] = 1 // p below MinP
+	if err := new(Sketch).UnmarshalBinary(badParams); err == nil {
+		t.Error("accepted invalid parameters")
+	}
+
+	truncated := data[:len(data)-1]
+	if err := new(Sketch).UnmarshalBinary(truncated); err == nil {
+		t.Error("accepted truncated register array")
+	}
+}
+
+func TestUnmarshalResetsMartingale(t *testing.T) {
+	s := MustNew(Config{T: 2, D: 16, P: 4})
+	if err := s.EnableMartingale(); err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(s, 100, 1)
+	data, _ := s.MarshalBinary()
+	if err := s.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if s.MartingaleEnabled() {
+		t.Error("martingale state must not survive deserialization")
+	}
+}
+
+func TestMergeSerializedSketches(t *testing.T) {
+	// A common distributed pattern: serialize on workers, deserialize and
+	// merge on the coordinator.
+	cfg := Config{T: 2, D: 20, P: 6}
+	r := rng(90)
+	worker1, worker2, union := MustNew(cfg), MustNew(cfg), MustNew(cfg)
+	for i := 0; i < 1000; i++ {
+		h := r.Uint64()
+		worker1.AddHash(h)
+		union.AddHash(h)
+	}
+	for i := 0; i < 1500; i++ {
+		h := r.Uint64()
+		worker2.AddHash(h)
+		union.AddHash(h)
+	}
+	d1, _ := worker1.MarshalBinary()
+	d2, _ := worker2.MarshalBinary()
+	m1, err := FromBinary(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromBinary(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Merge(m2); err != nil {
+		t.Fatal(err)
+	}
+	if string(m1.RegisterBytes()) != string(union.RegisterBytes()) {
+		t.Error("serialize→merge differs from unified stream")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaloglog/internal/hashing"
+)
+
+// TestToken32MatchesTokenSet: the array-backed list must behave exactly
+// like the map-backed TokenSet at v=26 — same distinct tokens, same ML
+// estimate, same dense sketch.
+func TestToken32MatchesTokenSet(t *testing.T) {
+	tl := NewToken32List()
+	ts, err := NewTokenSet(Token32V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(5)
+	for i := 0; i < 30000; i++ {
+		h := hashing.SplitMix64(&state)
+		tl.AddHash(h)
+		ts.AddHash(h)
+		// 20 % duplicates.
+		if i%5 == 0 {
+			tl.AddHash(h)
+			ts.AddHash(h)
+		}
+	}
+	if tl.Len() != ts.Len() {
+		t.Fatalf("Len %d != TokenSet %d", tl.Len(), ts.Len())
+	}
+	want := ts.Tokens()
+	got := tl.Tokens()
+	for i := range want {
+		if uint64(got[i]) != want[i] {
+			t.Fatalf("token %d: %#x != %#x", i, got[i], want[i])
+		}
+	}
+	a, b := tl.EstimateML(), ts.EstimateML()
+	if math.Abs(a-b) > 1e-9*b {
+		t.Fatalf("EstimateML %g != TokenSet %g", a, b)
+	}
+	cfg := Config{T: 2, D: 20, P: 10}
+	sa, err := tl.ToSketch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ts.ToSketch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sa.NumRegisters(); i++ {
+		if sa.Register(i) != sb.Register(i) {
+			t.Fatalf("dense register %d differs", i)
+		}
+	}
+}
+
+// TestToken32Dedup: duplicate tokens never inflate Len, regardless of the
+// compaction schedule.
+func TestToken32Dedup(t *testing.T) {
+	err := quick.Check(func(tokens []uint32) bool {
+		tl := NewToken32List()
+		seen := make(map[uint32]struct{})
+		for _, w := range tokens {
+			w &= 1<<32 - 1
+			tl.AddToken(w)
+			tl.AddToken(w)
+			seen[w] = struct{}{}
+		}
+		return tl.Len() == len(seen)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToken32Merge(t *testing.T) {
+	a := NewToken32List()
+	b := NewToken32List()
+	union := NewToken32List()
+	state := uint64(11)
+	for i := 0; i < 5000; i++ {
+		h := hashing.SplitMix64(&state)
+		if i%2 == 0 {
+			a.AddHash(h)
+		} else {
+			b.AddHash(h)
+		}
+		union.AddHash(h)
+	}
+	a.Merge(b)
+	if a.Len() != union.Len() {
+		t.Fatalf("merged Len %d != union %d", a.Len(), union.Len())
+	}
+	ta, tu := a.Tokens(), union.Tokens()
+	for i := range tu {
+		if ta[i] != tu[i] {
+			t.Fatalf("merged token %d differs", i)
+		}
+	}
+}
+
+func TestToken32Accounting(t *testing.T) {
+	tl := NewToken32List()
+	state := uint64(3)
+	for i := 0; i < 1000; i++ {
+		tl.AddHash(hashing.SplitMix64(&state))
+	}
+	if got, want := tl.SizeBytes(), 4*tl.Len(); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+	cfg := Config{T: 2, D: 20, P: 12}
+	// Dense sketch is 14336 bytes → break-even at 3584 tokens.
+	if got := tl.DenseBreakEven(cfg); got != 3584 {
+		t.Errorf("DenseBreakEven = %d, want 3584", got)
+	}
+}
+
+func TestToken32ToSketchValidation(t *testing.T) {
+	tl := NewToken32List()
+	if _, err := tl.ToSketch(Config{T: 2, D: 20, P: 25}); err == nil {
+		t.Error("p+t > 26 accepted")
+	}
+	if _, err := tl.ToSketch(Config{T: 9, D: 20, P: 8}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestToken32ZeroValue(t *testing.T) {
+	var tl Token32List
+	if tl.Len() != 0 || tl.EstimateML() != 0 || tl.SizeBytes() != 0 {
+		t.Error("zero-value Token32List not empty")
+	}
+	tl.AddHash(42)
+	if tl.Len() != 1 {
+		t.Errorf("Len = %d after one insert", tl.Len())
+	}
+}
+
+// TestToken32EstimateAccuracy: the paper's Figure 9 shows near-exact
+// estimation for v=26 at n ≤ 1e5 (the token PMF is nearly lossless there).
+func TestToken32EstimateAccuracy(t *testing.T) {
+	tl := NewToken32List()
+	state := uint64(77)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		tl.AddHash(hashing.SplitMix64(&state))
+	}
+	est := tl.EstimateML()
+	if rel := math.Abs(est-n) / n; rel > 0.005 {
+		t.Fatalf("estimate %.0f, want ≈%d (err %.3f%%)", est, n, 100*rel)
+	}
+}
+
+// TestToken32ToTokenSetRoundTrip preserves the token multiset.
+func TestToken32ToTokenSetRoundTrip(t *testing.T) {
+	tl := NewToken32List()
+	state := uint64(13)
+	for i := 0; i < 2000; i++ {
+		tl.AddHash(hashing.SplitMix64(&state))
+	}
+	ts := tl.ToTokenSet()
+	if ts.Len() != tl.Len() {
+		t.Fatalf("round-trip Len %d != %d", ts.Len(), tl.Len())
+	}
+}
+
+func BenchmarkToken32Insert(b *testing.B) {
+	tl := NewToken32List()
+	state := uint64(1)
+	hashes := make([]uint64, 1<<16)
+	for i := range hashes {
+		hashes[i] = hashing.SplitMix64(&state)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.AddHash(hashes[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkTokenSetInsert(b *testing.B) {
+	ts, _ := NewTokenSet(Token32V)
+	state := uint64(1)
+	hashes := make([]uint64, 1<<16)
+	for i := range hashes {
+		hashes[i] = hashing.SplitMix64(&state)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.AddHash(hashes[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Token serialization: sparse-mode state must travel between nodes just
+// like dense sketches (a collector may still be below the break-even
+// point when it reports). Tokens are serialized in ascending order,
+// bit-packed at exactly v+6 bits each — the paper's sparse-mode space
+// accounting — behind a small header:
+//
+//	bytes 0-1  magic "ET"
+//	byte  2    format version (1)
+//	byte  3    v
+//	uvarint    token count
+//	packed     count·(v+6) bits, LSB-first, ascending token order
+const (
+	tokenMagic0, tokenMagic1 = 'E', 'T'
+	tokenFormatVersion       = 1
+)
+
+// MarshalBinary serializes the token set (deterministically: tokens are
+// sorted). The payload is Len()·(v+6) bits plus a few header bytes.
+func (ts *TokenSet) MarshalBinary() ([]byte, error) {
+	return marshalTokens(ts.v, ts.Tokens()), nil
+}
+
+// UnmarshalBinary restores a token set serialized by MarshalBinary (of
+// either TokenSet or Token32List), replacing the receiver's contents.
+func (ts *TokenSet) UnmarshalBinary(data []byte) error {
+	v, tokens, err := unmarshalTokens(data)
+	if err != nil {
+		return err
+	}
+	ts.v = v
+	ts.tokens = make(map[uint64]struct{}, len(tokens))
+	for _, w := range tokens {
+		ts.tokens[w] = struct{}{}
+	}
+	return nil
+}
+
+// TokenSetFromBinary constructs a token set from serialized data.
+func TokenSetFromBinary(data []byte) (*TokenSet, error) {
+	ts := &TokenSet{}
+	if err := ts.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// MarshalBinary serializes the token list in the same format as
+// TokenSet.MarshalBinary with v = 26.
+func (tl *Token32List) MarshalBinary() ([]byte, error) {
+	tl.Len()
+	tokens := make([]uint64, len(tl.buf))
+	for i, w := range tl.buf {
+		tokens[i] = uint64(w)
+	}
+	return marshalTokens(Token32V, tokens), nil
+}
+
+// UnmarshalBinary restores a token list. The serialized v must be 26.
+func (tl *Token32List) UnmarshalBinary(data []byte) error {
+	v, tokens, err := unmarshalTokens(data)
+	if err != nil {
+		return err
+	}
+	if v != Token32V {
+		return fmt.Errorf("exaloglog: token data has v=%d, Token32List needs v=%d", v, Token32V)
+	}
+	tl.buf = make([]uint32, len(tokens))
+	for i, w := range tokens {
+		tl.buf[i] = uint32(w)
+	}
+	tl.sorted = len(tl.buf)
+	return nil
+}
+
+// marshalTokens packs sorted tokens at v+6 bits each.
+func marshalTokens(v int, tokens []uint64) []byte {
+	width := uint(v + 6)
+	header := make([]byte, 4, 4+binary.MaxVarintLen64+(len(tokens)*int(width)+7)/8)
+	header[0], header[1] = tokenMagic0, tokenMagic1
+	header[2] = tokenFormatVersion
+	header[3] = byte(v)
+	out := binary.AppendUvarint(header, uint64(len(tokens)))
+	var acc byte
+	var nbits uint // bits currently buffered in acc, < 8
+	for _, w := range tokens {
+		rem := width
+		for rem > 0 {
+			take := 8 - nbits
+			if take > rem {
+				take = rem
+			}
+			acc |= byte(w&(1<<take-1)) << nbits
+			w >>= take
+			rem -= take
+			nbits += take
+			if nbits == 8 {
+				out = append(out, acc)
+				acc, nbits = 0, 0
+			}
+		}
+	}
+	if nbits > 0 {
+		out = append(out, acc)
+	}
+	return out
+}
+
+// unmarshalTokens reverses marshalTokens, validating sizes and ordering.
+func unmarshalTokens(data []byte) (v int, tokens []uint64, err error) {
+	if len(data) < 4 {
+		return 0, nil, fmt.Errorf("exaloglog: token data too short (%d bytes)", len(data))
+	}
+	if data[0] != tokenMagic0 || data[1] != tokenMagic1 {
+		return 0, nil, fmt.Errorf("exaloglog: bad token magic %q", data[:2])
+	}
+	if data[2] != tokenFormatVersion {
+		return 0, nil, fmt.Errorf("exaloglog: unsupported token format version %d", data[2])
+	}
+	v = int(data[3])
+	if v < TokenMinV || v > TokenMaxV {
+		return 0, nil, fmt.Errorf("exaloglog: token parameter v=%d out of range [%d, %d]", v, TokenMinV, TokenMaxV)
+	}
+	count, n := binary.Uvarint(data[4:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("exaloglog: bad token count varint")
+	}
+	body := data[4+n:]
+	width := uint(v + 6)
+	need := (count*uint64(width) + 7) / 8
+	if uint64(len(body)) != need {
+		return 0, nil, fmt.Errorf("exaloglog: token payload is %d bytes, want %d for %d tokens", len(body), need, count)
+	}
+	const maxTokens = 1 << 32
+	if count > maxTokens {
+		return 0, nil, fmt.Errorf("exaloglog: token count %d exceeds limit", count)
+	}
+	tokens = make([]uint64, 0, count)
+	var acc byte
+	var nbits uint // bits still unread in acc
+	pos := 0
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		var w uint64
+		var got uint
+		for got < width {
+			if nbits == 0 {
+				acc = body[pos]
+				pos++
+				nbits = 8
+			}
+			take := nbits
+			if take > width-got {
+				take = width - got
+			}
+			w |= uint64(acc&(1<<take-1)) << got
+			acc >>= take
+			nbits -= take
+			got += take
+		}
+		if i > 0 && w <= prev {
+			return 0, nil, fmt.Errorf("exaloglog: tokens not strictly ascending at index %d", i)
+		}
+		prev = w
+		tokens = append(tokens, w)
+	}
+	return v, tokens, nil
+}

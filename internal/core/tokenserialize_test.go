@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exaloglog/internal/hashing"
+)
+
+func TestTokenSetSerializationRoundTrip(t *testing.T) {
+	for _, v := range []int{1, 6, 12, 26, 40, 52, 58} {
+		ts, err := NewTokenSet(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := uint64(v)
+		for i := 0; i < 5000; i++ {
+			ts.AddHash(hashing.SplitMix64(&state))
+		}
+		data, err := ts.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := TokenSetFromBinary(data)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if back.V() != v || back.Len() != ts.Len() {
+			t.Fatalf("v=%d: round trip v=%d len=%d, want v=%d len=%d", v, back.V(), back.Len(), v, ts.Len())
+		}
+		a, b := ts.Tokens(), back.Tokens()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("v=%d: token %d differs: %#x != %#x", v, i, b[i], a[i])
+			}
+		}
+		// Payload size matches the paper's (v+6)-bit accounting plus the
+		// small header.
+		want := 4 + uvarintLen(uint64(ts.Len())) + (ts.Len()*(v+6)+7)/8
+		if len(data) != want {
+			t.Fatalf("v=%d: serialized %d bytes, want %d", v, len(data), want)
+		}
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func TestToken32ListSerializationRoundTrip(t *testing.T) {
+	tl := NewToken32List()
+	state := uint64(9)
+	for i := 0; i < 20000; i++ {
+		tl.AddHash(hashing.SplitMix64(&state))
+	}
+	data, err := tl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Token32List
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tl.Len() {
+		t.Fatalf("round trip len %d != %d", back.Len(), tl.Len())
+	}
+	a, b := tl.Tokens(), back.Tokens()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("token %d differs", i)
+		}
+	}
+	// Cross-format: a Token32List payload loads as a TokenSet with v=26.
+	ts, err := TokenSetFromBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.V() != Token32V || ts.Len() != tl.Len() {
+		t.Fatalf("cross-format v=%d len=%d", ts.V(), ts.Len())
+	}
+	// But a TokenSet payload with v != 26 must be rejected by Token32List.
+	other, _ := NewTokenSet(12)
+	other.AddHash(42)
+	odata, _ := other.MarshalBinary()
+	if err := back.UnmarshalBinary(odata); err == nil {
+		t.Error("v=12 payload accepted by Token32List")
+	}
+}
+
+func TestTokenSerializationEmpty(t *testing.T) {
+	ts, _ := NewTokenSet(26)
+	data, err := ts.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := TokenSetFromBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("empty round trip has %d tokens", back.Len())
+	}
+}
+
+func TestTokenSerializationCorrupt(t *testing.T) {
+	ts, _ := NewTokenSet(26)
+	state := uint64(2)
+	for i := 0; i < 100; i++ {
+		ts.AddHash(hashing.SplitMix64(&state))
+	}
+	good, _ := ts.MarshalBinary()
+	for name, corrupt := range map[string][]byte{
+		"empty":       {},
+		"short":       good[:3],
+		"bad magic":   append([]byte("XX"), good[2:]...),
+		"bad version": append([]byte{'E', 'T', 9}, good[3:]...),
+		"bad v":       append([]byte{'E', 'T', 1, 99}, good[4:]...),
+		"truncated":   good[:len(good)-1],
+		"extended":    append(append([]byte{}, good...), 0),
+	} {
+		if _, err := TokenSetFromBinary(corrupt); err == nil {
+			t.Errorf("%s payload accepted", name)
+		}
+	}
+	// Non-ascending payloads (forged) must be rejected: duplicate the
+	// first token by zeroing the payload.
+	forged := append([]byte{}, good...)
+	for i := 5; i < len(forged); i++ {
+		forged[i] = 0
+	}
+	if _, err := TokenSetFromBinary(forged); err == nil {
+		t.Error("non-ascending payload accepted")
+	}
+}
+
+// TestTokenSerializationQuick round-trips random token sets at random v.
+func TestTokenSerializationQuick(t *testing.T) {
+	err := quick.Check(func(hashes []uint64, vRaw uint8) bool {
+		v := int(vRaw)%(TokenMaxV-TokenMinV+1) + TokenMinV
+		ts, err := NewTokenSet(v)
+		if err != nil {
+			return false
+		}
+		for _, h := range hashes {
+			ts.AddHash(h)
+		}
+		data, err := ts.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		back, err := TokenSetFromBinary(data)
+		if err != nil {
+			return false
+		}
+		if back.Len() != ts.Len() {
+			return false
+		}
+		a, b := ts.Tokens(), back.Tokens()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTokenSerializationEstimatePreserved: estimates agree exactly after
+// a round trip (the token multiset is preserved).
+func TestTokenSerializationEstimatePreserved(t *testing.T) {
+	ts, _ := NewTokenSet(20)
+	state := uint64(4)
+	for i := 0; i < 10000; i++ {
+		ts.AddHash(hashing.SplitMix64(&state))
+	}
+	data, _ := ts.MarshalBinary()
+	back, err := TokenSetFromBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := ts.EstimateML(), back.EstimateML(); a != b {
+		t.Fatalf("estimate changed across serialization: %g != %g", a, b)
+	}
+}

@@ -1,0 +1,79 @@
+package fastell
+
+import (
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+// The ablation benchmarks quantify the effect of hardcoding t and d
+// (Section 5.3: "Hardcoding these values could potentially further improve
+// its performance"). Compare the Hardcoded benches against the Generic
+// ones at equal configuration.
+
+func benchHashes(n int) []uint64 {
+	rng := rng64(2024)
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = rng.Next()
+	}
+	return hs
+}
+
+func BenchmarkAblationHardcodedInsert2424(b *testing.B) {
+	s, _ := New2424(11)
+	hs := benchHashes(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(hs[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkAblationGenericInsert2424(b *testing.B) {
+	s := core.MustNew(core.Config{T: 2, D: 24, P: 11})
+	hs := benchHashes(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(hs[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkAblationHardcodedInsert2420(b *testing.B) {
+	s, _ := New2420(11)
+	hs := benchHashes(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(hs[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkAblationGenericInsert2420(b *testing.B) {
+	s := core.MustNew(core.Config{T: 2, D: 20, P: 11})
+	hs := benchHashes(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(hs[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkAblationHardcodedEstimate2420(b *testing.B) {
+	s, _ := New2420(11)
+	for _, h := range benchHashes(1 << 20) {
+		s.AddHash(h)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate()
+	}
+}
+
+func BenchmarkAblationGenericEstimate2420(b *testing.B) {
+	s := core.MustNew(core.Config{T: 2, D: 20, P: 11})
+	for _, h := range benchHashes(1 << 20) {
+		s.AddHash(h)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EstimateML()
+	}
+}

@@ -1,0 +1,176 @@
+package fastell
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+)
+
+// ELL2420 is a hardcoded ExaLogLog sketch with t=2, d=20: 28-bit registers
+// with two registers packed into exactly 7 bytes, the paper's most
+// space-efficient recommended configuration (MVP 3.67, Section 2.4:
+// "since two registers can be packed into exactly 7 bytes, register access
+// is not too complicated"). State semantics are identical to core.Sketch
+// with Config{T:2, D:20, P:p}.
+type ELL2420 struct {
+	p       int
+	mask    uint64 // m - 1
+	lowMask uint64 // (1 << (p+2)) - 1
+	// buf holds m/2 seven-byte groups, each packing registers 2g (low
+	// 28 bits) and 2g+1 (high 28 bits) little-endian, plus one padding
+	// byte so groups can be accessed with unconditional 8-byte loads.
+	buf   []byte
+	biasC float64
+}
+
+const (
+	d20      = 20
+	width20  = 28
+	mask28   = 1<<width20 - 1
+	mask56   = 1<<(2*width20) - 1
+	groupLen = 7
+)
+
+// New2420 returns an empty hardcoded ELL(2,20) sketch with 2^p registers.
+func New2420(p int) (*ELL2420, error) {
+	if p < core.MinP || p > core.MaxP {
+		return nil, fmt.Errorf("fastell: p=%d out of range [%d, %d]", p, core.MinP, core.MaxP)
+	}
+	m := 1 << uint(p)
+	return &ELL2420{
+		p:       p,
+		mask:    uint64(m - 1),
+		lowMask: uint64(1)<<uint(p+tParam) - 1,
+		buf:     make([]byte, m/2*groupLen+1),
+		biasC:   core.BiasCorrectionConstant(tParam, d20),
+	}, nil
+}
+
+// P returns the precision parameter.
+func (s *ELL2420) P() int { return s.p }
+
+// NumRegisters returns m = 2^p.
+func (s *ELL2420) NumRegisters() int { return int(s.mask) + 1 }
+
+// SizeBytes returns the dense register array size in bytes, m·28/8
+// (the single padding byte used for aligned loads is excluded, matching
+// the paper's space accounting).
+func (s *ELL2420) SizeBytes() int { return len(s.buf) - 1 }
+
+// Add inserts a byte-slice element using the package default hash.
+func (s *ELL2420) Add(element []byte) { s.AddHash(hashing.Wy64(element, 0)) }
+
+// AddString inserts a string element without allocating.
+func (s *ELL2420) AddString(element string) { s.AddHash(hashing.WyString(element, 0)) }
+
+// AddUint64 inserts a 64-bit integer element.
+func (s *ELL2420) AddUint64(element uint64) { s.AddHash(hashing.Wy64Uint64(element, 0)) }
+
+// register reads register i out of its 7-byte group.
+func (s *ELL2420) register(i int) uint64 {
+	base := (i >> 1) * groupLen
+	g := binary.LittleEndian.Uint64(s.buf[base:])
+	if i&1 == 0 {
+		return g & mask28
+	}
+	return g >> width20 & mask28
+}
+
+// setRegister writes register i into its 7-byte group, leaving the
+// neighboring register and the following group untouched.
+func (s *ELL2420) setRegister(i int, r uint64) {
+	base := (i >> 1) * groupLen
+	g := binary.LittleEndian.Uint64(s.buf[base:])
+	if i&1 == 0 {
+		g = g&^uint64(mask28) | r
+	} else {
+		g = g&^uint64(mask28<<width20) | r<<width20
+	}
+	binary.LittleEndian.PutUint64(s.buf[base:], g)
+}
+
+// AddHash inserts an element by its 64-bit hash (Algorithm 2 with t=2,
+// d=20 constant-folded, on the 7-byte-pair register layout).
+func (s *ELL2420) AddHash(h uint64) {
+	i := int(h >> tParam & s.mask)
+	a := h | s.lowMask
+	k := uint64(bits.LeadingZeros64(a))<<tParam + h&tMask + 1
+	r := s.register(i)
+	u := r >> d20
+	switch {
+	case k > u:
+		delta := k - u
+		s.setRegister(i, k<<d20|(1<<d20+r&(1<<d20-1))>>delta)
+	case k < u && u-k <= d20:
+		s.setRegister(i, r|1<<(d20+k-u))
+	}
+}
+
+// Merge folds other into s. Both sketches must share p.
+func (s *ELL2420) Merge(other *ELL2420) error {
+	if s.p != other.p {
+		return fmt.Errorf("fastell: cannot merge p=%d with p=%d", s.p, other.p)
+	}
+	m := s.NumRegisters()
+	for i := 0; i < m; i++ {
+		r := s.register(i)
+		if merged := core.MergeRegister(r, other.register(i), d20); merged != r {
+			s.setRegister(i, merged)
+		}
+	}
+	return nil
+}
+
+// Estimate returns the bias-corrected maximum-likelihood distinct-count
+// estimate.
+func (s *ELL2420) Estimate() float64 {
+	m := s.NumRegisters()
+	c := coefficients(s.p, d20, m, s.register)
+	raw := core.SolveML(c, float64(m))
+	return raw / (1 + s.biasC/float64(m))
+}
+
+// Reset restores the empty state.
+func (s *ELL2420) Reset() {
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+}
+
+// Register returns the raw value of register i (for tests and tooling).
+func (s *ELL2420) Register(i int) uint64 { return s.register(i) }
+
+// ToSketch converts to a generic core.Sketch with identical state.
+func (s *ELL2420) ToSketch() *core.Sketch {
+	m := s.NumRegisters()
+	vals := make([]uint64, m)
+	for i := 0; i < m; i++ {
+		vals[i] = s.register(i)
+	}
+	sk, err := core.FromRegisters(core.Config{T: tParam, D: d20, P: s.p}, vals)
+	if err != nil {
+		panic(err) // unreachable: register values are width-bounded by construction
+	}
+	return sk
+}
+
+// From2420Sketch converts a generic ELL(2,20) sketch into the hardcoded
+// representation. The input must have Config{T:2, D:20}.
+func From2420Sketch(sk *core.Sketch) (*ELL2420, error) {
+	cfg := sk.Config()
+	if cfg.T != tParam || cfg.D != d20 {
+		return nil, fmt.Errorf("fastell: sketch has config %+v, need t=2 d=20", cfg)
+	}
+	s, err := New2420(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	m := s.NumRegisters()
+	for i := 0; i < m; i++ {
+		s.setRegister(i, sk.Register(i))
+	}
+	return s, nil
+}

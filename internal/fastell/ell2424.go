@@ -1,0 +1,167 @@
+package fastell
+
+import (
+	"fmt"
+	"math/bits"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+)
+
+// ELL2424 is a hardcoded ExaLogLog sketch with t=2, d=24: one 32-bit
+// register per slot in a plain []uint32, the layout Section 2.4 recommends
+// for the fastest register access (MVP 3.78). State semantics are identical
+// to core.Sketch with Config{T:2, D:24, P:p}.
+//
+// ELL2424 is not safe for concurrent mutation; core.AtomicSketch provides
+// the CAS-based concurrent variant of the same configuration.
+type ELL2424 struct {
+	p       int
+	mask    uint64 // m - 1
+	lowMask uint64 // (1 << (p+2)) - 1, forces the index/low bits before nlz
+	regs    []uint32
+	biasC   float64
+}
+
+const d24 = 24
+
+// New2424 returns an empty hardcoded ELL(2,24) sketch with 2^p registers.
+func New2424(p int) (*ELL2424, error) {
+	if p < core.MinP || p > core.MaxP {
+		return nil, fmt.Errorf("fastell: p=%d out of range [%d, %d]", p, core.MinP, core.MaxP)
+	}
+	m := 1 << uint(p)
+	return &ELL2424{
+		p:       p,
+		mask:    uint64(m - 1),
+		lowMask: uint64(1)<<uint(p+tParam) - 1,
+		regs:    make([]uint32, m),
+		biasC:   core.BiasCorrectionConstant(tParam, d24),
+	}, nil
+}
+
+// P returns the precision parameter.
+func (s *ELL2424) P() int { return s.p }
+
+// NumRegisters returns m = 2^p.
+func (s *ELL2424) NumRegisters() int { return len(s.regs) }
+
+// SizeBytes returns the register array size in bytes (4 per register).
+func (s *ELL2424) SizeBytes() int { return 4 * len(s.regs) }
+
+// Add inserts a byte-slice element using the package default hash.
+func (s *ELL2424) Add(element []byte) { s.AddHash(hashing.Wy64(element, 0)) }
+
+// AddString inserts a string element without allocating.
+func (s *ELL2424) AddString(element string) { s.AddHash(hashing.WyString(element, 0)) }
+
+// AddUint64 inserts a 64-bit integer element.
+func (s *ELL2424) AddUint64(element uint64) { s.AddHash(hashing.Wy64Uint64(element, 0)) }
+
+// AddHash inserts an element by its 64-bit hash (Algorithm 2 with t=2,
+// d=24 constant-folded). All shifts are by compile-time constants except
+// the data-dependent delta, and the register is a single aligned uint32.
+func (s *ELL2424) AddHash(h uint64) {
+	i := h >> tParam & s.mask
+	a := h | s.lowMask
+	k := uint32(bits.LeadingZeros64(a))<<tParam + uint32(h&tMask) + 1
+	r := s.regs[i]
+	u := r >> d24
+	switch {
+	case k > u:
+		delta := k - u
+		var shifted uint32
+		if delta < 32 {
+			shifted = (1<<d24 + r&(1<<d24-1)) >> delta
+		}
+		s.regs[i] = k<<d24 | shifted
+	case k < u && u-k <= d24:
+		s.regs[i] = r | 1<<(d24+k-u)
+	}
+}
+
+// Merge folds other into s. Both sketches must share p.
+func (s *ELL2424) Merge(other *ELL2424) error {
+	if s.p != other.p {
+		return fmt.Errorf("fastell: cannot merge p=%d with p=%d", s.p, other.p)
+	}
+	for i, rp := range other.regs {
+		r := s.regs[i]
+		if merged := mergeRegister32(r, rp); merged != r {
+			s.regs[i] = merged
+		}
+	}
+	return nil
+}
+
+// mergeRegister32 is Algorithm 5 hardcoded for 32-bit registers with d=24.
+func mergeRegister32(r, rp uint32) uint32 {
+	u := r >> d24
+	up := rp >> d24
+	switch {
+	case u > up && up > 0:
+		sh := u - up
+		if sh >= 32 {
+			return r
+		}
+		return r | (1<<d24+rp&(1<<d24-1))>>sh
+	case up > u && u > 0:
+		sh := up - u
+		if sh >= 32 {
+			return rp
+		}
+		return rp | (1<<d24+r&(1<<d24-1))>>sh
+	default:
+		return r | rp
+	}
+}
+
+// Estimate returns the bias-corrected maximum-likelihood distinct-count
+// estimate (Algorithm 3 + Algorithm 8 + equation (4)).
+func (s *ELL2424) Estimate() float64 {
+	m := len(s.regs)
+	c := coefficients(s.p, d24, m, func(i int) uint64 { return uint64(s.regs[i]) })
+	raw := core.SolveML(c, float64(m))
+	return raw / (1 + s.biasC/float64(m))
+}
+
+// Reset restores the empty state.
+func (s *ELL2424) Reset() {
+	for i := range s.regs {
+		s.regs[i] = 0
+	}
+}
+
+// Register returns the raw value of register i (for tests and tooling).
+func (s *ELL2424) Register(i int) uint64 { return uint64(s.regs[i]) }
+
+// ToSketch converts to a generic core.Sketch with identical state, giving
+// access to reduction, serialization and mixed-parameter merging.
+func (s *ELL2424) ToSketch() *core.Sketch {
+	vals := make([]uint64, len(s.regs))
+	for i, r := range s.regs {
+		vals[i] = uint64(r)
+	}
+	sk, err := core.FromRegisters(core.Config{T: tParam, D: d24, P: s.p}, vals)
+	if err != nil {
+		panic(err) // unreachable: register values are width-bounded by construction
+	}
+	return sk
+}
+
+// From2424Sketch converts a generic ELL(2,24) sketch into the hardcoded
+// representation. The input must have Config{T:2, D:24}.
+func From2424Sketch(sk *core.Sketch) (*ELL2424, error) {
+	cfg := sk.Config()
+	if cfg.T != tParam || cfg.D != d24 {
+		return nil, fmt.Errorf("fastell: sketch has config %+v, need t=2 d=24", cfg)
+	}
+	s, err := New2424(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.regs {
+		s.regs[i] = uint32(sk.Register(i))
+	}
+	return s, nil
+}

@@ -1,0 +1,88 @@
+// Package fastell provides hardcoded ExaLogLog variants for the two
+// recommended t=2 configurations, ELL(2,24) and ELL(2,20).
+//
+// The generic sketch in internal/core supports arbitrary (t, d, p) and
+// therefore pays for parameterized shifts, masks and a general bit-packed
+// register array on every insertion. Section 5.3 of the paper notes that
+// "hardcoding these values could potentially further improve its
+// performance"; this package is that experiment. Both variants produce
+// bit-for-bit the same register states as the generic sketch (verified by
+// the cross-validation tests), so they can be converted losslessly with
+// ToSketch and then merged, reduced and serialized through the full API.
+//
+//   - ELL2424 stores its 32-bit registers in a plain []uint32 — the
+//     "very fast register access" layout of Section 2.4.
+//   - ELL2420 packs two 28-bit registers into exactly 7 bytes — the most
+//     space-efficient configuration (MVP 3.67) with the paper's
+//     "two registers per 7 bytes" addressing.
+//
+// The ablation benchmarks (BenchmarkAblationHardcodedInsert and friends)
+// quantify the speedup over the generic implementation.
+package fastell
+
+import (
+	"math"
+	"math/bits"
+
+	"exaloglog/internal/core"
+)
+
+// Shared constants of the t=2 configurations.
+const (
+	tParam = 2
+	// Update values for t=2: k = nlz(a)·4 + (h&3) + 1, equation (9).
+	tMask = 1<<tParam - 1
+)
+
+// phi2 is φ(k) of equation (11) hardcoded for t=2:
+// min(3 + (k-1)/4, 64-p).
+func phi2(k int64, p int) int {
+	v := 3 + (k-1)>>2
+	if cap := int64(64 - p); v > cap {
+		return int(cap)
+	}
+	return int(v)
+}
+
+// omegaNumerator2 is the numerator 2^t·(1-t+φ(u)) - u of ω(u) in equation
+// (14) for t=2, i.e. 4·(φ(u)-1) - u.
+func omegaNumerator2(u int64, p int) int64 {
+	return 4*(int64(phi2(u, p))-1) - u
+}
+
+// coefficients accumulates the log-likelihood coefficients (Algorithm 3)
+// for a t=2 sketch from a register visitor. d is the indicator-bit count,
+// p the precision; next must yield all m = 2^p register values.
+func coefficients(p, d int, m int, reg func(i int) uint64) core.Coefficients {
+	lo := tParam + 1
+	hi := 64 - p
+	beta := make([]int32, hi-lo+1)
+	var aHi, aLo uint64
+	for i := 0; i < m; i++ {
+		r := reg(i)
+		u := int64(r >> uint(d))
+		var carry uint64
+		aLo, carry = bits.Add64(aLo, uint64(omegaNumerator2(u, p))<<uint(64-p-phi2(u, p)), 0)
+		aHi += carry
+		if u >= 1 {
+			beta[phi2(u, p)-lo]++
+			if u >= 2 {
+				k := u - int64(d)
+				if k < 1 {
+					k = 1
+				}
+				for ; k < u; k++ {
+					j := phi2(k, p)
+					if r&(uint64(1)<<uint(int64(d)-u+k)) == 0 {
+						aLo, carry = bits.Add64(aLo, uint64(1)<<uint(64-p-j), 0)
+						aHi += carry
+					} else {
+						beta[j-lo]++
+					}
+				}
+			}
+		}
+	}
+	alpha := math.Ldexp(float64(aHi), p) + math.Ldexp(float64(aLo), p-64)
+	return core.Coefficients{Alpha: alpha, Beta: beta, Lo: lo}
+}

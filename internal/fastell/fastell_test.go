@@ -1,0 +1,321 @@
+package fastell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exaloglog/internal/core"
+)
+
+// newGeneric returns a generic core sketch with the given t=2 config.
+func newGeneric(t *testing.T, d, p int) *core.Sketch {
+	t.Helper()
+	s, err := core.New(core.Config{T: 2, D: d, P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestELL2424MatchesGeneric inserts the same random hash stream into the
+// hardcoded and the generic implementation and requires bit-identical
+// register states at several checkpoints.
+func TestELL2424MatchesGeneric(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 11} {
+		fast, err := New2424(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := newGeneric(t, 24, p)
+		rng := rng64(uint64(p) * 7919)
+		for n := 1; n <= 50000; n++ {
+			h := rng.Next()
+			fast.AddHash(h)
+			gen.AddHash(h)
+			if n == 1 || n == 100 || n == 5000 || n == 50000 {
+				for i := 0; i < fast.NumRegisters(); i++ {
+					if fast.Register(i) != gen.Register(i) {
+						t.Fatalf("p=%d n=%d register %d: fast=%#x generic=%#x", p, n, i, fast.Register(i), gen.Register(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestELL2420MatchesGeneric does the same for the 7-byte-pair layout.
+func TestELL2420MatchesGeneric(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 11} {
+		fast, err := New2420(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := newGeneric(t, 20, p)
+		rng := rng64(uint64(p)*7919 + 1)
+		for n := 1; n <= 50000; n++ {
+			h := rng.Next()
+			fast.AddHash(h)
+			gen.AddHash(h)
+			if n == 1 || n == 100 || n == 5000 || n == 50000 {
+				for i := 0; i < fast.NumRegisters(); i++ {
+					if fast.Register(i) != gen.Register(i) {
+						t.Fatalf("p=%d n=%d register %d: fast=%#x generic=%#x", p, n, i, fast.Register(i), gen.Register(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateMatchesGeneric checks that the hardcoded coefficient
+// extraction and solver produce the same estimate as the generic path.
+func TestEstimateMatchesGeneric(t *testing.T) {
+	fast24, _ := New2424(8)
+	fast20, _ := New2420(8)
+	gen24 := newGeneric(t, 24, 8)
+	gen20 := newGeneric(t, 20, 8)
+	rng := rng64(42)
+	for n := 1; n <= 200000; n++ {
+		h := rng.Next()
+		fast24.AddHash(h)
+		fast20.AddHash(h)
+		gen24.AddHash(h)
+		gen20.AddHash(h)
+		if n%50000 != 0 {
+			continue
+		}
+		if a, b := fast24.Estimate(), gen24.EstimateML(); math.Abs(a-b) > 1e-9*b {
+			t.Fatalf("n=%d ELL2424 estimate %g != generic %g", n, a, b)
+		}
+		if a, b := fast20.Estimate(), gen20.EstimateML(); math.Abs(a-b) > 1e-9*b {
+			t.Fatalf("n=%d ELL2420 estimate %g != generic %g", n, a, b)
+		}
+	}
+}
+
+// TestToSketchRoundTrip converts fast → generic → fast and requires
+// identical registers, and checks the generic conversion is mergeable.
+func TestToSketchRoundTrip(t *testing.T) {
+	fast, _ := New2420(6)
+	rng := rng64(7)
+	for n := 0; n < 10000; n++ {
+		fast.AddHash(rng.Next())
+	}
+	gen := fast.ToSketch()
+	back, err := From2420Sketch(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fast.NumRegisters(); i++ {
+		if fast.Register(i) != back.Register(i) {
+			t.Fatalf("round-trip register %d: %#x != %#x", i, fast.Register(i), back.Register(i))
+		}
+	}
+
+	fast24, _ := New2424(6)
+	for n := 0; n < 10000; n++ {
+		fast24.AddHash(rng.Next())
+	}
+	gen24 := fast24.ToSketch()
+	back24, err := From2424Sketch(gen24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fast24.NumRegisters(); i++ {
+		if fast24.Register(i) != back24.Register(i) {
+			t.Fatalf("round-trip register %d: %#x != %#x", i, fast24.Register(i), back24.Register(i))
+		}
+	}
+}
+
+// TestMergeEqualsUnion: merging two sketches must equal direct insertion
+// of the union stream (the paper's merge test methodology, Section 5).
+func TestMergeEqualsUnion(t *testing.T) {
+	a24, _ := New2424(7)
+	b24, _ := New2424(7)
+	u24, _ := New2424(7)
+	a20, _ := New2420(7)
+	b20, _ := New2420(7)
+	u20, _ := New2420(7)
+	rng := rng64(99)
+	for n := 0; n < 20000; n++ {
+		h := rng.Next()
+		if n%2 == 0 {
+			a24.AddHash(h)
+			a20.AddHash(h)
+		} else {
+			b24.AddHash(h)
+			b20.AddHash(h)
+		}
+		u24.AddHash(h)
+		u20.AddHash(h)
+	}
+	if err := a24.Merge(b24); err != nil {
+		t.Fatal(err)
+	}
+	if err := a20.Merge(b20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a24.NumRegisters(); i++ {
+		if a24.Register(i) != u24.Register(i) {
+			t.Fatalf("ELL2424 merge register %d: %#x != union %#x", i, a24.Register(i), u24.Register(i))
+		}
+		if a20.Register(i) != u20.Register(i) {
+			t.Fatalf("ELL2420 merge register %d: %#x != union %#x", i, a20.Register(i), u20.Register(i))
+		}
+	}
+}
+
+// TestIdempotency: re-inserting any hash never changes the state.
+func TestIdempotency(t *testing.T) {
+	cfgErr := quick.Check(func(hashes []uint64) bool {
+		s, _ := New2420(4)
+		for _, h := range hashes {
+			s.AddHash(h)
+		}
+		snapshot := make([]uint64, s.NumRegisters())
+		for i := range snapshot {
+			snapshot[i] = s.Register(i)
+		}
+		for _, h := range hashes {
+			s.AddHash(h)
+		}
+		for i := range snapshot {
+			if snapshot[i] != s.Register(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if cfgErr != nil {
+		t.Fatal(cfgErr)
+	}
+}
+
+// TestCommutativity: insertion order never matters.
+func TestCommutativity(t *testing.T) {
+	err := quick.Check(func(hashes []uint64) bool {
+		fwd, _ := New2424(4)
+		rev, _ := New2424(4)
+		for _, h := range hashes {
+			fwd.AddHash(h)
+		}
+		for i := len(hashes) - 1; i >= 0; i-- {
+			rev.AddHash(hashes[i])
+		}
+		for i := 0; i < fwd.NumRegisters(); i++ {
+			if fwd.Register(i) != rev.Register(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackedLayoutIsolation: writing one 28-bit register must never
+// disturb its pair neighbor or the adjacent group.
+func TestPackedLayoutIsolation(t *testing.T) {
+	s, _ := New2420(4)
+	m := s.NumRegisters()
+	// Set every register to a distinct recognizable value via setRegister.
+	for i := 0; i < m; i++ {
+		s.setRegister(i, uint64(i+1)<<d20|uint64(i)&(1<<d20-1))
+	}
+	for i := 0; i < m; i++ {
+		want := uint64(i+1)<<d20 | uint64(i)&(1<<d20-1)
+		if got := s.register(i); got != want {
+			t.Fatalf("register %d: got %#x want %#x", i, got, want)
+		}
+	}
+	// Overwrite register 5 and check only register 5 changed.
+	s.setRegister(5, 0xABCDE)
+	for i := 0; i < m; i++ {
+		want := uint64(i+1)<<d20 | uint64(i)&(1<<d20-1)
+		if i == 5 {
+			want = 0xABCDE
+		}
+		if got := s.register(i); got != want {
+			t.Fatalf("after write: register %d got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+// TestErrorWithinTheory: the hardcoded variants must reach the theoretical
+// estimation error band. Single run, loose 5-sigma style tolerance.
+func TestErrorWithinTheory(t *testing.T) {
+	const n = 1 << 16
+	s, _ := New2420(10)
+	rng := rng64(123456)
+	for i := 0; i < n; i++ {
+		s.AddHash(rng.Next())
+	}
+	est := s.Estimate()
+	relErr := math.Abs(est-n) / n
+	// Theoretical stderr sqrt(3.67/(28*1024)) ≈ 1.13 %; allow 5x.
+	if relErr > 0.057 {
+		t.Fatalf("relative error %.2f%% exceeds 5x theoretical stderr", 100*relErr)
+	}
+}
+
+// TestInvalidParameters covers constructor and conversion error paths.
+func TestInvalidParameters(t *testing.T) {
+	if _, err := New2424(1); err == nil {
+		t.Error("New2424(1) should fail")
+	}
+	if _, err := New2420(99); err == nil {
+		t.Error("New2420(99) should fail")
+	}
+	wrong := core.MustNew(core.Config{T: 0, D: 2, P: 6})
+	if _, err := From2424Sketch(wrong); err == nil {
+		t.Error("From2424Sketch with ULL config should fail")
+	}
+	if _, err := From2420Sketch(wrong); err == nil {
+		t.Error("From2420Sketch with ULL config should fail")
+	}
+	a, _ := New2424(4)
+	b, _ := New2424(5)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different p should fail")
+	}
+	c, _ := New2420(4)
+	d, _ := New2420(5)
+	if err := c.Merge(d); err == nil {
+		t.Error("merging different p should fail")
+	}
+}
+
+// TestReset restores the pristine state.
+func TestReset(t *testing.T) {
+	s24, _ := New2424(4)
+	s20, _ := New2420(4)
+	rng := rng64(5)
+	for i := 0; i < 1000; i++ {
+		h := rng.Next()
+		s24.AddHash(h)
+		s20.AddHash(h)
+	}
+	s24.Reset()
+	s20.Reset()
+	if got := s24.Estimate(); got != 0 {
+		t.Errorf("ELL2424 estimate after reset = %g, want 0", got)
+	}
+	if got := s20.Estimate(); got != 0 {
+		t.Errorf("ELL2420 estimate after reset = %g, want 0", got)
+	}
+}
+
+// TestSizeAccounting checks the advertised sizes.
+func TestSizeAccounting(t *testing.T) {
+	s24, _ := New2424(8)
+	if got, want := s24.SizeBytes(), 256*4; got != want {
+		t.Errorf("ELL2424 SizeBytes = %d, want %d", got, want)
+	}
+	s20, _ := New2420(8)
+	if got, want := s20.SizeBytes(), 256*28/8; got != want {
+		t.Errorf("ELL2420 SizeBytes = %d, want %d", got, want)
+	}
+}

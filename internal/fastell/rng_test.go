@@ -1,0 +1,10 @@
+package fastell
+
+import "exaloglog/internal/hashing"
+
+// rng64 is a SplitMix64 stream used to simulate hash values of distinct
+// elements in tests (the paper's Section 5.1 methodology).
+type rng64 uint64
+
+// Next advances the stream and returns the next pseudo-random hash.
+func (r *rng64) Next() uint64 { return hashing.SplitMix64((*uint64)(r)) }

@@ -1,0 +1,222 @@
+// Package geomell implements the generalized sketch of Section 2 with
+// exactly geometrically distributed update values (equation (2)) — the
+// design ExaLogLog deliberately rejects in favour of the approximated
+// distribution (8).
+//
+// The paper's Section 2.2 argues the exact geometric distribution has two
+// practical problems for b ≠ 2: generating update values needs
+// floating-point work (or table searches) instead of a few branch-free
+// CPU instructions, and ML estimation loses the power-of-two structure
+// that collapses the likelihood to the small equation (15). This package
+// exists to validate both claims empirically (see the ablation benchmarks
+// and tests): its estimation error matches ELL's at the corresponding
+// parameters (b = 2^(2^-t)), while insertion is measurably slower and
+// estimation needs a generic bisection solver.
+package geomell
+
+import (
+	"fmt"
+	"math"
+
+	"exaloglog/internal/bitpack"
+)
+
+// Sketch is a generalized (b, d, p) sketch with geometric update values.
+type Sketch struct {
+	b    float64
+	d, p int
+	// q is the number of bits for the maximum update value; kmax the
+	// largest representable update value (saturating).
+	q    int
+	kmax uint64
+	regs *bitpack.Array
+	// invLogB caches -1/ln(b) for the update-value transform.
+	invLogB float64
+
+	// Martingale estimation state (always enabled; the martingale
+	// estimator is distribution-agnostic and exact).
+	estimate float64
+	mu       float64
+}
+
+// New creates an empty sketch. b must be in (1, 4]; q is chosen so that
+// the operating range matches ELL's exa-scale support: b^(2^q) >= 2^64.
+func New(b float64, d, p int) (*Sketch, error) {
+	if b <= 1 || b > 4 {
+		return nil, fmt.Errorf("geomell: base %g out of (1, 4]", b)
+	}
+	if p < 2 || p > 20 {
+		return nil, fmt.Errorf("geomell: p=%d out of [2, 20]", p)
+	}
+	if d < 0 || d > 40 {
+		return nil, fmt.Errorf("geomell: d=%d out of [0, 40]", d)
+	}
+	// Update values needed to cover 64-bit hashing: k up to
+	// 64/log2(b); q bits must hold it.
+	kmax := uint64(math.Ceil(64/math.Log2(b))) + 1
+	q := 0
+	for uint64(1)<<uint(q) <= kmax {
+		q++
+	}
+	if q+d > bitpack.MaxWidth {
+		return nil, fmt.Errorf("geomell: register width %d exceeds %d", q+d, bitpack.MaxWidth)
+	}
+	return &Sketch{
+		b:       b,
+		d:       d,
+		p:       p,
+		q:       q,
+		kmax:    kmax,
+		regs:    bitpack.New(1<<uint(p), uint(q+d)),
+		invLogB: -1 / math.Log(b),
+		mu:      1,
+	}, nil
+}
+
+// NumRegisters returns 2^p.
+func (s *Sketch) NumRegisters() int { return 1 << uint(s.p) }
+
+// RegisterWidth returns q+d bits.
+func (s *Sketch) RegisterWidth() int { return s.q + s.d }
+
+// rho returns ρ(k) = (b-1)·b^-k with the last value absorbing the tail.
+func (s *Sketch) rho(k uint64) float64 {
+	if k < s.kmax {
+		return (s.b - 1) * math.Pow(s.b, -float64(k))
+	}
+	return math.Pow(s.b, -float64(s.kmax-1)) // tail mass
+}
+
+// omega returns ω(u) = Σ_{k>u} ρ(k) = b^-u (exactly, by the geometric
+// telescoping).
+func (s *Sketch) omega(u uint64) float64 {
+	if u >= s.kmax {
+		return 0
+	}
+	return math.Pow(s.b, -float64(u))
+}
+
+// updateValue transforms a uniform hash into a geometric update value:
+// K = ceil(-log_b(1-u)) for u ∈ [0,1). This is the floating-point path
+// the paper's Section 2.2 describes (and replaces with equation (8)).
+func (s *Sketch) updateValue(h uint64) uint64 {
+	// Use the hash bits above the register index as a uniform (0, 1].
+	u := (float64(h>>uint(s.p)>>11) + 1) / float64(uint64(1)<<uint(53-s.p))
+	k := uint64(math.Ceil(math.Log(u) * s.invLogB))
+	if k < 1 {
+		k = 1
+	}
+	if k > s.kmax {
+		k = s.kmax
+	}
+	return k
+}
+
+// AddHash inserts an element by its 64-bit hash.
+func (s *Sketch) AddHash(h uint64) {
+	idx := int(h & (uint64(1)<<uint(s.p) - 1))
+	k := s.updateValue(h)
+	r := s.regs.Get(idx)
+	u := r >> uint(s.d)
+	var rNew uint64
+	if k > u {
+		rNew = k<<uint(s.d) | (uint64(1)<<uint(s.d)+r&(uint64(1)<<uint(s.d)-1))>>(k-u)
+	} else if k < u && int64(s.d)+int64(k)-int64(u) >= 0 {
+		rNew = r | uint64(1)<<uint(int64(s.d)+int64(k)-int64(u))
+	} else {
+		return
+	}
+	if rNew == r {
+		return
+	}
+	// Martingale update (Algorithm 4 with the geometric ρ).
+	s.estimate += 1 / s.mu
+	s.mu -= s.hReg(r) - s.hReg(rNew)
+	s.regs.Set(idx, rNew)
+}
+
+// hReg is the probability that register value r changes with the next new
+// element, times m (i.e. the per-register term of equation (23)).
+func (s *Sketch) hReg(r uint64) float64 {
+	u := r >> uint(s.d)
+	m := float64(s.NumRegisters())
+	h := s.omega(u)
+	lo := int64(u) - int64(s.d)
+	if lo < 1 {
+		lo = 1
+	}
+	for k := lo; k < int64(u); k++ {
+		if r&(uint64(1)<<uint(int64(s.d)-int64(u)+k)) == 0 {
+			h += s.rho(uint64(k))
+		}
+	}
+	return h / m
+}
+
+// EstimateMartingale returns the (unbiased, single-stream) martingale
+// estimate.
+func (s *Sketch) EstimateMartingale() float64 { return s.estimate }
+
+// EstimateML maximizes the Poisson likelihood by bisection on the score
+// function. Unlike ELL's equation (15) the terms have arbitrary real
+// exponents — the generic, slower path the paper avoids by design.
+func (s *Sketch) EstimateML() float64 {
+	m := float64(s.NumRegisters())
+	type term struct {
+		rate  float64
+		count int32
+	}
+	// Collect seen/unseen statistics per update value.
+	seen := map[uint64]int32{}
+	var alpha float64 // Σ over unseen mass: ω(u) + unset indicators
+	empty := true
+	for i := 0; i < s.NumRegisters(); i++ {
+		r := s.regs.Get(i)
+		u := r >> uint(s.d)
+		alpha += s.omega(u)
+		if u == 0 {
+			continue
+		}
+		empty = false
+		seen[u]++
+		lo := int64(u) - int64(s.d)
+		if lo < 1 {
+			lo = 1
+		}
+		for k := lo; k < int64(u); k++ {
+			if r&(uint64(1)<<uint(int64(s.d)-int64(u)+k)) != 0 {
+				seen[uint64(k)]++
+			} else {
+				alpha += s.rho(uint64(k))
+			}
+		}
+	}
+	if empty {
+		return 0
+	}
+	terms := make([]term, 0, len(seen))
+	for k, c := range seen {
+		terms = append(terms, term{rate: s.rho(k) / m, count: c})
+	}
+	score := func(n float64) float64 {
+		v := -alpha / m
+		for _, t := range terms {
+			en := math.Exp(-n * t.rate)
+			v += float64(t.count) * t.rate * en / (1 - en)
+		}
+		return v
+	}
+	lo, hi := 1e-9, 1.0
+	for score(hi) > 0 && hi < 1e30 {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if score(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,176 @@
+package geomell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+	"exaloglog/internal/mvp"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1.0, 2, 8); err == nil {
+		t.Error("accepted b=1")
+	}
+	if _, err := New(8, 2, 8); err == nil {
+		t.Error("accepted b=8")
+	}
+	if _, err := New(2, -1, 8); err == nil {
+		t.Error("accepted d=-1")
+	}
+	if _, err := New(2, 2, 1); err == nil {
+		t.Error("accepted p=1")
+	}
+	s, err := New(math.Pow(2, 0.25), 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegisters() != 256 {
+		t.Errorf("m = %d", s.NumRegisters())
+	}
+	// kmax must cover the 64-bit hash range: b^kmax >= 2^64.
+	if float64(s.kmax)*math.Log2(s.b) < 64 {
+		t.Errorf("kmax %d too small for exa-scale at b=%g", s.kmax, s.b)
+	}
+}
+
+func TestGeometricUpdateValueDistribution(t *testing.T) {
+	s, _ := New(math.Pow(2, 0.25), 20, 4)
+	r := rng(1)
+	const samples = 1 << 17
+	counts := map[uint64]int{}
+	for i := 0; i < samples; i++ {
+		counts[s.updateValue(r.Uint64())]++
+	}
+	// P(K=k) = (b-1)·b^-k for the first several k.
+	for k := uint64(1); k <= 12; k++ {
+		want := float64(samples) * (s.b - 1) * math.Pow(s.b, -float64(k))
+		got := float64(counts[k])
+		if math.Abs(got-want) > 5*math.Sqrt(want)+5 {
+			t.Errorf("k=%d: got %.0f, want ≈%.0f", k, got, want)
+		}
+	}
+}
+
+func TestIdempotentCommutative(t *testing.T) {
+	b := math.Sqrt2
+	hashes := make([]uint64, 1000)
+	r := rng(2)
+	for i := range hashes {
+		hashes[i] = r.Uint64()
+	}
+	x, _ := New(b, 9, 6)
+	for _, h := range hashes {
+		x.AddHash(h)
+		x.AddHash(h)
+	}
+	y, _ := New(b, 9, 6)
+	r.Shuffle(len(hashes), func(i, j int) { hashes[i], hashes[j] = hashes[j], hashes[i] })
+	for _, h := range hashes {
+		y.AddHash(h)
+	}
+	for i := 0; i < x.NumRegisters(); i++ {
+		if x.regs.Get(i) != y.regs.Get(i) {
+			t.Fatalf("register %d differs", i)
+		}
+	}
+	// Martingale estimates agree on identical multisets only in
+	// expectation, not pathwise; just check both are sane.
+	for _, est := range []float64{x.EstimateMartingale(), y.EstimateMartingale()} {
+		if math.Abs(est-1000)/1000 > 0.3 {
+			t.Errorf("martingale estimate %.0f", est)
+		}
+	}
+}
+
+func TestEstimationAccuracy(t *testing.T) {
+	s, _ := New(math.Pow(2, 0.25), 20, 8)
+	state := uint64(3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.AddHash(hashing.SplitMix64(&state))
+	}
+	for name, est := range map[string]float64{
+		"ML":         s.EstimateML(),
+		"martingale": s.EstimateMartingale(),
+	} {
+		if relErr := math.Abs(est-n) / n; relErr > 0.12 {
+			t.Errorf("%s estimate %.0f (rel err %.3f)", name, est, relErr)
+		}
+	}
+}
+
+// TestErrorMatchesELL is the ablation the paper's Section 2.4 assumption
+// rests on: the geometric sketch at b = 2^(2^-t) and the ExaLogLog sketch
+// at parameter t have (statistically) the same estimation error, because
+// distribution (8) approximates (2) chunk-exactly. We compare the
+// empirical martingale RMSE of both over matched runs.
+func TestErrorMatchesELL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const runs = 80
+	const n = 20000
+	const p = 6
+	var geomSE, ellSE float64
+	for run := 0; run < runs; run++ {
+		g, err := New(math.Pow(2, 0.25), 16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := core.MustNew(core.Config{T: 2, D: 16, P: p})
+		if err := e.EnableMartingale(); err != nil {
+			t.Fatal(err)
+		}
+		state := uint64(run)*0x100000001b3 + 17
+		for i := 0; i < n; i++ {
+			h := hashing.SplitMix64(&state)
+			g.AddHash(h)
+			e.AddHash(hashing.Mix64(h)) // decorrelate streams
+		}
+		ge := g.EstimateMartingale()/n - 1
+		ee := e.EstimateMartingale()/n - 1
+		geomSE += ge * ge
+		ellSE += ee * ee
+	}
+	geomRMSE := math.Sqrt(geomSE / runs)
+	ellRMSE := math.Sqrt(ellSE / runs)
+	theory := mvp.TheoreticalRMSE(2, 16, p, true)
+	// Both must match the common theoretical prediction within the
+	// 80-run resolution (≈ ±32 % at 4σ).
+	for name, got := range map[string]float64{"geometric": geomRMSE, "ELL": ellRMSE} {
+		if math.Abs(got-theory)/theory > 0.32 {
+			t.Errorf("%s RMSE %.4f vs theory %.4f", name, got, theory)
+		}
+	}
+	if r := geomRMSE / ellRMSE; r < 0.7 || r > 1.4 {
+		t.Errorf("geometric/ELL RMSE ratio %.2f; distributions should be statistically equivalent", r)
+	}
+}
+
+func TestOmegaTelescopes(t *testing.T) {
+	s, _ := New(math.Sqrt2, 9, 4)
+	for u := uint64(0); u < 30; u++ {
+		direct := 0.0
+		for k := u + 1; k <= s.kmax; k++ {
+			direct += s.rho(k)
+		}
+		if math.Abs(direct-s.omega(u)) > 1e-9 {
+			t.Errorf("ω(%d): closed %.12f direct %.12f", u, s.omega(u), direct)
+		}
+	}
+}
+
+func TestEmptyEstimate(t *testing.T) {
+	s, _ := New(math.Sqrt2, 9, 4)
+	if got := s.EstimateML(); got != 0 {
+		t.Errorf("empty ML estimate %g", got)
+	}
+	if got := s.EstimateMartingale(); got != 0 {
+		t.Errorf("empty martingale estimate %g", got)
+	}
+}

@@ -1,0 +1,202 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestWy64Deterministic(t *testing.T) {
+	data := []byte("exaloglog")
+	if Wy64(data, 1) != Wy64(data, 1) {
+		t.Fatal("Wy64 not deterministic")
+	}
+	if Wy64(data, 1) == Wy64(data, 2) {
+		t.Fatal("Wy64 ignores the seed")
+	}
+}
+
+func TestWy64LengthSensitivity(t *testing.T) {
+	// Hashes of all prefixes of a buffer must be pairwise distinct; a
+	// length-mixing bug would collapse some of them.
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i * 37)
+	}
+	seen := map[uint64]int{}
+	for n := 0; n <= len(buf); n++ {
+		h := Wy64(buf[:n], 0)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("prefix lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func TestWyStringMatchesWy64(t *testing.T) {
+	cases := []string{"", "a", "ab", "abc", "abcd", "abcdefg", "abcdefgh",
+		"abcdefghi", "0123456789abcdef", "0123456789abcdef0123456789abcdefX"}
+	for _, s := range cases {
+		if WyString(s, 99) != Wy64([]byte(s), 99) {
+			t.Errorf("WyString(%q) != Wy64 of the same bytes", s)
+		}
+	}
+}
+
+func TestWy64Uint64Distinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Wy64Uint64(i, 0)
+		if seen[h] {
+			t.Fatalf("collision at input %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the canonical C implementation.
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 4096; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+	if Mix64(0) != 0 {
+		// SplitMix64's finalizer maps 0 to 0; record that as a known fact
+		// so accidental constant changes are caught.
+		t.Fatalf("Mix64(0) = %#x, want 0", Mix64(0))
+	}
+}
+
+func TestMurmur3KnownVectors(t *testing.T) {
+	// Vectors cross-checked against the reference MurmurHash3_x64_128.
+	cases := []struct {
+		in   string
+		seed uint64
+		h1   uint64
+	}{
+		{"", 0, 0x0000000000000000},
+		{"a", 0, 0x85555565f6597889},
+		{"ab", 0, 0x938b11ea16ed1b2e},
+		{"hello", 0, 0xcbd8a7b341bd9b02},
+		{"hello, world", 0, 0x342fac623a5ebc8e},
+		{"The quick brown fox jumps over the lazy dog", 0, 0xe34bbc7bbc071b6c},
+	}
+	for _, c := range cases {
+		h1, _ := Murmur3_128([]byte(c.in), c.seed)
+		if h1 != c.h1 {
+			t.Errorf("Murmur3_128(%q, %d) h1 = %#016x, want %#016x", c.in, c.seed, h1, c.h1)
+		}
+	}
+}
+
+func TestMurmur3TailLengths(t *testing.T) {
+	// All tail lengths 0..31 must hash distinctly and deterministically.
+	buf := make([]byte, 32)
+	for i := range buf {
+		buf[i] = byte(i + 1)
+	}
+	seen := map[uint64]int{}
+	for n := 0; n <= len(buf); n++ {
+		h1, h2 := Murmur3_128(buf[:n], 7)
+		g1, g2 := Murmur3_128(buf[:n], 7)
+		if h1 != g1 || h2 != g2 {
+			t.Fatalf("length %d: not deterministic", n)
+		}
+		if prev, dup := seen[h1]; dup {
+			t.Fatalf("lengths %d and %d collide on h1", prev, n)
+		}
+		seen[h1] = n
+	}
+}
+
+func TestUniformityOfLeadingBits(t *testing.T) {
+	// The sketches consume the hash's leading bits as a register index;
+	// verify rough uniformity over 16 buckets with a chi-squared bound.
+	const buckets = 16
+	const samples = 1 << 16
+	var counts [buckets]int
+	var buf [8]byte
+	for i := 0; i < samples; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		h := Wy64(buf[:], 0)
+		counts[h>>60]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.99th percentile ≈ 44. Anything near that
+	// indicates a real bias for a deterministic input set.
+	if chi2 > 60 {
+		t.Fatalf("leading-bit chi-squared %.1f too large; counts=%v", chi2, counts)
+	}
+}
+
+func TestLeadingZeroGeometric(t *testing.T) {
+	// nlz of the hash drives the update-value distribution; check the
+	// geometric(1/2) shape for the first few values.
+	const samples = 1 << 18
+	var counts [20]int
+	for i := 0; i < samples; i++ {
+		h := Mix64(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		nlz := 0
+		for h&(1<<63) == 0 && nlz < 19 {
+			nlz++
+			h <<= 1
+		}
+		counts[nlz]++
+	}
+	for k := 0; k < 8; k++ {
+		want := float64(samples) * math.Pow(0.5, float64(k+1))
+		got := float64(counts[k])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("nlz=%d: got %.0f, want ≈%.0f", k, got, want)
+		}
+	}
+}
+
+func BenchmarkWy64_16B(b *testing.B) {
+	data := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		_ = Wy64(data, uint64(i))
+	}
+}
+
+func BenchmarkMurmur3_16B(b *testing.B) {
+	data := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(data, uint64(i))
+		h1, _ := Murmur3_128(data, 0)
+		_ = h1
+	}
+}
+
+func ExampleWyString() {
+	fmt.Println(WyString("hello", 0) == WyString("hello", 0))
+	// Output: true
+}

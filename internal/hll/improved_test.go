@@ -1,0 +1,100 @@
+package hll
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSigmaTauBasics(t *testing.T) {
+	if !math.IsInf(sigma(1), 1) {
+		t.Error("σ(1) must be +Inf")
+	}
+	if sigma(0) != 0 {
+		t.Errorf("σ(0) = %g", sigma(0))
+	}
+	// σ(x) >= x and is increasing.
+	prev := 0.0
+	for x := 0.05; x < 1; x += 0.05 {
+		v := sigma(x)
+		if v < x {
+			t.Errorf("σ(%g) = %g < x", x, v)
+		}
+		if v <= prev {
+			t.Errorf("σ not increasing at %g", x)
+		}
+		prev = v
+	}
+	if tau(0) != 0 || tau(1) != 0 {
+		t.Error("τ must vanish at 0 and 1")
+	}
+	for x := 0.1; x < 1; x += 0.1 {
+		if v := tau(x); v < 0 || v > 1 {
+			t.Errorf("τ(%g) = %g out of range", x, v)
+		}
+	}
+}
+
+func TestImprovedEstimatorAccuracy(t *testing.T) {
+	// Accurate across five orders of magnitude with one code path — no
+	// range-switch needed.
+	for _, n := range []int{10, 100, 1000, 10000, 300000} {
+		s, _ := NewDense6(10)
+		r := rng(int64(n) * 3)
+		for i := 0; i < n; i++ {
+			s.AddHash(r.Uint64())
+		}
+		got := s.EstimateImproved()
+		if relErr := math.Abs(got-float64(n)) / float64(n); relErr > 0.17 {
+			t.Errorf("n=%d: improved estimate %.1f (rel err %.3f)", n, got, relErr)
+		}
+	}
+	s, _ := NewDense6(8)
+	if got := s.EstimateImproved(); got != 0 {
+		t.Errorf("empty sketch: %g", got)
+	}
+}
+
+// TestImprovedSmoothAtTransition: the original estimator switches hard
+// from linear counting at n ≈ 2.5m, creating the error spike the paper
+// attributes to HLLL (Figure 10). The improved estimator has no switch;
+// verify it beats the original exactly in that region.
+func TestImprovedSmoothAtTransition(t *testing.T) {
+	const p = 10
+	m := 1 << p
+	n := int(2.5 * float64(m)) // the transition point
+	const runs = 80
+	var seRaw, seImp float64
+	for run := 0; run < runs; run++ {
+		s, _ := NewDense6(p)
+		r := rng(int64(run)*37 + 11)
+		for i := 0; i < n; i++ {
+			s.AddHash(r.Uint64())
+		}
+		er := s.Estimate()/float64(n) - 1
+		ei := s.EstimateImproved()/float64(n) - 1
+		seRaw += er * er
+		seImp += ei * ei
+	}
+	if seImp >= seRaw {
+		t.Errorf("improved MSE %.6f not below original %.6f at the transition region",
+			seImp/runs, seRaw/runs)
+	}
+}
+
+func TestImprovedOnAllLayouts(t *testing.T) {
+	r := rng(13)
+	s6, _ := NewDense6(8)
+	s8, _ := NewDense8(8)
+	s4, _ := NewDense4(8)
+	for i := 0; i < 20000; i++ {
+		h := r.Uint64()
+		s6.AddHash(h)
+		s8.AddHash(h)
+		s4.AddHash(h)
+	}
+	// Identical registers → identical estimates.
+	e6, e8, e4 := s6.EstimateImproved(), s8.EstimateImproved(), s4.EstimateImproved()
+	if e6 != e8 || e6 != e4 {
+		t.Errorf("layouts disagree: %.3f %.3f %.3f", e6, e8, e4)
+	}
+}

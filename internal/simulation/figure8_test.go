@@ -1,0 +1,95 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/mvp"
+)
+
+// TestFigure8GridTheoryAgreement validates the central claim of Figure 8
+// over the full configuration grid the paper plots: for every
+// (t,d) ∈ {(1,9),(2,16),(2,20),(2,24)} and p ∈ {4,6,8,10}, the empirical
+// RMSE of both estimators at a mid-range distinct count matches the
+// theoretical sqrt(MVP/((q+d)·m)) within the resolution of the run count,
+// and the bias is negligible. The fast waiting-time path is exercised for
+// every cell (direct limit 2000 << n).
+func TestFigure8GridTheoryAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical grid test")
+	}
+	const runs = 120
+	const n = 1e7
+	cps := []float64{n}
+	for _, cd := range []struct{ t, d int }{{1, 9}, {2, 16}, {2, 20}, {2, 24}} {
+		for _, p := range []int{4, 6, 8, 10} {
+			cfg := core.Config{T: cd.t, D: cd.d, P: p}
+			var ml, mart ErrorStats
+			for run := 0; run < runs; run++ {
+				seed := uint64(run)*0x9e3779b97f4a7c15 + uint64(p)<<40 + uint64(cd.d)<<32 + 7
+				res := RunELL(cfg, cps, 2000, seed, true)
+				ml.Add(res[0].ML, n)
+				mart.Add(res[0].Martingale, n)
+			}
+			thML := mvp.TheoreticalRMSE(cd.t, cd.d, p, false)
+			thMart := mvp.TheoreticalRMSE(cd.t, cd.d, p, true)
+			// χ² resolution: sd(RMSE estimate) ≈ RMSE/sqrt(2·runs) ≈ 6.5 %;
+			// allow 4σ ≈ 26 %.
+			if got := ml.RMSE(); math.Abs(got-thML)/thML > 0.26 {
+				t.Errorf("(t=%d,d=%d,p=%d): ML RMSE %.4f vs theory %.4f", cd.t, cd.d, p, got, thML)
+			}
+			if got := mart.RMSE(); math.Abs(got-thMart)/thMart > 0.26 {
+				t.Errorf("(t=%d,d=%d,p=%d): martingale RMSE %.4f vs theory %.4f", cd.t, cd.d, p, got, thMart)
+			}
+			if bias := math.Abs(ml.Bias()); bias > thML/2 {
+				t.Errorf("(t=%d,d=%d,p=%d): ML bias %.4f vs RMSE %.4f", cd.t, cd.d, p, bias, thML)
+			}
+			// Martingale must not be worse than ML (Figure 5 vs Figure 4).
+			if mart.RMSE() > ml.RMSE()*1.15 {
+				t.Errorf("(t=%d,d=%d,p=%d): martingale %.4f worse than ML %.4f", cd.t, cd.d, p, mart.RMSE(), ml.RMSE())
+			}
+		}
+	}
+}
+
+// TestFigure8SmallRangeErrorTiny: the paper notes the error is far below
+// the asymptote for small n. At n=1 it is dominated by the (tiny)
+// single-register reconstruction granularity; at n=10 it is still below
+// the asymptotic value.
+func TestFigure8SmallRangeErrorTiny(t *testing.T) {
+	cfg := core.Config{T: 2, D: 20, P: 8}
+	var at1, at10 ErrorStats
+	for run := 0; run < 200; run++ {
+		res := RunELL(cfg, []float64{1, 10}, 1e6, uint64(run)*13+5, false)
+		at1.Add(res[0].ML, 1)
+		at10.Add(res[1].ML, 10)
+	}
+	asymptote := mvp.TheoreticalRMSE(2, 20, 8, false)
+	if got := at1.RMSE(); got > asymptote/5 {
+		t.Errorf("RMSE at n=1 is %.4f, want far below the asymptote %.4f", got, asymptote)
+	}
+	if got := at10.RMSE(); got > asymptote {
+		t.Errorf("RMSE at n=10 is %.4f, want below the asymptote %.4f", got, asymptote)
+	}
+}
+
+// TestFigure8ExaScaleErrorDips: the paper observes the error decreases
+// slightly at the end of the operating range (~2·10^19). Verify the RMSE
+// near the top of the range does not exceed the mid-range value.
+func TestFigure8ExaScaleErrorDips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	cfg := core.Config{T: 2, D: 20, P: 6}
+	var mid, top ErrorStats
+	cps := []float64{1e12, 5e18}
+	for run := 0; run < 150; run++ {
+		res := RunELL(cfg, cps, 1000, uint64(run)*29+3, false)
+		mid.Add(res[0].ML, res[0].N)
+		top.Add(res[1].ML, res[1].N)
+	}
+	if top.RMSE() > mid.RMSE()*1.1 {
+		t.Errorf("RMSE at 5e18 (%.4f) should not exceed mid-range (%.4f)", top.RMSE(), mid.RMSE())
+	}
+}

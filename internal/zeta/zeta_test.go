@@ -1,0 +1,122 @@
+package zeta
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestHurwitzKnownValues(t *testing.T) {
+	cases := []struct {
+		s, a, want float64
+	}{
+		{2, 1, math.Pi * math.Pi / 6},     // ζ(2) = π²/6
+		{2, 2, math.Pi*math.Pi/6 - 1},     // ζ(2,2)
+		{2, 0.5, math.Pi * math.Pi / 2},   // ζ(2,1/2) = π²/2
+		{2, 1.5, math.Pi*math.Pi/2 - 4},   // ζ(2,3/2)
+		{3, 1, 1.2020569031595942854},     // Apéry's constant
+		{3, 2, 1.2020569031595942854 - 1}, // ζ(3,2)
+		{4, 1, math.Pow(math.Pi, 4) / 90}, // ζ(4)
+		// ψ'(5/4) = ψ'(1/4) − 16 with ψ'(1/4) = π² + 8G (G: Catalan).
+		{2, 1.25, math.Pi*math.Pi + 8*0.915965594177219015 - 16},
+	}
+	for _, c := range cases {
+		got := Hurwitz(c.s, c.a)
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Hurwitz(%g, %g) = %.15f, want %.15f", c.s, c.a, got, c.want)
+		}
+	}
+}
+
+func TestHurwitzRecurrence(t *testing.T) {
+	// ζ(s, a) = ζ(s, a+1) + a^{-s}
+	for _, s := range []float64{2, 2.5, 3} {
+		for _, a := range []float64{0.25, 0.5, 1, 1.1652, 1.5, 2, 3.7} {
+			lhs := Hurwitz(s, a)
+			rhs := Hurwitz(s, a+1) + math.Pow(a, -s)
+			if !almostEqual(lhs, rhs, 1e-12) {
+				t.Errorf("recurrence fails at s=%g a=%g: %.15f vs %.15f", s, a, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestHurwitzMonotonicInA(t *testing.T) {
+	prev := math.Inf(1)
+	for a := 0.1; a < 5; a += 0.1 {
+		v := Hurwitz(2, a)
+		if v >= prev {
+			t.Fatalf("Hurwitz(2, a) not strictly decreasing at a=%g", a)
+		}
+		prev = v
+	}
+}
+
+func TestHurwitzPanics(t *testing.T) {
+	for _, c := range []struct{ s, a float64 }{{1, 1}, {0.5, 1}, {2, 0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Hurwitz(%g,%g) did not panic", c.s, c.a)
+				}
+			}()
+			Hurwitz(c.s, c.a)
+		}()
+	}
+}
+
+func TestIntegrateBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 2 }, 0, 3, 6},
+		{"linear", func(x float64) float64 { return x }, 0, 1, 0.5},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 2, 8.0 / 3},
+		{"sin", math.Sin, 0, math.Pi, 2},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+		{"reciprocal", func(x float64) float64 { return 1 / x }, 1, math.E, 1},
+	}
+	for _, c := range cases {
+		got := Integrate(c.f, c.a, c.b, 1e-12)
+		if !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("%s: Integrate = %.12f, want %.12f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompressedIntegralProperties(t *testing.T) {
+	// I(y) is positive and strictly decreasing in y (larger y damps the
+	// integrand by z^y on (0,1)).
+	prev := math.Inf(1)
+	for _, y := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2} {
+		v := CompressedIntegral(y)
+		if v <= 0 {
+			t.Fatalf("I(%g) = %g, want > 0", y, v)
+		}
+		if v >= prev {
+			t.Fatalf("I(y) not decreasing at y=%g", y)
+		}
+		prev = v
+	}
+}
+
+func TestCompressedIntegralHLLMartingaleLimit(t *testing.T) {
+	// Equation (7) at HLL parameters (b=2, d=0 → y=1) gives an MVP of
+	// ≈ 1.98, and the paper's theoretical limit as y→0 is 1.63. Both pin
+	// down I(1) and I(0⁺) well enough for a regression check.
+	mvp7 := func(y float64) float64 {
+		return (1 + (1+y)*CompressedIntegral(y)) / (2 * math.Ln2)
+	}
+	if got := mvp7(1); !almostEqual(got, 1.98, 0.02) {
+		t.Errorf("compressed martingale MVP at y=1: got %.4f, want ≈1.98", got)
+	}
+	if got := mvp7(1e-9); !almostEqual(got, 1.63, 0.02) {
+		t.Errorf("compressed martingale MVP at y→0: got %.4f, want ≈1.63 (theoretical limit)", got)
+	}
+}

@@ -1,0 +1,104 @@
+package exaloglog_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"exaloglog"
+)
+
+// These tests exercise the newer public surface strictly through the
+// exaloglog package, the way a downstream user would.
+
+func TestPublicEstimateWithBounds(t *testing.T) {
+	s := exaloglog.New(10)
+	for i := 0; i < 50000; i++ {
+		s.AddUint64(uint64(i))
+	}
+	iv, err := s.EstimateWithBounds(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(iv.Lower < 50000 && 50000 < iv.Upper) {
+		t.Errorf("95%% interval [%f, %f] misses the truth", iv.Lower, iv.Upper)
+	}
+	if iv.Confidence != 0.95 {
+		t.Errorf("Confidence = %v", iv.Confidence)
+	}
+	if s.RelativeStandardError() <= 0 {
+		t.Error("RelativeStandardError not positive")
+	}
+}
+
+func TestPublicToken32List(t *testing.T) {
+	list := exaloglog.NewToken32List()
+	for i := 0; i < 5000; i++ {
+		list.AddHash(hash64(uint64(i)))
+	}
+	if rel := math.Abs(list.EstimateML()-5000) / 5000; rel > 0.02 {
+		t.Errorf("token estimate off by %.1f%%", 100*rel)
+	}
+	// Serialization through the public constructor.
+	data, err := list.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := exaloglog.TokenSetFromBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != list.Len() {
+		t.Errorf("round trip %d tokens, want %d", ts.Len(), list.Len())
+	}
+	// Densify and keep counting.
+	sketch, err := list.ToSketch(exaloglog.Config{T: 2, D: 20, P: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(sketch.Estimate()-5000) / 5000; rel > 0.03 {
+		t.Errorf("densified estimate off by %.1f%%", 100*rel)
+	}
+}
+
+// hash64 is a stand-in for a user's hash function.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func TestPublicTokenSetSerialization(t *testing.T) {
+	ts, err := exaloglog.NewTokenSet(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		ts.AddHash(hash64(uint64(i)))
+	}
+	data, err := ts.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := exaloglog.TokenSetFromBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EstimateML() != ts.EstimateML() {
+		t.Error("estimate changed across public serialization round trip")
+	}
+}
+
+func ExampleSketch_EstimateWithBounds() {
+	s := exaloglog.New(12)
+	for i := 0; i < 100000; i++ {
+		s.AddUint64(uint64(i))
+	}
+	iv, _ := s.EstimateWithBounds(0.95)
+	fmt.Printf("truth inside 95%% interval: %v\n", iv.Lower <= 100000 && 100000 <= iv.Upper)
+	// Output:
+	// truth inside 95% interval: true
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"bufio"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// ErrNoSuchKey is returned (wrapped) when a command addresses a missing
+// key; test with errors.Is.
+var ErrNoSuchKey = errors.New("no such key")
+
+// Client is a minimal client for the sketch server protocol. It is safe
+// for sequential use only; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a sketch server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(conn, 64*1024)
+	return &Client{conn: conn, r: r}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}
+
+// Do sends one command line and returns the raw reply without its type
+// sigil. Protocol errors come back as Go errors.
+func (c *Client) Do(parts ...string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, strings.Join(parts, " ")); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return "", errors.New("server: empty reply")
+	}
+	switch line[0] {
+	case '+', ':', '=':
+		return line[1:], nil
+	case '-':
+		msg := strings.TrimPrefix(line[1:], "ERR ")
+		if msg == ErrNoSuchKey.Error() {
+			return "", fmt.Errorf("server: %w", ErrNoSuchKey)
+		}
+		return "", errors.New(msg)
+	default:
+		return "", fmt.Errorf("server: malformed reply %q", line)
+	}
+}
+
+// PFAdd inserts elements into key; it reports whether the sketch changed.
+func (c *Client) PFAdd(key string, elements ...string) (bool, error) {
+	reply, err := c.Do(append([]string{"PFADD", key}, elements...)...)
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// PFCount returns the estimated distinct count of the union of keys.
+func (c *Client) PFCount(keys ...string) (int64, error) {
+	reply, err := c.Do(append([]string{"PFCOUNT"}, keys...)...)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// PFMerge stores the union of the sources at dest.
+func (c *Client) PFMerge(dest string, sources ...string) error {
+	_, err := c.Do(append([]string{"PFMERGE", dest}, sources...)...)
+	return err
+}
+
+// Del removes a key; it reports whether the key existed.
+func (c *Client) Del(key string) (bool, error) {
+	reply, err := c.Do("DEL", key)
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// Keys lists all keys.
+func (c *Client) Keys() ([]string, error) {
+	reply, err := c.Do("KEYS")
+	if err != nil {
+		return nil, err
+	}
+	if reply == "" {
+		return nil, nil
+	}
+	return strings.Fields(reply), nil
+}
+
+// Dump returns the serialized sketch at key.
+func (c *Client) Dump(key string) ([]byte, error) {
+	reply, err := c.Do("DUMP", key)
+	if err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(reply)
+}
+
+// Restore replaces the sketch at key with serialized sketch data.
+func (c *Client) Restore(key string, data []byte) error {
+	_, err := c.Do("RESTORE", key, base64.StdEncoding.EncodeToString(data))
+	return err
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	reply, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if reply != "PONG" {
+		return fmt.Errorf("server: unexpected ping reply %q", reply)
+	}
+	return nil
+}

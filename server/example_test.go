@@ -1,0 +1,38 @@
+package server_test
+
+import (
+	"fmt"
+
+	"exaloglog"
+	"exaloglog/server"
+)
+
+// Run an in-process sketch service and talk to it with the client.
+func ExampleServer() {
+	store, err := server.NewStore(exaloglog.Config{T: 2, D: 20, P: 12})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.NewServer(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	c, err := server.Dial(srv.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	if _, err := c.PFAdd("visits", "alice", "bob", "alice"); err != nil {
+		panic(err)
+	}
+	n, err := c.PFCount("visits")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distinct visitors:", n)
+	// Output:
+	// distinct visitors: 2
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"exaloglog/internal/core"
+)
+
+// MultiClient talks to a fleet of sketch servers as one logical store:
+// writes are routed to a shard by key hash, and distinct-count queries
+// merge the per-shard sketches client-side — the cross-node aggregation
+// pattern that sketch mergeability (paper Section 1) exists for. Because
+// the union happens on serialized sketches, a key may also legitimately
+// exist on several shards (e.g. regional writers); Count still returns
+// the exact union estimate.
+//
+// A MultiClient is safe for sequential use only.
+type MultiClient struct {
+	clients []*Client
+}
+
+// DialMulti connects to all the given servers.
+func DialMulti(addrs ...string) (*MultiClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("server: DialMulti needs at least one address")
+	}
+	mc := &MultiClient{}
+	for _, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			mc.Close()
+			return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+		}
+		mc.clients = append(mc.clients, c)
+	}
+	return mc, nil
+}
+
+// Close terminates all connections.
+func (mc *MultiClient) Close() error {
+	var first error
+	for _, c := range mc.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NumShards returns the number of connected servers.
+func (mc *MultiClient) NumShards() int { return len(mc.clients) }
+
+// shardFor routes a key to a shard by FNV-1a hash.
+func (mc *MultiClient) shardFor(key string) *Client {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return mc.clients[int(h.Sum32())%len(mc.clients)]
+}
+
+// PFAdd inserts elements into key on its home shard.
+func (mc *MultiClient) PFAdd(key string, elements ...string) (bool, error) {
+	return mc.shardFor(key).PFAdd(key, elements...)
+}
+
+// PFCount estimates the distinct count of the union of the given keys
+// across all shards: every shard's sketch for every key is fetched with
+// DUMP and merged locally. Missing keys contribute nothing.
+func (mc *MultiClient) PFCount(keys ...string) (float64, error) {
+	var acc *core.Sketch
+	for _, c := range mc.clients {
+		for _, key := range keys {
+			blob, err := c.Dump(key)
+			if err != nil {
+				if errors.Is(err, ErrNoSuchKey) {
+					continue
+				}
+				return 0, err
+			}
+			sk, err := core.FromBinary(blob)
+			if err != nil {
+				return 0, err
+			}
+			if acc == nil {
+				acc = sk
+				continue
+			}
+			merged, err := core.MergeCompatible(acc, sk)
+			if err != nil {
+				return 0, err
+			}
+			acc = merged
+		}
+	}
+	if acc == nil {
+		return 0, nil
+	}
+	return acc.Estimate(), nil
+}
+
+// Keys returns the union of all shards' keys, sorted and deduplicated.
+func (mc *MultiClient) Keys() ([]string, error) {
+	seen := make(map[string]struct{})
+	for _, c := range mc.clients {
+		keys, err := c.Keys()
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			seen[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Ping checks liveness of every shard.
+func (mc *MultiClient) Ping() error {
+	for i, c := range mc.clients {
+		if err := c.Ping(); err != nil {
+			return fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+// startFleet brings up n servers and a MultiClient over them.
+func startFleet(t *testing.T, n int) *MultiClient {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		store, err := NewStore(core.RecommendedML(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(store)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	mc, err := DialMulti(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mc.Close() })
+	return mc
+}
+
+func TestMultiClientSharding(t *testing.T) {
+	mc := startFleet(t, 3)
+	if mc.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", mc.NumShards())
+	}
+	if err := mc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Many keys land on different shards but every key remains countable.
+	for k := 0; k < 30; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		if _, err := mc.PFAdd(key, "a", "b", "c"); err != nil {
+			t.Fatal(err)
+		}
+		n, err := mc.PFCount(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(n-3) > 0.2 {
+			t.Errorf("key %s count %g, want 3", key, n)
+		}
+	}
+	keys, err := mc.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 30 {
+		t.Errorf("Keys = %d entries, want 30", len(keys))
+	}
+}
+
+// TestMultiClientCrossShardUnion: the same logical key written on every
+// shard directly (simulating regional writers) still unions exactly.
+func TestMultiClientCrossShardUnion(t *testing.T) {
+	// Build three independent servers and write overlapping element sets
+	// to the SAME key on each, bypassing the router.
+	addrs := make([]string, 3)
+	direct := make([]*Client, 3)
+	for i := range addrs {
+		store, err := NewStore(core.RecommendedML(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(store)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		direct[i] = c
+	}
+	// Region i sees users [i·5000, i·5000+10000): pairwise overlaps.
+	for i, c := range direct {
+		batch := make([]string, 0, 500)
+		for u := i * 5000; u < i*5000+10000; u++ {
+			batch = append(batch, fmt.Sprintf("user-%d", u))
+			if len(batch) == 500 {
+				if _, err := c.PFAdd("visitors", batch...); err != nil {
+					t.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	mc, err := DialMulti(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	got, err := mc.PFCount("visitors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20000.0 // users [0, 20000)
+	if rel := math.Abs(got-want) / want; rel > 0.03 {
+		t.Errorf("cross-shard union %.0f, want ≈%.0f", got, want)
+	}
+}
+
+func TestMultiClientMissingKeys(t *testing.T) {
+	mc := startFleet(t, 2)
+	n, err := mc.PFCount("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("missing key count %g", n)
+	}
+}
+
+func TestErrNoSuchKeySentinel(t *testing.T) {
+	_, c := startServer(t)
+	_, err := c.Dump("nope")
+	if !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("Dump error %v does not wrap ErrNoSuchKey", err)
+	}
+}
+
+func TestDialMultiValidation(t *testing.T) {
+	if _, err := DialMulti(); err == nil {
+		t.Error("empty address list accepted")
+	}
+	if _, err := DialMulti("127.0.0.1:1"); err == nil {
+		t.Error("unreachable address accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server serves the sketch store over TCP with a line-oriented protocol.
+// Commands (case-insensitive verbs, space-separated tokens; elements must
+// not contain whitespace):
+//
+//	PFADD key element [element ...]   → :1 if the state changed, :0 if not
+//	PFCOUNT key [key ...]             → :<rounded union distinct count>
+//	PFMERGE dest src [src ...]        → +OK
+//	DEL key                           → :1 if the key existed, :0 if not
+//	KEYS                              → +<space-separated sorted keys>
+//	INFO key                          → +t=.. d=.. p=.. bytes=.. estimate=..
+//	DUMP key                          → =<base64 of the serialized sketch>
+//	RESTORE key <base64>              → +OK
+//	SAVE                              → +OK (snapshot to the configured path)
+//	PING                              → +PONG
+//	QUIT                              → +BYE and the connection closes
+//
+// Errors are reported as "-ERR <message>".
+type Server struct {
+	store        *Store
+	snapshotPath string
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server wrapping the given store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// SetSnapshotPath enables the SAVE command, writing snapshots to path.
+// Call before Listen.
+func (s *Server) SetSnapshotPath(path string) { s.snapshotPath = path }
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:7700";
+// port 0 picks a free port). It returns once the listener is bound; use
+// Addr for the chosen address and Close to shut down.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the listener, closes all connections and waits for the
+// connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // RESTORE payloads
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		reply, quit := s.dispatch(line)
+		w.WriteString(reply)
+		w.WriteByte('\n')
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command line and returns the reply (without
+// newline) and whether the connection should close.
+func (s *Server) dispatch(line string) (reply string, quit bool) {
+	fields := strings.Fields(line)
+	verb := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch verb {
+	case "PFADD":
+		if len(args) < 2 {
+			return "-ERR PFADD needs a key and at least one element", false
+		}
+		if s.store.Add(args[0], args[1:]...) {
+			return ":1", false
+		}
+		return ":0", false
+	case "PFCOUNT":
+		if len(args) < 1 {
+			return "-ERR PFCOUNT needs at least one key", false
+		}
+		n, err := s.store.Count(args...)
+		if err != nil {
+			return "-ERR " + err.Error(), false
+		}
+		return fmt.Sprintf(":%d", int64(n+0.5)), false
+	case "PFMERGE":
+		if len(args) < 2 {
+			return "-ERR PFMERGE needs a destination and at least one source", false
+		}
+		if err := s.store.Merge(args[0], args[1:]...); err != nil {
+			return "-ERR " + err.Error(), false
+		}
+		return "+OK", false
+	case "DEL":
+		if len(args) != 1 {
+			return "-ERR DEL needs exactly one key", false
+		}
+		if s.store.Delete(args[0]) {
+			return ":1", false
+		}
+		return ":0", false
+	case "KEYS":
+		return "+" + strings.Join(s.store.Keys(), " "), false
+	case "INFO":
+		if len(args) != 1 {
+			return "-ERR INFO needs exactly one key", false
+		}
+		info, ok := s.store.Info(args[0])
+		if !ok {
+			return "-ERR no such key", false
+		}
+		return "+" + info, false
+	case "DUMP":
+		if len(args) != 1 {
+			return "-ERR DUMP needs exactly one key", false
+		}
+		data, ok := s.store.Dump(args[0])
+		if !ok {
+			return "-ERR no such key", false
+		}
+		return "=" + base64.StdEncoding.EncodeToString(data), false
+	case "RESTORE":
+		if len(args) != 2 {
+			return "-ERR RESTORE needs a key and a base64 payload", false
+		}
+		data, err := base64.StdEncoding.DecodeString(args[1])
+		if err != nil {
+			return "-ERR bad base64: " + err.Error(), false
+		}
+		if err := s.store.Restore(args[0], data); err != nil {
+			return "-ERR " + err.Error(), false
+		}
+		return "+OK", false
+	case "SAVE":
+		if s.snapshotPath == "" {
+			return "-ERR no snapshot path configured", false
+		}
+		if err := s.store.SaveFile(s.snapshotPath); err != nil {
+			return "-ERR " + err.Error(), false
+		}
+		return "+OK", false
+	case "PING":
+		return "+PONG", false
+	case "QUIT":
+		return "+BYE", true
+	default:
+		return "-ERR unknown command " + verb, false
+	}
+}
+
+// Serve is a convenience for binaries: listen on addr and block until ctx
+// is cancelled, then shut down.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	return s.Close()
+}

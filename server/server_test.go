@@ -1,0 +1,315 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	store, err := NewStore(core.RecommendedML(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestPingAndUnknown(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("BOGUS"); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestPFAddCount(t *testing.T) {
+	_, c := startServer(t)
+	changed, err := c.PFAdd("visits", "alice", "bob", "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Error("first PFADD reported no change")
+	}
+	changed, err = c.PFAdd("visits", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("duplicate PFADD reported a change")
+	}
+	n, err := c.PFCount("visits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("PFCOUNT = %d, want 3", n)
+	}
+}
+
+func TestPFCountAccuracy(t *testing.T) {
+	_, c := startServer(t)
+	const n = 20000
+	batch := make([]string, 0, 500)
+	for i := 0; i < n; i++ {
+		batch = append(batch, fmt.Sprintf("user-%d", i))
+		if len(batch) == 500 {
+			if _, err := c.PFAdd("big", batch...); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	got, err := c.PFCount("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(got)-n) / n; rel > 0.05 {
+		t.Errorf("PFCOUNT = %d, want ≈%d (err %.1f%%)", got, n, 100*rel)
+	}
+}
+
+func TestPFCountUnion(t *testing.T) {
+	_, c := startServer(t)
+	// a = {x, y}, b = {y, z}: union = 3.
+	if _, err := c.PFAdd("a", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PFAdd("b", "y", "z"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.PFCount("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("union PFCOUNT = %d, want 3", n)
+	}
+	// Missing keys contribute nothing.
+	n, err = c.PFCount("a", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("PFCOUNT with missing key = %d, want 2", n)
+	}
+}
+
+func TestPFMerge(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.PFAdd("mon", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PFAdd("tue", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PFMerge("week", "mon", "tue"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.PFCount("week")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("merged PFCOUNT = %d, want 3", n)
+	}
+	// Merging into an existing destination accumulates.
+	if _, err := c.PFAdd("wed", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PFMerge("week", "wed"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.PFCount("week"); n != 4 {
+		t.Errorf("accumulated PFCOUNT = %d, want 4", n)
+	}
+}
+
+func TestDelKeysInfo(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.PFAdd("k1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PFAdd("k2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "k1" || keys[1] != "k2" {
+		t.Errorf("KEYS = %v", keys)
+	}
+	info, err := c.Do("INFO", "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == "" {
+		t.Error("empty INFO")
+	}
+	existed, err := c.Del("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed {
+		t.Error("DEL of existing key returned 0")
+	}
+	existed, err = c.Del("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existed {
+		t.Error("DEL of missing key returned 1")
+	}
+	if _, err := c.Do("INFO", "k1"); err == nil {
+		t.Error("INFO of deleted key succeeded")
+	}
+}
+
+func TestDumpRestore(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.PFAdd("orig", "a", "b", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Dump("orig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore("copy", data); err != nil {
+		t.Fatal(err)
+	}
+	nOrig, _ := c.PFCount("orig")
+	nCopy, _ := c.PFCount("copy")
+	if nOrig != nCopy {
+		t.Errorf("restored count %d != original %d", nCopy, nOrig)
+	}
+	if _, err := c.Dump("missing"); err == nil {
+		t.Error("DUMP of missing key succeeded")
+	}
+	if err := c.Restore("bad", []byte("garbage")); err == nil {
+		t.Error("RESTORE of garbage succeeded")
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	_, c := startServer(t)
+	for _, cmd := range [][]string{
+		{"PFADD", "key"},
+		{"PFCOUNT"},
+		{"PFMERGE", "dest"},
+		{"DEL"},
+		{"DEL", "a", "b"},
+		{"INFO"},
+		{"DUMP"},
+		{"RESTORE", "key"},
+		{"RESTORE", "key", "!!notbase64!!"},
+	} {
+		if _, err := c.Do(cmd...); err == nil {
+			t.Errorf("command %v accepted", cmd)
+		}
+	}
+}
+
+// TestConcurrentClients exercises the store's locking: many clients adding
+// to the same and different keys simultaneously.
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t)
+	const (
+		clients = 8
+		perC    = 2000
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perC; i += 100 {
+				batch := make([]string, 0, 100)
+				for j := 0; j < 100; j++ {
+					batch = append(batch, fmt.Sprintf("c%d-e%d", ci, i+j))
+				}
+				if _, err := c.PFAdd("shared", batch...); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.PFAdd(fmt.Sprintf("own-%d", ci), batch...); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := float64(clients * perC)
+	got, err := c.PFCount("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(got)-want) / want; rel > 0.05 {
+		t.Errorf("shared PFCOUNT = %d, want ≈%.0f", got, want)
+	}
+	// Union across per-client keys equals the shared key's content.
+	keys := []string{"shared"}
+	for ci := 0; ci < clients; ci++ {
+		keys = append(keys, fmt.Sprintf("own-%d", ci))
+	}
+	gotUnion, err := c.PFCount(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotUnion != got {
+		t.Errorf("union over identical content %d != %d", gotUnion, got)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	_, c := startServer(t)
+	reply, err := c.Do("QUIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "BYE" {
+		t.Errorf("QUIT reply %q", reply)
+	}
+	if _, err := c.Do("PING"); err == nil {
+		t.Error("connection still alive after QUIT")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := NewStore(core.Config{T: 99}); err == nil {
+		t.Error("invalid store config accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"exaloglog/internal/core"
+)
+
+// Snapshot persistence: the whole store serializes to a compact binary
+// stream — a magic header followed by (key, sketch-blob) records — so a
+// sketch service can restart without losing its counters. Sketch blobs
+// are the plain MarshalBinary form (Section 5.3: serialization is a
+// header plus the dense register array, so snapshots are cheap).
+//
+// Format:
+//
+//	bytes 0-3  magic "ELSS"
+//	byte  4    version (1)
+//	uvarint    number of records
+//	per record:
+//	  uvarint  key length, then the key bytes
+//	  uvarint  blob length, then the sketch blob
+const (
+	snapshotMagic   = "ELSS"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes all sketches to w. Keys are written in sorted
+// order so snapshots of equal stores are byte-identical.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(s.sketches))
+	for k := range s.sketches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		blob, err := s.sketches[k].MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(k))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot replaces the store's contents with the snapshot from r.
+// On error the store is left unchanged.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	header := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return fmt.Errorf("server: snapshot header: %w", err)
+	}
+	if string(header[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("server: bad snapshot magic %q", header[:len(snapshotMagic)])
+	}
+	if header[len(snapshotMagic)] != snapshotVersion {
+		return fmt.Errorf("server: unsupported snapshot version %d", header[len(snapshotMagic)])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("server: snapshot record count: %w", err)
+	}
+	const maxRecords = 1 << 24
+	if count > maxRecords {
+		return fmt.Errorf("server: snapshot claims %d records (limit %d)", count, maxRecords)
+	}
+	loaded := make(map[string]*core.Sketch, count)
+	for i := uint64(0); i < count; i++ {
+		key, err := readBlob(br, 1<<16)
+		if err != nil {
+			return fmt.Errorf("server: snapshot record %d key: %w", i, err)
+		}
+		blob, err := readBlob(br, 1<<30)
+		if err != nil {
+			return fmt.Errorf("server: snapshot record %d blob: %w", i, err)
+		}
+		sk, err := core.FromBinary(blob)
+		if err != nil {
+			return fmt.Errorf("server: snapshot record %d (%q): %w", i, key, err)
+		}
+		loaded[string(key)] = sk
+	}
+	s.mu.Lock()
+	s.sketches = loaded
+	s.mu.Unlock()
+	return nil
+}
+
+// readBlob reads a uvarint-length-prefixed byte string with a size cap.
+func readBlob(br *bufio.Reader, limit uint64) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, fmt.Errorf("length %d exceeds limit %d", n, limit)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SaveFile writes a snapshot atomically: to a temp file in the same
+// directory, then rename.
+func (s *Store) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".elss-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile replaces the store's contents with the snapshot at path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.ReadSnapshot(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

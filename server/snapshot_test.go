@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+func populatedStore(t *testing.T, keys int) *Store {
+	t.Helper()
+	st, err := NewStore(core.RecommendedML(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		for e := 0; e < 100*(k+1); e++ {
+			st.Add(key, fmt.Sprintf("el-%d-%d", k, e))
+		}
+	}
+	return st
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := populatedStore(t, 5)
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewStore(core.RecommendedML(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored %d keys, want %d", restored.Len(), orig.Len())
+	}
+	for _, key := range orig.Keys() {
+		a, _ := orig.Count(key)
+		b, _ := restored.Count(key)
+		if a != b {
+			t.Errorf("key %s: restored count %g != %g", key, b, a)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	st := populatedStore(t, 3)
+	var a, b bytes.Buffer
+	if err := st.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshots of the same store differ")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	st, _ := NewStore(core.RecommendedML(8))
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 0 {
+		t.Errorf("empty round trip has %d keys", st.Len())
+	}
+}
+
+func TestSnapshotCorruptInputs(t *testing.T) {
+	st := populatedStore(t, 2)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	fresh, _ := NewStore(core.RecommendedML(8))
+	for name, corrupt := range map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("XXXX"), good[4:]...),
+		"bad version":     append([]byte("ELSS\x09"), good[5:]...),
+		"truncated":       good[:len(good)-3],
+		"truncated early": good[:6],
+	} {
+		if err := fresh.ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("%s snapshot accepted", name)
+		}
+		// The store must be unchanged after a failed load.
+		if fresh.Len() != 0 {
+			t.Fatalf("%s: failed load mutated the store", name)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.elss")
+	orig := populatedStore(t, 3)
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewStore(core.RecommendedML(8))
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 3 {
+		t.Fatalf("restored %d keys", restored.Len())
+	}
+	// Atomic write: no temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after SaveFile", len(entries))
+	}
+	if err := restored.LoadFile(filepath.Join(dir, "missing.elss")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestSaveCommandOverWire(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wire.elss")
+	store, err := NewStore(core.RecommendedML(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	srv.SetSnapshotPath(path)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.PFAdd("persisted", "a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("SAVE"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a restart: fresh store loads the snapshot.
+	store2, _ := NewStore(core.RecommendedML(10))
+	if err := store2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store2.Count("persisted"); n < 2.9 || n > 3.1 {
+		t.Errorf("restarted count %g, want ≈3", n)
+	}
+}
+
+func TestSaveWithoutPath(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Do("SAVE"); err == nil {
+		t.Error("SAVE without a configured path succeeded")
+	}
+}

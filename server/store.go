@@ -1,0 +1,179 @@
+// Package server provides a small TCP key→sketch service in the style of
+// the PFADD / PFCOUNT / PFMERGE commands that Redis offers on top of
+// HyperLogLog — the "query languages of many data stores offer special
+// commands for approximate distinct counting" motivation of the paper's
+// introduction — backed by ExaLogLog sketches.
+//
+// The wire protocol is a line-oriented subset of the Redis conventions:
+// one command per line, space-separated tokens, and typed single-line
+// replies ("+OK", ":123", "-ERR ...", "=<base64>"). See Server for the
+// command set.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"exaloglog/internal/core"
+)
+
+// Store is a named collection of ExaLogLog sketches, safe for concurrent
+// use. All sketches created through Add share the store's default
+// configuration; Restore may introduce sketches with other configurations,
+// which still count and merge together as long as they share the
+// t-parameter (Section 4.1 of the paper).
+type Store struct {
+	cfg core.Config
+
+	mu       sync.RWMutex
+	sketches map[string]*core.Sketch
+}
+
+// NewStore returns an empty store whose sketches use configuration cfg.
+func NewStore(cfg core.Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{cfg: cfg, sketches: make(map[string]*core.Sketch)}, nil
+}
+
+// Add inserts elements into the sketch at key, creating it if needed.
+// It returns true if any insertion changed the sketch state (the Redis
+// PFADD convention).
+func (s *Store) Add(key string, elements ...string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sk, ok := s.sketches[key]
+	if !ok {
+		sk = core.MustNew(s.cfg)
+		s.sketches[key] = sk
+	}
+	before := sk.StateChanges()
+	for _, e := range elements {
+		sk.AddString(e)
+	}
+	return sk.StateChanges() != before
+}
+
+// Count estimates the number of distinct elements in the union of the
+// sketches at the given keys. Missing keys contribute nothing. Keys with
+// different configurations are aligned with MergeCompatible when they
+// share t.
+func (s *Store) Count(keys ...string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var acc *core.Sketch
+	for _, k := range keys {
+		sk, ok := s.sketches[k]
+		if !ok {
+			continue
+		}
+		if acc == nil {
+			acc = sk.Clone()
+			continue
+		}
+		merged, err := core.MergeCompatible(acc, sk)
+		if err != nil {
+			return 0, fmt.Errorf("server: count %q: %w", k, err)
+		}
+		acc = merged
+	}
+	if acc == nil {
+		return 0, nil
+	}
+	return acc.Estimate(), nil
+}
+
+// Merge stores the union of the source keys' sketches at dest (which may
+// itself be one of the sources, and is created if absent).
+func (s *Store) Merge(dest string, sources ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc := core.MustNew(s.cfg)
+	if d, ok := s.sketches[dest]; ok {
+		acc = d.Clone()
+	}
+	for _, k := range sources {
+		sk, ok := s.sketches[k]
+		if !ok {
+			continue
+		}
+		merged, err := core.MergeCompatible(acc, sk)
+		if err != nil {
+			return fmt.Errorf("server: merge %q: %w", k, err)
+		}
+		acc = merged
+	}
+	s.sketches[dest] = acc
+	return nil
+}
+
+// Delete removes key; it reports whether the key existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sketches[key]
+	delete(s.sketches, key)
+	return ok
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.sketches))
+	for k := range s.sketches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump serializes the sketch at key; ok is false if the key is missing.
+func (s *Store) Dump(key string) (data []byte, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sk, ok := s.sketches[key]
+	if !ok {
+		return nil, false
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		return nil, false // unreachable: MarshalBinary cannot fail
+	}
+	return data, true
+}
+
+// Restore replaces the sketch at key with the serialized sketch data
+// (produced by Dump or any exaloglog MarshalBinary).
+func (s *Store) Restore(key string, data []byte) error {
+	sk, err := core.FromBinary(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sketches[key] = sk
+	return nil
+}
+
+// Info describes the sketch at key; ok is false if the key is missing.
+func (s *Store) Info(key string) (info string, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sk, ok := s.sketches[key]
+	if !ok {
+		return "", false
+	}
+	cfg := sk.Config()
+	return fmt.Sprintf("t=%d d=%d p=%d bytes=%d estimate=%.1f",
+		cfg.T, cfg.D, cfg.P, sk.SizeBytes(), sk.Estimate()), true
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sketches)
+}

@@ -1,0 +1,47 @@
+package similarity_test
+
+import (
+	"fmt"
+
+	"exaloglog"
+	"exaloglog/similarity"
+)
+
+// Estimate how much two large audiences overlap without storing either.
+func ExampleAnalyze() {
+	a := exaloglog.New(14)
+	b := exaloglog.New(14)
+	for u := 0; u < 100000; u++ {
+		a.AddUint64(uint64(u))
+	}
+	for u := 80000; u < 180000; u++ {
+		b.AddUint64(uint64(u))
+	}
+	e, err := similarity.Analyze(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("union within 2%% of 180000: %v\n", e.Union > 176400 && e.Union < 183600)
+	fmt.Printf("overlap within 10%% of 20000: %v\n", e.Intersection > 18000 && e.Intersection < 22000)
+	// Output:
+	// union within 2% of 180000: true
+	// overlap within 10% of 20000: true
+}
+
+// Deduplicated reach across many shards is a single merge chain.
+func ExampleUnionAll() {
+	shards := make([]*exaloglog.Sketch, 4)
+	for i := range shards {
+		shards[i] = exaloglog.New(12)
+		for u := 0; u < 5000; u++ {
+			shards[i].AddUint64(uint64(u)) // every shard saw the same users
+		}
+	}
+	total, err := similarity.UnionAll(shards...)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within 3%% of 5000: %v\n", total > 4850 && total < 5150)
+	// Output:
+	// within 3% of 5000: true
+}

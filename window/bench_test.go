@@ -1,0 +1,66 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+)
+
+// BenchmarkWindowInsert measures the steady-state cost of a sliding-window
+// insertion: one sketch insert plus the ring bookkeeping.
+func BenchmarkWindowInsert(b *testing.B) {
+	c, err := New(core.RecommendedML(11), time.Second, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2026, 6, 13, 0, 0, 0, 0, time.UTC)
+	state := uint64(1)
+	hashes := make([]uint64, 1<<16)
+	for i := range hashes {
+		hashes[i] = hashing.SplitMix64(&state)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := base.Add(time.Duration(i) * time.Microsecond)
+		c.AddHash(ts, hashes[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkWindowEstimate measures a full-window query (merge of all 60
+// slices plus one ML estimation).
+func BenchmarkWindowEstimate(b *testing.B) {
+	c, err := New(core.RecommendedML(11), time.Second, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2026, 6, 13, 0, 0, 0, 0, time.UTC)
+	state := uint64(1)
+	for i := 0; i < 600000; i++ {
+		ts := base.Add(time.Duration(i) * 100 * time.Microsecond)
+		c.AddHash(ts, hashing.SplitMix64(&state))
+	}
+	now := base.Add(time.Minute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Estimate(now, time.Minute)
+	}
+}
+
+// BenchmarkDetectorObserve measures the per-flow cost of the scan
+// detector with a realistic population of tracked hosts.
+func BenchmarkDetectorObserve(b *testing.B) {
+	d, err := NewScanDetector(core.Config{T: 2, D: 20, P: 6}, time.Second, 10, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2026, 6, 13, 0, 0, 0, 0, time.UTC)
+	state := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := base.Add(time.Duration(i) * time.Microsecond)
+		h := hashing.SplitMix64(&state)
+		d.Observe(ts, h%1000, h>>32%64)
+	}
+}

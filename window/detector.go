@@ -1,0 +1,124 @@
+package window
+
+import (
+	"sort"
+	"time"
+
+	"exaloglog/internal/core"
+)
+
+// ScanDetector flags entities that touch an unusually large number of
+// distinct targets within a sliding window — the port-scan / DDoS
+// detection pattern of the paper's introduction (references [9], [11]):
+// a port scanner contacts many distinct ports, a DDoS victim is contacted
+// by many distinct sources. One sliding-window Counter is kept per entity;
+// idle entities are evicted once their whole ring has expired, so memory
+// is bounded by the number of recently active entities.
+//
+// A ScanDetector is not safe for concurrent use.
+type ScanDetector struct {
+	cfg       core.Config
+	slice     time.Duration
+	numSlices int
+	threshold float64
+
+	counters map[uint64]*entityState
+	// evictEvery controls how often (in observations) the idle-entity
+	// sweep runs.
+	evictEvery int
+	sinceSweep int
+}
+
+type entityState struct {
+	counter  *Counter
+	lastSeen time.Time
+}
+
+// NewScanDetector returns a detector that flags entities whose distinct
+// target count over the window slice·numSlices reaches threshold.
+// The sketch configuration cfg controls the memory/accuracy trade-off per
+// entity; a small precision (p=4..6) is typical since thresholds are
+// coarse.
+func NewScanDetector(cfg core.Config, slice time.Duration, numSlices int, threshold float64) (*ScanDetector, error) {
+	// Validate by constructing a probe counter.
+	if _, err := New(cfg, slice, numSlices); err != nil {
+		return nil, err
+	}
+	return &ScanDetector{
+		cfg:        cfg,
+		slice:      slice,
+		numSlices:  numSlices,
+		threshold:  threshold,
+		counters:   make(map[uint64]*entityState),
+		evictEvery: 4096,
+	}, nil
+}
+
+// Observe records that entity touched target at time ts.
+func (d *ScanDetector) Observe(ts time.Time, entity, target uint64) {
+	st, ok := d.counters[entity]
+	if !ok {
+		c, err := New(d.cfg, d.slice, d.numSlices)
+		if err != nil {
+			panic(err) // unreachable: config validated in NewScanDetector
+		}
+		st = &entityState{counter: c}
+		d.counters[entity] = st
+	}
+	st.counter.AddUint64(ts, target)
+	if ts.After(st.lastSeen) {
+		st.lastSeen = ts
+	}
+	if d.sinceSweep++; d.sinceSweep >= d.evictEvery {
+		d.sinceSweep = 0
+		d.evict(ts)
+	}
+}
+
+// Score returns the estimated distinct-target count of entity over the
+// full window ending at now (0 if the entity is unknown or expired).
+func (d *ScanDetector) Score(now time.Time, entity uint64) float64 {
+	st, ok := d.counters[entity]
+	if !ok {
+		return 0
+	}
+	return st.counter.Estimate(now, st.counter.Span())
+}
+
+// Suspicious returns the entities whose windowed distinct-target estimate
+// reaches the threshold, sorted by descending score.
+func (d *ScanDetector) Suspicious(now time.Time) []Finding {
+	var out []Finding
+	for e, st := range d.counters {
+		if score := st.counter.Estimate(now, st.counter.Span()); score >= d.threshold {
+			out = append(out, Finding{Entity: e, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// Finding is one flagged entity with its estimated distinct-target count.
+type Finding struct {
+	Entity uint64
+	Score  float64
+}
+
+// TrackedEntities returns how many entities currently hold state.
+func (d *ScanDetector) TrackedEntities() int { return len(d.counters) }
+
+// evict drops entities whose last observation is older than the ring span
+// (their windowed count is necessarily zero).
+func (d *ScanDetector) evict(now time.Time) {
+	span := d.slice * time.Duration(d.numSlices)
+	for e, st := range d.counters {
+		if now.Sub(st.lastSeen) > span {
+			delete(d.counters, e)
+		}
+	}
+}

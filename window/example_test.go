@@ -1,0 +1,28 @@
+package window_test
+
+import (
+	"fmt"
+	"time"
+
+	"exaloglog"
+	"exaloglog/window"
+)
+
+// Count distinct users over the last minute, refreshed continuously.
+func ExampleCounter() {
+	c, err := window.New(exaloglog.Config{T: 2, D: 20, P: 10}, time.Second, 60)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
+	// 90 seconds of traffic: user u is active in second u/100.
+	for u := 0; u < 9000; u++ {
+		ts := start.Add(time.Duration(u/100) * time.Second)
+		c.AddUint64(ts, uint64(u))
+	}
+	now := start.Add(89 * time.Second)
+	last60 := c.Estimate(now, time.Minute) // users 3000..8999 → 6000
+	fmt.Printf("last minute within 5%% of 6000: %v\n", last60 > 5700 && last60 < 6300)
+	// Output:
+	// last minute within 5% of 6000: true
+}

@@ -1,0 +1,124 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+)
+
+// The gold-model test replays a random event stream (random values from a
+// bounded universe, random slice-granular timestamps including late
+// arrivals) into both the Counter and an exact reference that mirrors the
+// Counter's documented semantics: slice-aligned windows, ring-capacity
+// drops. Estimates must track the exact counts within the sketch's error
+// band throughout.
+
+type goldModel struct {
+	numSlices int
+	slice     time.Duration
+	maxIndex  int64
+	// perSlice[index] = set of values in that slice.
+	perSlice map[int64]map[uint64]struct{}
+	dropped  uint64
+}
+
+func newGoldModel(slice time.Duration, numSlices int) *goldModel {
+	return &goldModel{
+		numSlices: numSlices,
+		slice:     slice,
+		maxIndex:  -1,
+		perSlice:  make(map[int64]map[uint64]struct{}),
+	}
+}
+
+func (g *goldModel) add(ts time.Time, v uint64) {
+	idx := ts.UnixNano() / int64(g.slice)
+	if idx > g.maxIndex {
+		g.maxIndex = idx
+	} else if g.maxIndex-idx >= int64(g.numSlices) {
+		g.dropped++
+		return
+	}
+	set, ok := g.perSlice[idx]
+	if !ok {
+		set = make(map[uint64]struct{})
+		g.perSlice[idx] = set
+	}
+	set[v] = struct{}{}
+}
+
+func (g *goldModel) count(now time.Time, window time.Duration) int {
+	if window <= 0 {
+		return 0
+	}
+	if max := g.slice * time.Duration(g.numSlices); window > max {
+		window = max
+	}
+	nowIdx := now.UnixNano() / int64(g.slice)
+	n := int64((window + g.slice - 1) / g.slice)
+	union := make(map[uint64]struct{})
+	for idx := nowIdx - n + 1; idx <= nowIdx; idx++ {
+		// Slices overwritten by newer ring occupants are gone.
+		if g.maxIndex-idx >= int64(g.numSlices) {
+			continue
+		}
+		for v := range g.perSlice[idx] {
+			union[v] = struct{}{}
+		}
+	}
+	return len(union)
+}
+
+func TestGoldModelRandomStream(t *testing.T) {
+	const (
+		numSlices = 8
+		universe  = 5000
+		events    = 60000
+	)
+	c, err := New(core.Config{T: 2, D: 20, P: 11}, time.Second, numSlices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold := newGoldModel(time.Second, numSlices)
+	base := time.Date(2026, 6, 13, 0, 0, 0, 0, time.UTC)
+	state := uint64(2026)
+	cursor := base
+	for e := 0; e < events; e++ {
+		// Time advances irregularly; 10 % of events are late by 0-11
+		// slices (some beyond the ring → dropped by both models).
+		r := hashing.SplitMix64(&state)
+		cursor = cursor.Add(time.Duration(r%2000) * 100 * time.Microsecond)
+		ts := cursor
+		if r%10 == 0 {
+			ts = ts.Add(-time.Duration(hashing.SplitMix64(&state)%12) * time.Second)
+		}
+		v := hashing.SplitMix64(&state) % universe
+		c.AddUint64(ts, v)
+		gold.add(ts, hashing.Wy64Uint64(v, 0))
+
+		if e%5000 != 4999 {
+			continue
+		}
+		for _, w := range []time.Duration{time.Second, 3 * time.Second, 8 * time.Second} {
+			exact := float64(gold.count(cursor, w))
+			got := c.Estimate(cursor, w)
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("event %d window %v: estimate %.1f, exact 0", e, w, got)
+				}
+				continue
+			}
+			// p=11 → ~0.8 % stderr; allow 6 sigma plus small-n slack.
+			if rel := math.Abs(got-exact) / exact; rel > 0.05+10/exact {
+				t.Fatalf("event %d window %v: estimate %.0f, exact %.0f (err %.1f%%)",
+					e, w, got, exact, 100*rel)
+			}
+		}
+	}
+	if c.Dropped() != gold.dropped {
+		t.Fatalf("Dropped = %d, gold model dropped %d", c.Dropped(), gold.dropped)
+	}
+}

@@ -1,0 +1,254 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
+)
+
+var t0 = time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
+
+func newCounter(t *testing.T, p int, slice time.Duration, slices int) *Counter {
+	t.Helper()
+	c, err := New(core.Config{T: 2, D: 20, P: p}, slice, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	good := core.Config{T: 2, D: 20, P: 8}
+	if _, err := New(core.Config{T: 9, D: 20, P: 8}, time.Second, 4); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(good, 0, 4); err == nil {
+		t.Error("zero slice duration accepted")
+	}
+	if _, err := New(good, time.Second, 1); err == nil {
+		t.Error("single slice accepted")
+	}
+	c, err := New(good, time.Second, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Span() != time.Minute {
+		t.Errorf("Span = %v, want 1m", c.Span())
+	}
+}
+
+// TestWindowAccuracy streams distinct elements at a constant rate and
+// checks windowed estimates against the exact sliding count.
+func TestWindowAccuracy(t *testing.T) {
+	const (
+		perSlice = 2000
+		slices   = 10
+	)
+	c := newCounter(t, 10, time.Second, slices)
+	state := uint64(1)
+	// Fill all 10 slices with perSlice fresh distinct elements each.
+	for s := 0; s < slices; s++ {
+		ts := t0.Add(time.Duration(s) * time.Second)
+		for i := 0; i < perSlice; i++ {
+			c.AddHash(ts, hashing.SplitMix64(&state))
+		}
+	}
+	now := t0.Add(time.Duration(slices-1) * time.Second)
+	for w := 1; w <= slices; w++ {
+		want := float64(w * perSlice)
+		got := c.Estimate(now, time.Duration(w)*time.Second)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("window %ds: estimate %.0f, want %.0f (rel err %.1f%%)", w, got, want, 100*rel)
+		}
+	}
+}
+
+// TestExpiry: elements older than the window must stop contributing.
+func TestExpiry(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	state := uint64(7)
+	for i := 0; i < 5000; i++ {
+		c.AddHash(t0, hashing.SplitMix64(&state))
+	}
+	if got := c.Estimate(t0, time.Second); got < 4000 {
+		t.Fatalf("fresh estimate %.0f too low", got)
+	}
+	// Advance 4 slices: t0's slice leaves every window.
+	later := t0.Add(4 * time.Second)
+	c.AddHash(later, hashing.SplitMix64(&state)) // rotate the ring
+	if got := c.Estimate(later, 2*time.Second); got > 100 {
+		t.Fatalf("expired elements still visible: estimate %.0f", got)
+	}
+}
+
+// TestLateArrivals: elements within the ring span land in their proper
+// slice; older ones are dropped and counted.
+func TestLateArrivals(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	now := t0.Add(10 * time.Second)
+	c.AddUint64(now, 1)
+	// 2 slices late: still within the 4-slice ring.
+	c.AddUint64(now.Add(-2*time.Second), 2)
+	if c.Dropped() != 0 {
+		t.Fatalf("in-span late arrival dropped")
+	}
+	// 5 slices late: beyond the ring.
+	c.AddUint64(now.Add(-5*time.Second), 3)
+	if c.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", c.Dropped())
+	}
+	// The in-span late element must appear in a 3-slice window but not in
+	// a 1-slice window.
+	if got := c.Estimate(now, 3*time.Second); math.Abs(got-2) > 0.5 {
+		t.Errorf("3s window estimate %.2f, want ≈2", got)
+	}
+	if got := c.Estimate(now, time.Second); math.Abs(got-1) > 0.5 {
+		t.Errorf("1s window estimate %.2f, want ≈1", got)
+	}
+}
+
+// TestDuplicatesWithinWindow: re-inserting the same element in the same
+// slice never inflates the count.
+func TestDuplicatesWithinWindow(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	for i := 0; i < 1000; i++ {
+		c.AddString(t0, "the-same-element")
+	}
+	if got := c.Estimate(t0, time.Second); math.Abs(got-1) > 0.5 {
+		t.Fatalf("estimate %.2f for one duplicated element", got)
+	}
+}
+
+// TestDuplicateAcrossSlices: the same element in two slices is counted
+// once per window that covers both (sketch union is idempotent).
+func TestDuplicateAcrossSlices(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	c.AddString(t0, "x")
+	c.AddString(t0.Add(time.Second), "x")
+	now := t0.Add(time.Second)
+	if got := c.Estimate(now, 2*time.Second); math.Abs(got-1) > 0.5 {
+		t.Fatalf("union estimate %.2f, want ≈1", got)
+	}
+}
+
+func TestEstimateEdgeCases(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	if got := c.Estimate(t0, time.Second); got != 0 {
+		t.Errorf("empty counter estimate %g", got)
+	}
+	if got := c.Estimate(t0, -time.Second); got != 0 {
+		t.Errorf("negative window estimate %g", got)
+	}
+	c.AddUint64(t0, 1)
+	// Oversized window is capped at Span, not an error.
+	if got := c.Estimate(t0, time.Hour); math.Abs(got-1) > 0.5 {
+		t.Errorf("capped window estimate %g, want ≈1", got)
+	}
+	iv, err := c.EstimateWithBounds(t0, time.Second, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lower > iv.Estimate || iv.Upper < iv.Estimate {
+		t.Errorf("malformed interval %+v", iv)
+	}
+}
+
+// TestSketchMergeAcrossCounters: windows from two shards merge into a
+// union estimate (distributed collection).
+func TestSketchMergeAcrossCounters(t *testing.T) {
+	a := newCounter(t, 10, time.Second, 4)
+	b := newCounter(t, 10, time.Second, 4)
+	state := uint64(55)
+	shared := make([]uint64, 3000)
+	for i := range shared {
+		shared[i] = hashing.SplitMix64(&state)
+	}
+	// Shard A sees the shared set plus 2000 extra; shard B sees the shared
+	// set plus 1000 extra.
+	for _, h := range shared {
+		a.AddHash(t0, h)
+		b.AddHash(t0, h)
+	}
+	for i := 0; i < 2000; i++ {
+		a.AddHash(t0, hashing.SplitMix64(&state))
+	}
+	for i := 0; i < 1000; i++ {
+		b.AddHash(t0, hashing.SplitMix64(&state))
+	}
+	sa := a.Sketch(t0, time.Second)
+	sb := b.Sketch(t0, time.Second)
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	want := 6000.0
+	if got := sa.Estimate(); math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("union estimate %.0f, want ≈%.0f", got, want)
+	}
+}
+
+func TestScanDetector(t *testing.T) {
+	d, err := NewScanDetector(core.Config{T: 2, D: 20, P: 6}, time.Second, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scanner, normal = 0xBAD, 0x600D
+	// The scanner touches 500 distinct ports; the normal host touches 3
+	// ports repeatedly.
+	for i := 0; i < 500; i++ {
+		ts := t0.Add(time.Duration(i) * 10 * time.Millisecond)
+		d.Observe(ts, scanner, uint64(1000+i))
+		d.Observe(ts, normal, uint64(80+i%3))
+	}
+	now := t0.Add(5 * time.Second)
+	findings := d.Suspicious(now)
+	if len(findings) != 1 || findings[0].Entity != scanner {
+		t.Fatalf("Suspicious = %+v, want only the scanner", findings)
+	}
+	if s := d.Score(now, scanner); s < 300 {
+		t.Errorf("scanner score %.0f too low", s)
+	}
+	if s := d.Score(now, normal); s > 10 {
+		t.Errorf("normal host score %.0f too high", s)
+	}
+	if s := d.Score(now, 0xDEAD); s != 0 {
+		t.Errorf("unknown entity score %g", s)
+	}
+}
+
+// TestScanDetectorEviction: idle entities are dropped once their window
+// has fully expired.
+func TestScanDetectorEviction(t *testing.T) {
+	d, err := NewScanDetector(core.Config{T: 2, D: 20, P: 4}, time.Second, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.evictEvery = 1 // sweep on every observation for the test
+	for e := uint64(0); e < 100; e++ {
+		d.Observe(t0, e, 1)
+	}
+	if got := d.TrackedEntities(); got != 100 {
+		t.Fatalf("TrackedEntities = %d, want 100", got)
+	}
+	// One entity stays active far in the future; the rest expire.
+	d.Observe(t0.Add(time.Minute), 0, 2)
+	if got := d.TrackedEntities(); got != 1 {
+		t.Fatalf("after expiry TrackedEntities = %d, want 1", got)
+	}
+}
+
+func TestScanDetectorValidation(t *testing.T) {
+	if _, err := NewScanDetector(core.Config{T: 2, D: 20, P: 99}, time.Second, 4, 10); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 8)
+	// 8 slices of 256·28/8 = 896-byte sketches plus overhead.
+	if got := c.MemoryFootprint(); got < 8*896 || got > 8*896+8*256 {
+		t.Errorf("MemoryFootprint = %d, outside plausible range", got)
+	}
+}
