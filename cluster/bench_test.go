@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"exaloglog/server"
+)
+
+// startBenchCluster brings up a 3-node, replica-2 cluster and a client
+// connected to the first node.
+func startBenchCluster(b *testing.B) (*Node, *server.Client) {
+	b.Helper()
+	var seed *Node
+	for i := 0; i < 3; i++ {
+		node, err := NewNode(fmt.Sprintf("n%d", i+1), testConfig(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { node.Close() })
+		if i == 0 {
+			seed = node
+		} else if err := node.Join(seed.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c, err := server.Dial(seed.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return seed, c
+}
+
+// BenchmarkClusterRoutedPFAdd measures wire-level PFADD through one node
+// of a 3-node cluster: each op is routed to the key's two owners and
+// replicated before the reply.
+func BenchmarkClusterRoutedPFAdd(b *testing.B) {
+	_, c := startBenchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("key-%d", i%64)
+		if _, err := c.PFAdd(key, fmt.Sprintf("el-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkClusterFanoutPFCount measures wire-level PFCOUNT of an
+// 8-key union through one node: every key's owner sketches are fetched
+// with DUMP and merged at the coordinator.
+func BenchmarkClusterFanoutPFCount(b *testing.B) {
+	node, c := startBenchCluster(b)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		for j := 0; j < 1000; j++ {
+			if _, err := node.Add(keys[i], fmt.Sprintf("el-%d-%d", i, j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PFCount(keys...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkRingOwners isolates the routing cost: key → N owners on the
+// consistent-hash ring.
+func BenchmarkRingOwners(b *testing.B) {
+	m := NewMap(2,
+		Member{"n1", "a:1"}, Member{"n2", "a:2"}, Member{"n3", "a:3"},
+		Member{"n4", "a:4"}, Member{"n5", "a:5"})
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if owners := m.Owners(keys[i%len(keys)]); len(owners) != 2 {
+			b.Fatal("bad owners")
+		}
+	}
+}

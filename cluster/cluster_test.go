@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"exaloglog/internal/core"
+	"exaloglog/server"
+)
+
+const testP = 10
+
+func testConfig() core.Config { return core.RecommendedML(testP) }
+
+// startCluster spins up n in-process nodes with the given replica
+// factor; nodes[0] is the seed. Cleanup closes all of them.
+func startCluster(t *testing.T, n, replicas int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		node, err := NewNode(fmt.Sprintf("n%d", i+1), testConfig(), replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		if i > 0 {
+			if err := node.Join(nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// TestClusterAcceptance is the scenario from the issue: a 3-node cluster
+// with replica factor 2 where (1) a key written through node A is
+// countable on nodes B and C with the same estimate, (2) after a node
+// leaves and rebalance completes every key's estimate is unchanged, and
+// (3) a cluster-wide union PFCOUNT equals the single-node result on the
+// same data.
+func TestClusterAcceptance(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+
+	// Reference: one plain sketch per key fed the same elements.
+	ref := map[string]*core.Sketch{
+		"visits:mon": core.MustNew(testConfig()),
+		"visits:tue": core.MustNew(testConfig()),
+	}
+	for i := 0; i < 5000; i++ {
+		el := fmt.Sprintf("user-%d", i)
+		ref["visits:mon"].AddString(el)
+		if _, err := nodes[0].Add("visits:mon", el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2500; i < 7500; i++ { // half-overlapping second key
+		el := fmt.Sprintf("user-%d", i)
+		ref["visits:tue"].AddString(el)
+		if _, err := nodes[1].Add("visits:tue", el); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// (1) Same estimate from every node, matching the reference sketch.
+	for key, rs := range ref {
+		want := rs.Estimate()
+		for _, n := range nodes {
+			got, err := n.Count(key)
+			if err != nil {
+				t.Fatalf("%s: count %q: %v", n.ID(), key, err)
+			}
+			if got != want {
+				t.Errorf("%s: count %q = %v, want %v", n.ID(), key, got, want)
+			}
+		}
+	}
+
+	// (3) Cluster-wide union equals the single-node union on the same data.
+	refUnion, err := core.MergeCompatible(ref["visits:mon"], ref["visits:tue"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		got, err := n.Count("visits:mon", "visits:tue")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != refUnion.Estimate() {
+			t.Errorf("%s: union count = %v, want %v", n.ID(), got, refUnion.Estimate())
+		}
+	}
+
+	// Replica factor 2 holds: every key lives on exactly two nodes.
+	for key := range ref {
+		copies := 0
+		for _, n := range nodes {
+			if _, ok := n.Store().Dump(key); ok {
+				copies++
+			}
+		}
+		if copies != 2 {
+			t.Errorf("key %q has %d local copies, want 2", key, copies)
+		}
+	}
+
+	// (2) A node leaves gracefully; estimates are unchanged on survivors.
+	if err := nodes[2].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes[:2] {
+		if got := n.Map().Len(); got != 2 {
+			t.Fatalf("%s: map has %d nodes after leave, want 2", n.ID(), got)
+		}
+		for key, rs := range ref {
+			got, err := n.Count(key)
+			if err != nil {
+				t.Fatalf("%s: count %q after leave: %v", n.ID(), key, err)
+			}
+			if got != rs.Estimate() {
+				t.Errorf("%s: count %q after leave = %v, want %v", n.ID(), key, got, rs.Estimate())
+			}
+		}
+		got, err := n.Count("visits:mon", "visits:tue")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != refUnion.Estimate() {
+			t.Errorf("%s: union after leave = %v, want %v", n.ID(), got, refUnion.Estimate())
+		}
+	}
+	// The leaver drained everything.
+	if got := nodes[2].Store().Len(); got != 0 {
+		t.Errorf("left node still holds %d sketches, want 0", got)
+	}
+}
+
+// TestClusterWireProtocol drives a 3-node cluster purely over TCP with
+// the stock server.Client: any node answers any command.
+func TestClusterWireProtocol(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	a, err := server.Dial(nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := server.Dial(nodes[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if _, err := a.PFAdd("k", "x", "y", "z"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.PFCount("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("PFCount via node B = %d, want 3", got)
+	}
+
+	// KEYS is cluster-wide from any node.
+	keys, err := b.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "k" {
+		t.Errorf("Keys = %v, want [k]", keys)
+	}
+
+	// PFMERGE replicates the union to dest's owners.
+	if _, err := a.PFAdd("k2", "z", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PFMerge("u", "k", "k2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.PFCount("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("PFCount(u) = %d, want 4", got)
+	}
+
+	// CLUSTER INFO and CLUSTER MAP answer on every node.
+	info, err := a.Do("CLUSTER", "INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "nodes=3") || !strings.Contains(info, "replicas=2") {
+		t.Errorf("CLUSTER INFO = %q, want nodes=3 replicas=2", info)
+	}
+	mreply, err := b.Do("CLUSTER", "MAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeMap(strings.Fields(mreply))
+	if err != nil {
+		t.Fatalf("decode CLUSTER MAP %q: %v", mreply, err)
+	}
+	if m.Len() != 3 || m.Replicas != 2 {
+		t.Errorf("CLUSTER MAP = %q, want 3 nodes replicas=2", mreply)
+	}
+
+	// DEL removes the key cluster-wide.
+	if existed, err := b.Del("k"); err != nil || !existed {
+		t.Fatalf("Del(k) = %v, %v, want true, nil", existed, err)
+	}
+	got, err = a.PFCount("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("PFCount(k) after DEL = %d, want 0", got)
+	}
+}
+
+// TestClusterLeaveViaWire removes a node with the admin verb (as if it
+// had crashed); the surviving replica re-replicates every key so the
+// replica factor is restored.
+func TestClusterLeaveViaWire(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	for i := 0; i < 50; i++ {
+		if _, err := nodes[0].Add(fmt.Sprintf("key-%d", i), "a", "b", "c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := server.Dial(nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.Do("CLUSTER", "LEAVE", nodes[2].ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, "OK") {
+		t.Fatalf("CLUSTER LEAVE reply %q", reply)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, err := nodes[1].Count(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(got+0.5) != 3 {
+			t.Errorf("count %q after leave = %v, want ≈3", key, got)
+		}
+		copies := 0
+		for _, n := range nodes[:2] {
+			if _, ok := n.Store().Dump(key); ok {
+				copies++
+			}
+		}
+		if copies != 2 {
+			t.Errorf("key %q has %d copies on survivors, want 2", key, copies)
+		}
+	}
+}
+
+// TestClusterSingleNode: a one-node cluster behaves like a plain server.
+func TestClusterSingleNode(t *testing.T) {
+	nodes := startCluster(t, 1, 2)
+	n := nodes[0]
+	if _, err := n.Add("k", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Count("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got+0.5) != 2 {
+		t.Errorf("Count = %v, want ≈2", got)
+	}
+	if m := n.Map(); m.Len() != 1 {
+		t.Errorf("map size = %d, want 1", m.Len())
+	}
+}
+
+// TestJoinIsIdempotent: re-joining with the same ID and address keeps
+// the map stable.
+func TestJoinIsIdempotent(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	v := nodes[0].Map().Version
+	if err := nodes[1].Join(nodes[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodes[0].Map().Version; got != v {
+		t.Errorf("map version changed %d → %d on idempotent re-join", v, got)
+	}
+}
+
+// TestRejoinAfterRestartLearnsMap: a node that restarts (same ID, same
+// address, fresh store) and re-joins hits the seed's idempotent-join
+// path, which does not re-broadcast the map — the joiner must pull it
+// itself or it would answer counts from its stale self-only view.
+func TestRejoinAfterRestartLearnsMap(t *testing.T) {
+	nodes := startCluster(t, 2, 1)
+	for i := 0; i < 20; i++ {
+		if _, err := nodes[0].Add(fmt.Sprintf("key-%d", i), "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pick a key owned by n1 so it survives n2's restart with replicas=1.
+	var key string
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if owners := nodes[0].Map().Owners(k); owners[0].ID == "n1" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by n1")
+	}
+
+	addr := nodes[1].Addr()
+	if err := nodes[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := NewNode("n2", testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { restarted.Close() })
+	if err := restarted.Join(nodes[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.Map().Len(); got != 2 {
+		t.Fatalf("restarted node's map has %d members, want 2 (stale self-only map?)", got)
+	}
+	got, err := restarted.Count(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got+0.5) != 2 {
+		t.Errorf("count %q via restarted node = %v, want ≈2", key, got)
+	}
+}
+
+// TestJoinWithLocalData: a node that already holds sketches (e.g.
+// restored from a snapshot) joins on a fresh address. The seed answers
+// JOIN only after the joiner's SETMAP rebalance — which pushes blobs
+// back to the seed — completes, so this deadlocks unless Join uses a
+// connection separate from the peer pool.
+func TestJoinWithLocalData(t *testing.T) {
+	nodes := startCluster(t, 1, 2)
+	joiner, err := NewNode("n2", testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	joiner.Store().Add("restored", "a", "b", "c")
+
+	done := make(chan error, 1)
+	go func() { done <- joiner.Join(nodes[0].Addr()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Join deadlocked with local data present")
+	}
+	got, err := nodes[0].Count("restored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got+0.5) != 3 {
+		t.Errorf("count of restored key via seed = %v, want ≈3", got)
+	}
+}
+
+// TestAddRejectsProtocolUnsafeTokens: keys/elements the line protocol
+// cannot carry are rejected up front instead of silently diverging
+// between local and remote owners.
+func TestAddRejectsProtocolUnsafeTokens(t *testing.T) {
+	nodes := startCluster(t, 1, 1)
+	n := nodes[0]
+	for _, c := range []struct{ key, el string }{
+		{"k", "a b"}, {"k", ""}, {"bad key", "a"}, {"", "a"}, {"k", "a\nDEL k"},
+	} {
+		if _, err := n.Add(c.key, c.el); err == nil {
+			t.Errorf("Add(%q, %q) succeeded, want error", c.key, c.el)
+		}
+	}
+	if _, err := n.Count("bad key"); err == nil {
+		t.Error("Count of whitespace key succeeded, want error")
+	}
+	if err := n.MergeKeys("dest", "bad src"); err == nil {
+		t.Error("MergeKeys with whitespace source succeeded, want error")
+	}
+	if n.Store().Len() != 0 {
+		t.Errorf("rejected adds created %d keys", n.Store().Len())
+	}
+}
+
+// TestAbsorbIsIdempotent: re-sending the same blob never changes the
+// estimate — the property rebalance safety rests on.
+func TestAbsorbIsIdempotent(t *testing.T) {
+	nodes := startCluster(t, 2, 1)
+	if _, err := nodes[0].Add("k", "a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := nodes[0].Count("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the owner's blob and absorb it into both nodes repeatedly.
+	var blob []byte
+	for _, n := range nodes {
+		if b, ok := n.Store().Dump("k"); ok {
+			blob = b
+		}
+	}
+	if blob == nil {
+		t.Fatal("no node holds k")
+	}
+	for i := 0; i < 3; i++ {
+		for _, n := range nodes {
+			if err := n.Store().MergeBlob("k", blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := nodes[1].Count("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("estimate drifted after redundant absorbs: %v → %v", want, got)
+	}
+}

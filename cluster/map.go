@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Member is one node of the cluster map.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// Map is an immutable, versioned view of cluster membership: which nodes
+// exist, where they listen, and how many replicas each key gets. Nodes
+// exchange maps with the CLUSTER SETMAP verb; higher versions win, so a
+// map change made on any node converges everywhere. Treat a Map as
+// read-only once built — derive changed maps with withNode/withoutNode.
+//
+// Limitation: membership changes are assumed to be serialized by the
+// operator (one JOIN/LEAVE at a time). Two concurrent changes routed
+// through different coordinators can mint equal-version maps with
+// different members, and version-only reconciliation will not merge
+// them — epoch-based conflict resolution (à la Redis Cluster) is a
+// future step; see ROADMAP.md.
+type Map struct {
+	Version  uint64
+	Replicas int
+	nodes    map[string]string // id → addr
+	ring     *ring
+}
+
+// NewMap builds a version-1 map with the given replica factor and
+// members. Replicas is clamped to at least 1.
+func NewMap(replicas int, members ...Member) *Map {
+	if replicas < 1 {
+		replicas = 1
+	}
+	nodes := make(map[string]string, len(members))
+	for _, m := range members {
+		nodes[m.ID] = m.Addr
+	}
+	return build(1, replicas, nodes)
+}
+
+func build(version uint64, replicas int, nodes map[string]string) *Map {
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return &Map{Version: version, Replicas: replicas, nodes: nodes, ring: newRing(ids)}
+}
+
+// Members returns all members sorted by ID.
+func (m *Map) Members() []Member {
+	out := make([]Member, 0, len(m.nodes))
+	for id, addr := range m.nodes {
+		out = append(out, Member{ID: id, Addr: addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of members.
+func (m *Map) Len() int { return len(m.nodes) }
+
+// Addr returns the address of node id ("" if absent).
+func (m *Map) Addr(id string) string { return m.nodes[id] }
+
+// Has reports whether node id is a member.
+func (m *Map) Has(id string) bool { _, ok := m.nodes[id]; return ok }
+
+// Owners returns the members owning key: the primary first, then up to
+// Replicas-1 distinct replicas (fewer if the cluster is smaller).
+func (m *Map) Owners(key string) []Member {
+	ids := m.ring.ownersOf(key, m.Replicas)
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		out[i] = Member{ID: id, Addr: m.nodes[id]}
+	}
+	return out
+}
+
+// withNode returns a new map at version+1 with node id added or
+// re-addressed.
+func (m *Map) withNode(id, addr string) *Map {
+	nodes := make(map[string]string, len(m.nodes)+1)
+	for k, v := range m.nodes {
+		nodes[k] = v
+	}
+	nodes[id] = addr
+	return build(m.Version+1, m.Replicas, nodes)
+}
+
+// withoutNode returns a new map at version+1 with node id removed.
+func (m *Map) withoutNode(id string) *Map {
+	nodes := make(map[string]string, len(m.nodes))
+	for k, v := range m.nodes {
+		if k != id {
+			nodes[k] = v
+		}
+	}
+	return build(m.Version+1, m.Replicas, nodes)
+}
+
+// Encode renders the map as space-separated protocol tokens:
+//
+//	<version> <replicas> <id>=<addr> [<id>=<addr> ...]
+//
+// the payload of CLUSTER MAP replies and CLUSTER SETMAP commands. Node
+// IDs and addresses must not contain whitespace or '='; Node enforces
+// this at join time.
+func (m *Map) Encode() string {
+	parts := make([]string, 0, 2+len(m.nodes))
+	parts = append(parts, strconv.FormatUint(m.Version, 10), strconv.Itoa(m.Replicas))
+	for _, mem := range m.Members() {
+		parts = append(parts, mem.ID+"="+mem.Addr)
+	}
+	return strings.Join(parts, " ")
+}
+
+// DecodeMap parses Encode's token form.
+func DecodeMap(tokens []string) (*Map, error) {
+	if len(tokens) < 2 {
+		return nil, fmt.Errorf("cluster: map needs at least version and replicas, got %d tokens", len(tokens))
+	}
+	version, err := strconv.ParseUint(tokens[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad map version %q", tokens[0])
+	}
+	replicas, err := strconv.Atoi(tokens[1])
+	if err != nil || replicas < 1 {
+		return nil, fmt.Errorf("cluster: bad replica factor %q", tokens[1])
+	}
+	nodes := make(map[string]string, len(tokens)-2)
+	for _, tok := range tokens[2:] {
+		id, addr, ok := strings.Cut(tok, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad member token %q", tok)
+		}
+		nodes[id] = addr
+	}
+	// A wire map with no members is always bogus — installing one would
+	// make every key ownerless and rebalance could drop local data.
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: map has no members")
+	}
+	return build(version, replicas, nodes), nil
+}
+
+// validID reports whether id is usable on the wire (non-empty, no
+// whitespace, no '=').
+func validID(id string) bool {
+	return id != "" && !strings.ContainsAny(id, " \t\r\n=")
+}

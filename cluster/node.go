@@ -1,0 +1,656 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"exaloglog/internal/core"
+	"exaloglog/server"
+)
+
+// Node is one member of a sketch cluster. It embeds a server.Store and
+// server.Server, overriding PFADD / PFCOUNT / PFMERGE / DEL / KEYS with
+// cluster-wide semantics and adding CLUSTER subcommands:
+//
+//	CLUSTER INFO                       → +id=.. addr=.. v=.. replicas=.. nodes=.. keys=..
+//	CLUSTER MAP                        → +<version> <replicas> <id>=<addr> ...
+//	CLUSTER JOIN <id> <addr>           → +OK v=<version> (adds the node, broadcasts the map)
+//	CLUSTER LEAVE <id>                 → +OK v=<version> (removes the node, broadcasts)
+//	CLUSTER SETMAP <version> <replicas> <id>=<addr>... → +OK (install if newer, rebalance)
+//	CLUSTER LPFADD <key> <el>...       → :1/:0 (local add; internal replication verb)
+//	CLUSTER LDEL <key>                 → :1/:0 (local delete; internal)
+//	CLUSTER LKEYS                      → +<keys> (local keys; internal)
+//	CLUSTER ABSORB <key> <base64>      → +OK (merge a sketch blob into key; internal)
+//
+// Any node answers any command: writes are forwarded to all of the key's
+// owners (chosen by the consistent-hash ring), and counts scatter DUMP
+// requests to the owners and merge the serialized sketches locally.
+// DUMP / RESTORE / INFO / SAVE remain node-local, which is exactly what
+// the scatter-gather path relies on.
+type Node struct {
+	id    string
+	store *server.Store
+	srv   *server.Server
+	peers *pool
+
+	mu   sync.RWMutex
+	cmap *Map
+}
+
+// NewNode creates a cluster node with the given ID (no whitespace or
+// '='), sketch configuration and replica factor. Call Start to begin
+// serving, then optionally Join to enter an existing cluster.
+func NewNode(id string, cfg core.Config, replicas int) (*Node, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("cluster: invalid node ID %q", id)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: replica factor %d < 1", replicas)
+	}
+	store, err := server.NewStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{id: id, store: store, peers: newPool()}
+	n.srv = server.NewServer(store)
+	n.srv.Handle("PFADD", n.handlePFAdd)
+	n.srv.Handle("PFCOUNT", n.handlePFCount)
+	n.srv.Handle("PFMERGE", n.handlePFMerge)
+	n.srv.Handle("DEL", n.handleDel)
+	n.srv.Handle("KEYS", n.handleKeys)
+	n.srv.Handle("CLUSTER", n.handleCluster)
+	n.cmap = NewMap(replicas) // empty until Start learns the bound address
+	return n, nil
+}
+
+// SetSnapshotPath enables the SAVE command on this node's server,
+// writing snapshots of the local store to path. Call before Start.
+func (n *Node) SetSnapshotPath(path string) { n.srv.SetSnapshotPath(path) }
+
+// Start listens on addr (port 0 picks a free port) and initializes the
+// cluster map to a single-node cluster of this node.
+func (n *Node) Start(addr string) error {
+	if err := n.srv.Listen(addr); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.cmap = NewMap(n.cmap.Replicas, Member{ID: n.id, Addr: n.srv.Addr()})
+	n.mu.Unlock()
+	return nil
+}
+
+// Join enters the cluster that seedAddr is a member of: the seed adds
+// this node to its map and broadcasts the new map to every member
+// (including this node), each of which rebalances before replying. When
+// Join returns nil the whole cluster has converged on the new map.
+func (n *Node) Join(seedAddr string) error {
+	// Use a dedicated connection, NOT the peer pool: the seed answers
+	// JOIN only after broadcasting SETMAP to this node, whose handler
+	// rebalances — and rebalance may push ABSORB back to the seed. If the
+	// pending JOIN held the pooled client's lock, that ABSORB would wait
+	// on it forever: a distributed deadlock whenever a node with local
+	// data (e.g. restored from snapshot) joins on a fresh address.
+	seed, err := server.Dial(seedAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+	}
+	defer seed.Close()
+	reply, err := seed.Do("CLUSTER", "JOIN", n.id, n.Addr())
+	if err != nil {
+		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+	}
+	if !strings.HasPrefix(reply, "OK") {
+		return fmt.Errorf("cluster: join via %s: unexpected reply %q", seedAddr, reply)
+	}
+	// Pull the seed's map explicitly: on an idempotent re-join (this node
+	// was already a member, e.g. it restarted) the seed does not
+	// re-broadcast, so without this a restarted node would keep its stale
+	// self-only map. The follow-up rebalance pushes any locally restored
+	// sketches to their current owners.
+	mreply, err := seed.Do("CLUSTER", "MAP")
+	if err != nil {
+		return fmt.Errorf("cluster: fetch map via %s: %w", seedAddr, err)
+	}
+	m, err := DecodeMap(strings.Fields(mreply))
+	if err != nil {
+		return fmt.Errorf("cluster: fetch map via %s: %w", seedAddr, err)
+	}
+	if n.swapMap(m) {
+		if err := n.rebalance(m); err != nil {
+			return fmt.Errorf("cluster: rebalance after join: %w", err)
+		}
+	}
+	return nil
+}
+
+// Leave gracefully exits the cluster: this node first drains every local
+// sketch to its new owners (safe to re-send — merging is idempotent),
+// then broadcasts the shrunken map to the remaining members.
+func (n *Node) Leave() error {
+	m := n.currentMap()
+	if !m.Has(n.id) {
+		return nil
+	}
+	newMap := m.withoutNode(n.id)
+	n.swapMap(newMap)
+	if err := n.rebalance(newMap); err != nil {
+		return fmt.Errorf("cluster: drain before leave: %w", err)
+	}
+	if err := n.broadcast(newMap, nil); err != nil {
+		return fmt.Errorf("cluster: announce leave: %w", err)
+	}
+	return nil
+}
+
+// Close shuts down the node's server and peer connections.
+func (n *Node) Close() error {
+	n.peers.closeAll()
+	return n.srv.Close()
+}
+
+// ID returns the node's cluster ID.
+func (n *Node) ID() string { return n.id }
+
+// Addr returns the node's listen address ("" before Start).
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Store exposes the node's local sketch store, e.g. for snapshot
+// load/save around restarts.
+func (n *Node) Store() *server.Store { return n.store }
+
+// Map returns the node's current cluster map. Treat it as read-only.
+func (n *Node) Map() *Map { return n.currentMap() }
+
+func (n *Node) currentMap() *Map {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.cmap
+}
+
+// swapMap installs m if it is newer than the current map; it reports
+// whether the map changed.
+func (n *Node) swapMap(m *Map) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Version <= n.cmap.Version {
+		return false
+	}
+	n.cmap = m
+	return true
+}
+
+// broadcast sends SETMAP to every member of m except this node, plus any
+// extra addresses (e.g. a node just removed from the map, best-effort so
+// it learns to drain). Peers rebalance before replying, so a nil return
+// means the cluster has converged. Extra-address errors are ignored.
+func (n *Node) broadcast(m *Map, extraAddrs []string) error {
+	tokens := strings.Fields(m.Encode())
+	args := append([]string{"CLUSTER", "SETMAP"}, tokens...)
+	var wg sync.WaitGroup
+	members := m.Members()
+	errs := make([]error, len(members))
+	for i, mem := range members {
+		if mem.ID == n.id {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			_, errs[i] = n.peers.do(addr, args...)
+		}(i, mem.Addr)
+	}
+	for _, addr := range extraAddrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			n.peers.do(addr, args...)
+		}(addr)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// validToken guards the Go API against values the line protocol cannot
+// carry: an element with whitespace would be added whole locally but
+// split into several elements (or injected as a command) on remote
+// owners, silently breaking the replicas-are-identical invariant.
+func validToken(kind, s string) error {
+	if s == "" || strings.ContainsAny(s, " \t\r\n") {
+		return fmt.Errorf("cluster: %s %q must be non-empty and free of whitespace", kind, s)
+	}
+	return nil
+}
+
+func validKeys(keys []string) error {
+	for _, k := range keys {
+		if err := validToken("key", k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add inserts elements into key on every owner node; it reports whether
+// any owner's sketch changed. All owners receive the same elements, so
+// replicas stay byte-identical (insertion order does not matter — the
+// paper's reproducibility property). Keys and elements must be non-empty
+// and whitespace-free (the line protocol's token rule).
+func (n *Node) Add(key string, elements ...string) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	for _, e := range elements {
+		if err := validToken("element", e); err != nil {
+			return false, err
+		}
+	}
+	owners := n.currentMap().Owners(key)
+	if len(owners) == 0 {
+		return false, errors.New("cluster: empty cluster map (node not started?)")
+	}
+	changed := make([]bool, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				changed[i] = n.store.Add(key, elements...)
+				return
+			}
+			reply, err := n.peers.do(o.Addr, append([]string{"CLUSTER", "LPFADD", key}, elements...)...)
+			errs[i] = err
+			changed[i] = reply == "1"
+		}(i, o)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return false, err
+	}
+	for _, c := range changed {
+		if c {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Count estimates the distinct count of the union of keys cluster-wide:
+// every owner's copy of every key is fetched as a serialized sketch and
+// merged locally. Fetching all replicas (not just primaries) is free
+// correctness-wise — merging duplicates is idempotent — and masks a
+// replica that missed a write.
+func (n *Node) Count(keys ...string) (float64, error) {
+	if err := validKeys(keys); err != nil {
+		return 0, err
+	}
+	acc, err := n.gather(n.currentMap(), keys)
+	if err != nil {
+		return 0, err
+	}
+	if acc == nil {
+		return 0, nil
+	}
+	return acc.Estimate(), nil
+}
+
+// gather fetches every owner's sketch for every key and merges them into
+// one sketch (nil if no key exists anywhere).
+func (n *Node) gather(m *Map, keys []string) (*core.Sketch, error) {
+	type job struct {
+		key   string
+		owner Member
+	}
+	var jobs []job
+	for _, key := range keys {
+		for _, o := range m.Owners(key) {
+			jobs = append(jobs, job{key, o})
+		}
+	}
+	sketches := make([]*core.Sketch, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			var blob []byte
+			if j.owner.ID == n.id {
+				var ok bool
+				if blob, ok = n.store.Dump(j.key); !ok {
+					return
+				}
+			} else {
+				reply, err := n.peers.do(j.owner.Addr, "DUMP", j.key)
+				if errors.Is(err, server.ErrNoSuchKey) {
+					return
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", j.key, j.owner.ID, err)
+					return
+				}
+				if blob, err = base64.StdEncoding.DecodeString(reply); err != nil {
+					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", j.key, j.owner.ID, err)
+					return
+				}
+			}
+			sk, err := core.FromBinary(blob)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: sketch %q from %s: %w", j.key, j.owner.ID, err)
+				return
+			}
+			sketches[i] = sk
+		}(i, j)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	var acc *core.Sketch
+	for _, sk := range sketches {
+		if sk == nil {
+			continue
+		}
+		if acc == nil {
+			acc = sk
+			continue
+		}
+		merged, err := core.MergeCompatible(acc, sk)
+		if err != nil {
+			return nil, err
+		}
+		acc = merged
+	}
+	return acc, nil
+}
+
+// MergeKeys stores the cluster-wide union of the source keys (and dest's
+// current value) at dest, replicated to all of dest's owners.
+func (n *Node) MergeKeys(dest string, sources ...string) error {
+	if err := validKeys(append([]string{dest}, sources...)); err != nil {
+		return err
+	}
+	m := n.currentMap()
+	acc, err := n.gather(m, append(append([]string{}, sources...), dest))
+	if err != nil {
+		return err
+	}
+	if acc == nil {
+		acc = core.MustNew(n.store.Config())
+	}
+	blob, err := acc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return n.absorbAll(m.Owners(dest), dest, blob)
+}
+
+// absorbAll merges blob into key on every given owner.
+func (n *Node) absorbAll(owners []Member, key string, blob []byte) error {
+	b64 := base64.StdEncoding.EncodeToString(blob)
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				errs[i] = n.store.MergeBlob(key, blob)
+				return
+			}
+			_, errs[i] = n.peers.do(o.Addr, "CLUSTER", "ABSORB", key, b64)
+		}(i, o)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Del removes key from all of its owners; it reports whether any owner
+// had it.
+func (n *Node) Del(key string) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	owners := n.currentMap().Owners(key)
+	existed := make([]bool, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				existed[i] = n.store.Delete(key)
+				return
+			}
+			reply, err := n.peers.do(o.Addr, "CLUSTER", "LDEL", key)
+			errs[i] = err
+			existed[i] = reply == "1"
+		}(i, o)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return false, err
+	}
+	for _, e := range existed {
+		if e {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// AllKeys returns the union of every member's local keys, sorted.
+func (n *Node) AllKeys() ([]string, error) {
+	m := n.currentMap()
+	members := m.Members()
+	results := make([][]string, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, mem := range members {
+		wg.Add(1)
+		go func(i int, mem Member) {
+			defer wg.Done()
+			if mem.ID == n.id {
+				results[i] = n.store.Keys()
+				return
+			}
+			reply, err := n.peers.do(mem.Addr, "CLUSTER", "LKEYS")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = strings.Fields(reply)
+		}(i, mem)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{})
+	for _, keys := range results {
+		for _, k := range keys {
+			seen[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- protocol handlers -------------------------------------------------
+
+func (n *Node) handlePFAdd(args []string) string {
+	if len(args) < 2 {
+		return "-ERR PFADD needs a key and at least one element"
+	}
+	changed, err := n.Add(args[0], args[1:]...)
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	if changed {
+		return ":1"
+	}
+	return ":0"
+}
+
+func (n *Node) handlePFCount(args []string) string {
+	if len(args) < 1 {
+		return "-ERR PFCOUNT needs at least one key"
+	}
+	v, err := n.Count(args...)
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	return fmt.Sprintf(":%d", int64(v+0.5))
+}
+
+func (n *Node) handlePFMerge(args []string) string {
+	if len(args) < 2 {
+		return "-ERR PFMERGE needs a destination and at least one source"
+	}
+	if err := n.MergeKeys(args[0], args[1:]...); err != nil {
+		return "-ERR " + err.Error()
+	}
+	return "+OK"
+}
+
+func (n *Node) handleDel(args []string) string {
+	if len(args) != 1 {
+		return "-ERR DEL needs exactly one key"
+	}
+	existed, err := n.Del(args[0])
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	if existed {
+		return ":1"
+	}
+	return ":0"
+}
+
+func (n *Node) handleKeys(args []string) string {
+	keys, err := n.AllKeys()
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	return "+" + strings.Join(keys, " ")
+}
+
+func (n *Node) handleCluster(args []string) string {
+	if len(args) == 0 {
+		return "-ERR CLUSTER needs a subcommand"
+	}
+	sub := strings.ToUpper(args[0])
+	rest := args[1:]
+	switch sub {
+	case "INFO":
+		m := n.currentMap()
+		return fmt.Sprintf("+id=%s addr=%s v=%d replicas=%d nodes=%d keys=%d",
+			n.id, n.Addr(), m.Version, m.Replicas, m.Len(), n.store.Len())
+	case "MAP":
+		return "+" + n.currentMap().Encode()
+	case "JOIN":
+		if len(rest) != 2 {
+			return "-ERR CLUSTER JOIN needs an ID and an address"
+		}
+		return n.handleJoin(rest[0], rest[1])
+	case "LEAVE":
+		if len(rest) != 1 {
+			return "-ERR CLUSTER LEAVE needs a node ID"
+		}
+		return n.handleLeave(rest[0])
+	case "SETMAP":
+		m, err := DecodeMap(rest)
+		if err != nil {
+			return "-ERR " + err.Error()
+		}
+		if n.swapMap(m) {
+			if err := n.rebalance(m); err != nil {
+				return "-ERR rebalance: " + err.Error()
+			}
+		}
+		return "+OK"
+	case "LPFADD":
+		if len(rest) < 2 {
+			return "-ERR CLUSTER LPFADD needs a key and at least one element"
+		}
+		if n.store.Add(rest[0], rest[1:]...) {
+			return ":1"
+		}
+		return ":0"
+	case "LDEL":
+		if len(rest) != 1 {
+			return "-ERR CLUSTER LDEL needs exactly one key"
+		}
+		if n.store.Delete(rest[0]) {
+			return ":1"
+		}
+		return ":0"
+	case "LKEYS":
+		return "+" + strings.Join(n.store.Keys(), " ")
+	case "ABSORB":
+		if len(rest) != 2 {
+			return "-ERR CLUSTER ABSORB needs a key and a base64 payload"
+		}
+		blob, err := base64.StdEncoding.DecodeString(rest[1])
+		if err != nil {
+			return "-ERR bad base64: " + err.Error()
+		}
+		if err := n.store.MergeBlob(rest[0], blob); err != nil {
+			return "-ERR " + err.Error()
+		}
+		return "+OK"
+	default:
+		return "-ERR unknown CLUSTER subcommand " + sub
+	}
+}
+
+func (n *Node) handleJoin(id, addr string) string {
+	if !validID(id) {
+		return fmt.Sprintf("-ERR invalid node ID %q", id)
+	}
+	if strings.ContainsAny(addr, " \t\r\n=") || addr == "" {
+		return fmt.Sprintf("-ERR invalid node address %q", addr)
+	}
+	m := n.currentMap()
+	if m.Addr(id) == addr {
+		return fmt.Sprintf("+OK v=%d", m.Version) // idempotent re-join
+	}
+	newMap := m.withNode(id, addr)
+	n.swapMap(newMap)
+	if err := n.broadcast(newMap, nil); err != nil {
+		return "-ERR broadcast: " + err.Error()
+	}
+	if err := n.rebalance(newMap); err != nil {
+		return "-ERR rebalance: " + err.Error()
+	}
+	return fmt.Sprintf("+OK v=%d", newMap.Version)
+}
+
+func (n *Node) handleLeave(id string) string {
+	m := n.currentMap()
+	if !m.Has(id) {
+		return fmt.Sprintf("+OK v=%d", m.Version) // idempotent re-leave
+	}
+	oldAddr := m.Addr(id)
+	newMap := m.withoutNode(id)
+	n.swapMap(newMap)
+	// Tell the departing node first (best-effort: it may be dead) so a
+	// live leaver drains its keys to the remaining owners.
+	if err := n.broadcast(newMap, []string{oldAddr}); err != nil {
+		return "-ERR broadcast: " + err.Error()
+	}
+	if err := n.rebalance(newMap); err != nil {
+		return "-ERR rebalance: " + err.Error()
+	}
+	return fmt.Sprintf("+OK v=%d", newMap.Version)
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"exaloglog/server"
+)
+
+// pool caches one client connection per peer address. server.Client
+// serializes concurrent commands on its connection, so scatter-gather
+// fan-out across peers runs in parallel while same-peer commands queue.
+// Connections that error are dropped and redialed on next use.
+type pool struct {
+	mu    sync.Mutex
+	conns map[string]*server.Client
+}
+
+func newPool() *pool {
+	return &pool{conns: make(map[string]*server.Client)}
+}
+
+func (p *pool) get(addr string) (*server.Client, error) {
+	p.mu.Lock()
+	if c, ok := p.conns[addr]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := server.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.conns[addr]; ok { // lost the dial race; keep the first
+		c.Close()
+		return prev, nil
+	}
+	p.conns[addr] = c
+	return c, nil
+}
+
+func (p *pool) drop(addr string, c *server.Client) {
+	p.mu.Lock()
+	if p.conns[addr] == c {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// do runs one command against addr. On any error other than a missing
+// key the cached connection is discarded so the next call redials —
+// protocol errors don't require it, but redialing is always safe.
+func (p *pool) do(addr string, parts ...string) (string, error) {
+	c, err := p.get(addr)
+	if err != nil {
+		return "", err
+	}
+	reply, err := c.Do(parts...)
+	if err != nil && !errors.Is(err, server.ErrNoSuchKey) {
+		p.drop(addr, c)
+	}
+	return reply, err
+}
+
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for addr, c := range p.conns {
+		c.Close()
+		delete(p.conns, addr)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"errors"
+	"sync"
+)
+
+// rebalance reconciles this node's local sketches with cluster map m:
+// every local sketch is pushed (CLUSTER ABSORB, i.e. merge-not-replace)
+// to each of its owners under m, and sketches this node no longer owns
+// are deleted once every owner has a copy. Re-pushing a blob an owner
+// already holds is a no-op merge, so rebalance is idempotent — it can be
+// rerun after any partial failure, and concurrent rebalances of
+// different nodes cannot corrupt each other (the paper's commutative,
+// idempotent merge is what makes this protocol trivially safe).
+//
+// A node absent from m (it is leaving) owns nothing, so rebalance drains
+// it: every sketch is pushed to its owners and dropped locally.
+func (n *Node) rebalance(m *Map) error {
+	blobs := n.store.DumpAll()
+	type push struct {
+		key  string
+		addr string
+		b64  string
+	}
+	var pushes []push
+	keep := make(map[string]bool, len(blobs))
+	for key, blob := range blobs {
+		owners := m.Owners(key)
+		if len(owners) == 0 {
+			keep[key] = true // ownerless key (degenerate map): never drop data
+			continue
+		}
+		b64 := base64.StdEncoding.EncodeToString(blob)
+		for _, o := range owners {
+			if o.ID == n.id {
+				keep[key] = true
+				continue
+			}
+			pushes = append(pushes, push{key, o.Addr, b64})
+		}
+	}
+	errsByKey := make(map[string]error, len(blobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16) // bound concurrent pushes
+	for _, p := range pushes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p push) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := n.peers.do(p.addr, "CLUSTER", "ABSORB", p.key, p.b64); err != nil {
+				mu.Lock()
+				if errsByKey[p.key] == nil {
+					errsByKey[p.key] = err
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	var errs []error
+	for key := range blobs {
+		if err := errsByKey[key]; err != nil {
+			errs = append(errs, err)
+			continue // don't drop a key we failed to hand off
+		}
+		if !keep[key] {
+			n.store.Delete(key)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,125 @@
+// Command ell-cluster administers a sketch cluster (see the cluster
+// package) through any member node.
+//
+// Usage:
+//
+//	ell-cluster [-addr 127.0.0.1:7700] <command> [args]
+//
+// Commands:
+//
+//	info                  show the contacted node's view of the cluster
+//	map                   print the cluster map (version, replicas, members)
+//	join <id> <addr>      add node <id> at <addr> to the cluster
+//	leave <id>            remove node <id> (survivors re-replicate its keys)
+//	add <key> <el>...     PFADD routed to the key's owners
+//	count <key>...        cluster-wide union distinct count
+//	keys                  list all keys cluster-wide
+//	ping                  check liveness of the contacted node
+//
+// Example — grow a cluster from one seed and count through any node:
+//
+//	elld -node-id n1 -addr :7700 &
+//	elld -node-id n2 -addr :7701 -join 127.0.0.1:7700 &
+//	ell-cluster -addr 127.0.0.1:7701 add visits alice bob
+//	ell-cluster -addr 127.0.0.1:7700 count visits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"exaloglog/server"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|join <id> <addr>|leave <id>|add <key> <el>...|count <key>...|keys|ping")
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "address of any cluster node")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	cmd, rest := strings.ToLower(args[0]), args[1:]
+	switch cmd {
+	case "info":
+		reply := mustDo(c, "CLUSTER", "INFO")
+		fmt.Println(strings.ReplaceAll(reply, " ", "\n"))
+	case "map":
+		reply := mustDo(c, "CLUSTER", "MAP")
+		tokens := strings.Fields(reply)
+		if len(tokens) < 2 {
+			log.Fatalf("malformed map reply %q", reply)
+		}
+		fmt.Printf("version  %s\nreplicas %s\n", tokens[0], tokens[1])
+		for _, tok := range tokens[2:] {
+			id, nodeAddr, _ := strings.Cut(tok, "=")
+			fmt.Printf("node     %-12s %s\n", id, nodeAddr)
+		}
+	case "join":
+		if len(rest) != 2 {
+			usage()
+		}
+		fmt.Println(mustDo(c, "CLUSTER", "JOIN", rest[0], rest[1]))
+	case "leave":
+		if len(rest) != 1 {
+			usage()
+		}
+		fmt.Println(mustDo(c, "CLUSTER", "LEAVE", rest[0]))
+	case "add":
+		if len(rest) < 2 {
+			usage()
+		}
+		changed, err := c.PFAdd(rest[0], rest[1:]...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("changed=%v\n", changed)
+	case "count":
+		if len(rest) < 1 {
+			usage()
+		}
+		n, err := c.PFCount(rest...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(n)
+	case "keys":
+		keys, err := c.Keys()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+	case "ping":
+		if err := c.Ping(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("PONG")
+	default:
+		usage()
+	}
+}
+
+func mustDo(c *server.Client, parts ...string) string {
+	reply, err := c.Do(parts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return reply
+}

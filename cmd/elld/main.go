@@ -4,7 +4,16 @@
 //
 // Usage:
 //
-//	elld [-addr 127.0.0.1:7700] [-p 12]
+//	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file]
+//	elld -node-id n1 [-replicas 2] [-join host:port]   # cluster mode
+//
+// With -node-id set, elld runs as a member of a sharded, replicated
+// sketch cluster (see the cluster package): keys are routed to owner
+// nodes by consistent hashing, counts scatter-gather serialized sketches,
+// and -join adds this node to an existing cluster via any member.
+//
+// On SIGINT/SIGTERM elld takes a final snapshot (when -snapshot is set)
+// before closing the listener, so a restarted node loses nothing.
 //
 // Try it with netcat:
 //
@@ -21,7 +30,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
+	"exaloglog/cluster"
 	"exaloglog/internal/core"
 	"exaloglog/server"
 )
@@ -29,36 +40,99 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	p := flag.Int("p", 12, "sketch precision (2^p registers, ELL(2,20) configuration)")
-	snapshot := flag.String("snapshot", "", "snapshot file: loaded at startup if present, written by the SAVE command")
+	snapshot := flag.String("snapshot", "", "snapshot file: loaded at startup if present, written by the SAVE command and on shutdown")
+	nodeID := flag.String("node-id", "", "cluster node ID; non-empty enables cluster mode")
+	join := flag.String("join", "", "address of any member of an existing cluster to join (cluster mode)")
+	replicas := flag.Int("replicas", 2, "number of nodes holding each key (cluster mode)")
 	flag.Parse()
 
-	store, err := server.NewStore(core.RecommendedML(*p))
+	cfg := core.RecommendedML(*p)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *nodeID != "" {
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas)
+		return
+	}
+
+	store, err := server.NewStore(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *snapshot != "" {
-		switch err := store.LoadFile(*snapshot); {
-		case err == nil:
-			fmt.Printf("loaded %d sketches from %s\n", store.Len(), *snapshot)
-		case os.IsNotExist(err):
-			fmt.Printf("snapshot %s not found, starting empty\n", *snapshot)
-		default:
-			log.Fatal(err)
-		}
-	}
+	loadSnapshot(store, *snapshot)
 	srv := server.NewServer(store)
 	srv.SetSnapshotPath(*snapshot)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("elld listening on %s (ELL t=2 d=20 p=%d, %d bytes per sketch)\n",
-		srv.Addr(), *p, core.RecommendedML(*p).SizeBytes())
+		srv.Addr(), *p, cfg.SizeBytes())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	<-ctx.Done()
 	fmt.Println("shutting down")
+	// Close first: it stops the listener and waits for in-flight
+	// connections, so the final snapshot cannot miss a racing write.
 	if err := srv.Close(); err != nil {
+		log.Print(err)
+	}
+	saveSnapshot(store, *snapshot)
+}
+
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int) {
+	node, err := cluster.NewNode(nodeID, cfg, replicas)
+	if err != nil {
 		log.Fatal(err)
 	}
+	loadSnapshot(node.Store(), snapshot)
+	node.SetSnapshotPath(snapshot)
+	if err := node.Start(addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("elld node %s listening on %s (cluster mode, replicas=%d, p=%d)\n",
+		nodeID, node.Addr(), replicas, cfg.P)
+	if join != "" {
+		if err := node.Join(join); err != nil {
+			node.Close()
+			log.Fatal(err)
+		}
+		m := node.Map()
+		fmt.Printf("joined cluster via %s (map v%d, %d nodes)\n", join, m.Version, m.Len())
+	}
+
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	// Close first so in-flight writes land before the final snapshot.
+	if err := node.Close(); err != nil {
+		log.Print(err)
+	}
+	saveSnapshot(node.Store(), snapshot)
+}
+
+// loadSnapshot restores store from path if it exists; a missing file is
+// a fresh start, any other failure is fatal.
+func loadSnapshot(store *server.Store, path string) {
+	if path == "" {
+		return
+	}
+	switch err := store.LoadFile(path); {
+	case err == nil:
+		fmt.Printf("loaded %d sketches from %s\n", store.Len(), path)
+	case os.IsNotExist(err):
+		fmt.Printf("snapshot %s not found, starting empty\n", path)
+	default:
+		log.Fatal(err)
+	}
+}
+
+// saveSnapshot writes a final snapshot on shutdown so a restart loses
+// nothing.
+func saveSnapshot(store *server.Store, path string) {
+	if path == "" {
+		return
+	}
+	if err := store.SaveFile(path); err != nil {
+		log.Printf("final snapshot: %v", err)
+		return
+	}
+	fmt.Printf("saved %d sketches to %s\n", store.Len(), path)
 }

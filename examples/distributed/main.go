@@ -1,7 +1,9 @@
-// Distributed counting: shard a stream over workers, merge their sketches,
-// and get the same answer as a single counter — the mergeability and
-// reproducibility properties that make ExaLogLog suitable for distributed
-// systems (Section 1 of the paper).
+// Distributed counting with the cluster subsystem: three in-process
+// nodes form a sharded, replicated sketch cluster; writers talk to
+// whichever node is closest, readers ask any node, and everyone sees the
+// same estimate — the commutative, idempotent mergeability that makes
+// ExaLogLog suitable for distributed systems (Section 1 of the paper),
+// now server-side instead of client-side.
 //
 // Run with:
 //
@@ -13,57 +15,103 @@ import (
 	"sync"
 
 	"exaloglog"
+	"exaloglog/cluster"
 )
 
 const (
-	workers      = 8
+	writers      = 8
 	eventsPerDay = 400000
 	distinctIPs  = 120000
 	precision    = 11
 )
 
 func main() {
-	// Each worker counts the IPs it happens to receive. Elements are
-	// routed arbitrarily (here round-robin) — overlap between workers is
-	// fine because merging is idempotent.
-	sketches := make([]*exaloglog.Sketch, workers)
+	// Bring up a 3-node cluster with replica factor 2: every key lives on
+	// two nodes, and any node answers for any key.
+	cfg := exaloglog.Config{T: 2, D: 20, P: precision}
+	var nodes []*cluster.Node
+	for i := 1; i <= 3; i++ {
+		n, err := cluster.NewNode(fmt.Sprintf("n%d", i), cfg, 2)
+		if err != nil {
+			panic(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			panic(err)
+		}
+		defer n.Close()
+		if i > 1 {
+			if err := n.Join(nodes[0].Addr()); err != nil {
+				panic(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	fmt.Printf("3-node cluster up (replicas=2), seed at %s\n", nodes[0].Addr())
+
+	// Each writer streams its share of the day's events into the cluster
+	// through a different node. Routing is arbitrary — overlap between
+	// writers is fine because merging is idempotent.
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := exaloglog.New(precision)
-			for e := w; e < eventsPerDay; e += workers {
-				ip := ipFor(e % distinctIPs)
-				s.AddString(ip)
+			node := nodes[w%len(nodes)]
+			batch := make([]string, 0, 512)
+			flush := func() {
+				if len(batch) == 0 {
+					return
+				}
+				if _, err := node.Add("ips:today", batch...); err != nil {
+					panic(err)
+				}
+				batch = batch[:0]
 			}
-			sketches[w] = s
+			for e := w; e < eventsPerDay; e += writers {
+				batch = append(batch, ipFor(e%distinctIPs))
+				if len(batch) == cap(batch) {
+					flush()
+				}
+			}
+			flush()
 		}(w)
 	}
 	wg.Wait()
 
-	// The coordinator merges all partial sketches. Merge order does not
-	// matter; the result is exactly the sketch of the unified stream.
-	total := exaloglog.New(precision)
-	for _, s := range sketches {
-		if err := total.Merge(s); err != nil {
+	// Every node reports the same estimate: counts scatter-gather the
+	// owners' serialized sketches and merge them at the coordinator.
+	for _, n := range nodes {
+		est, err := n.Count("ips:today")
+		if err != nil {
 			panic(err)
 		}
+		fmt.Printf("node %s: distinct IPs ≈ %.0f (true: %d, off by %+.2f %%)\n",
+			n.ID(), est, distinctIPs, (est/distinctIPs-1)*100)
 	}
-	est := total.Estimate()
-	fmt.Printf("merged %d worker sketches (%d bytes each)\n", workers, total.SizeBytes())
-	fmt.Printf("distinct IPs: ≈ %.0f (true: %d, off by %+.2f %%)\n",
-		est, distinctIPs, (est/distinctIPs-1)*100)
 
-	// Reproducibility: a single sketch fed the whole stream in any order
-	// has the exact same register state.
+	// Reproducibility: a single local sketch fed the whole stream gives
+	// the exact same estimate as the cluster's merged answer.
 	single := exaloglog.New(precision)
-	for e := eventsPerDay - 1; e >= 0; e-- {
+	for e := 0; e < eventsPerDay; e++ {
 		single.AddString(ipFor(e % distinctIPs))
 	}
-	a, _ := total.MarshalBinary()
-	b, _ := single.MarshalBinary()
-	fmt.Printf("merged state == single-stream state: %v\n", string(a) == string(b))
+	clusterEst, err := nodes[1].Count("ips:today")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cluster estimate == single-sketch estimate: %v\n", clusterEst == single.Estimate())
+
+	// A node can leave gracefully: it drains its sketches to the new
+	// owners (re-sending blobs is always safe) and the estimate survives.
+	if err := nodes[2].Leave(); err != nil {
+		panic(err)
+	}
+	est, err := nodes[0].Count("ips:today")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after node n3 left: distinct IPs ≈ %.0f (unchanged: %v)\n",
+		est, est == clusterEst)
 }
 
 // ipFor deterministically maps an ID to a fake IPv4 string.

@@ -1,0 +1,3 @@
+module exaloglog
+
+go 1.22

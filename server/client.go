@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // ErrNoSuchKey is returned (wrapped) when a command addresses a missing
@@ -15,8 +16,11 @@ import (
 var ErrNoSuchKey = errors.New("no such key")
 
 // Client is a minimal client for the sketch server protocol. It is safe
-// for sequential use only; open one client per goroutine.
+// for concurrent use: commands are serialized on the single connection,
+// so goroutines sharing a Client queue behind each other. Open multiple
+// clients for pipelined throughput.
 type Client struct {
+	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
 }
@@ -37,8 +41,11 @@ func (c *Client) Close() error {
 }
 
 // Do sends one command line and returns the raw reply without its type
-// sigil. Protocol errors come back as Go errors.
+// sigil. Protocol errors come back as Go errors. Concurrent calls are
+// serialized; each request sees its own reply.
 func (c *Client) Do(parts ...string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, err := fmt.Fprintln(c.conn, strings.Join(parts, " ")); err != nil {
 		return "", err
 	}

@@ -17,7 +17,15 @@ import (
 // exist on several shards (e.g. regional writers); Count still returns
 // the exact union estimate.
 //
-// A MultiClient is safe for sequential use only.
+// A MultiClient is safe for concurrent use: the underlying Clients
+// serialize commands per connection, so concurrent PFAdds to different
+// shards proceed in parallel while same-shard commands queue.
+//
+// Note for migrators: MultiClient shards client-side, so every reader
+// must know the full topology and pay the merge cost itself. The cluster
+// package moves sharding, replication and scatter-gather aggregation
+// server-side — clients talk to any one node — and is the recommended
+// path for new deployments.
 type MultiClient struct {
 	clients []*Client
 }

@@ -31,6 +31,7 @@ import (
 type Server struct {
 	store        *Store
 	snapshotPath string
+	handlers     map[string]Handler
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -39,14 +40,31 @@ type Server struct {
 	closed   bool
 }
 
+// Handler processes one command line (the verb's arguments, already
+// tokenized) and returns the full reply including its type sigil, e.g.
+// "+OK", ":1" or "-ERR ...".
+type Handler func(args []string) (reply string)
+
 // NewServer returns a server wrapping the given store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{store: store, conns: make(map[net.Conn]struct{}), handlers: make(map[string]Handler)}
 }
 
 // SetSnapshotPath enables the SAVE command, writing snapshots to path.
 // Call before Listen.
 func (s *Server) SetSnapshotPath(path string) { s.snapshotPath = path }
+
+// Store returns the store this server serves.
+func (s *Server) Store() *Store { return s.store }
+
+// Handle registers a handler for verb (case-insensitive), taking
+// precedence over the built-in command of the same name. This is the
+// extension point the cluster package uses to layer CLUSTER verbs — and
+// cluster-wide PFADD/PFCOUNT semantics — onto the line protocol. Call
+// before Listen; Handle is not safe to call concurrently with serving.
+func (s *Server) Handle(verb string, h Handler) {
+	s.handlers[strings.ToUpper(verb)] = h
+}
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:7700";
 // port 0 picks a free port). It returns once the listener is bound; use
@@ -148,6 +166,9 @@ func (s *Server) dispatch(line string) (reply string, quit bool) {
 	fields := strings.Fields(line)
 	verb := strings.ToUpper(fields[0])
 	args := fields[1:]
+	if h, ok := s.handlers[verb]; ok {
+		return h(args), false
+	}
 	switch verb {
 	case "PFADD":
 		if len(args) < 2 {

@@ -158,6 +158,51 @@ func (s *Store) Restore(key string, data []byte) error {
 	return nil
 }
 
+// MergeBlob merges a serialized sketch into the sketch at key, creating
+// the key if absent. Unlike Restore it never discards existing state,
+// which makes it idempotent and safe to re-send — the property cluster
+// replication and rebalance rely on (paper Section 1: merging is
+// commutative and idempotent).
+func (s *Store) MergeBlob(key string, data []byte) error {
+	in, err := core.FromBinary(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.sketches[key]
+	if !ok {
+		s.sketches[key] = in
+		return nil
+	}
+	merged, err := core.MergeCompatible(cur, in)
+	if err != nil {
+		return fmt.Errorf("server: merge blob into %q: %w", key, err)
+	}
+	s.sketches[key] = merged
+	return nil
+}
+
+// DumpAll serializes every sketch in the store, keyed by name. It is a
+// point-in-time copy; mutating the store afterwards does not affect the
+// returned blobs.
+func (s *Store) DumpAll() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.sketches))
+	for k, sk := range s.sketches {
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			continue // unreachable: MarshalBinary cannot fail
+		}
+		out[k] = blob
+	}
+	return out
+}
+
+// Config returns the store's default sketch configuration.
+func (s *Store) Config() core.Config { return s.cfg }
+
 // Info describes the sketch at key; ok is false if the key is missing.
 func (s *Store) Info(key string) (info string, ok bool) {
 	s.mu.RLock()
