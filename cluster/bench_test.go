@@ -8,11 +8,11 @@ import (
 )
 
 // startBenchCluster brings up a 3-node, replica-2 cluster and a client
-// connected to the first node.
-func startBenchCluster(b *testing.B) (*Node, *server.Client) {
+// connected to the first node; nodes[0] is the seed.
+func startBenchCluster(b *testing.B) ([]*Node, *server.Client) {
 	b.Helper()
-	var seed *Node
-	for i := 0; i < 3; i++ {
+	nodes := make([]*Node, 3)
+	for i := range nodes {
 		node, err := NewNode(fmt.Sprintf("n%d", i+1), testConfig(), 2)
 		if err != nil {
 			b.Fatal(err)
@@ -21,18 +21,19 @@ func startBenchCluster(b *testing.B) (*Node, *server.Client) {
 			b.Fatal(err)
 		}
 		b.Cleanup(func() { node.Close() })
-		if i == 0 {
-			seed = node
-		} else if err := node.Join(seed.Addr()); err != nil {
-			b.Fatal(err)
+		if i > 0 {
+			if err := node.Join(nodes[0].Addr()); err != nil {
+				b.Fatal(err)
+			}
 		}
+		nodes[i] = node
 	}
-	c, err := server.Dial(seed.Addr())
+	c, err := server.Dial(nodes[0].Addr())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { c.Close() })
-	return seed, c
+	return nodes, c
 }
 
 // BenchmarkClusterRoutedPFAdd measures wire-level PFADD through one node
@@ -54,12 +55,12 @@ func BenchmarkClusterRoutedPFAdd(b *testing.B) {
 // 8-key union through one node: every key's owner sketches are fetched
 // with DUMP and merged at the coordinator.
 func BenchmarkClusterFanoutPFCount(b *testing.B) {
-	node, c := startBenchCluster(b)
+	nodes, c := startBenchCluster(b)
 	keys := make([]string, 8)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key-%d", i)
 		for j := 0; j < 1000; j++ {
-			if _, err := node.Add(keys[i], fmt.Sprintf("el-%d-%d", i, j)); err != nil {
+			if _, err := nodes[0].Add(keys[i], fmt.Sprintf("el-%d-%d", i, j)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -71,6 +72,46 @@ func BenchmarkClusterFanoutPFCount(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkRebalance measures one full membership round trip — a
+// fourth node joining and then leaving a 3-node, replica-2 cluster
+// holding 512 keys. The delta-aware rebalance moves only keys whose
+// owner set changed, which is what keeps this flat-ish as stores grow.
+func BenchmarkRebalance(b *testing.B) {
+	nodes, _ := startBenchCluster(b)
+	for i := 0; i < 512; i++ {
+		if _, err := nodes[0].Add(fmt.Sprintf("key-%d", i), "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n4, err := NewNode("n4", testConfig(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n4.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n4.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n4.Join(nodes[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+		if err := n4.Leave(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sumPushes(append(nodes, n4)...))/float64(b.N), "pushes/op")
+}
+
+func sumPushes(nodes ...*Node) uint64 {
+	var total uint64
+	for _, n := range nodes {
+		total += n.RebalancePushes()
+	}
+	return total
 }
 
 // BenchmarkRingOwners isolates the routing cost: key → N owners on the

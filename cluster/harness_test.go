@@ -1,0 +1,689 @@
+package cluster
+
+// An in-process multi-node cluster harness with injectable fault hooks
+// — partition a node, delay a verb on the wire, crash a node and
+// restart it from its snapshot — so membership races that would
+// otherwise only surface in production are reproducible, deterministic
+// enough to assert on, and run under `go test -race`.
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exaloglog/internal/core"
+	"exaloglog/server"
+)
+
+type harness struct {
+	t        *testing.T
+	replicas int
+	dir      string
+
+	mu          sync.Mutex
+	nodes       map[string]*Node         // running nodes by ID
+	addrs       map[string]string        // id → last listen address (survives a crash)
+	idByAddr    map[string]string        // reverse index for symmetric partitions
+	partitioned map[string]bool          // node IDs currently cut off
+	delays      map[string]time.Duration // CLUSTER subcommand → outbound delay
+}
+
+// newHarness boots n nodes (n1..nN, n1 the seed) with the given
+// replica factor, each with a snapshot path and a fault hook.
+func newHarness(t *testing.T, n, replicas int) *harness {
+	t.Helper()
+	h := &harness{
+		t:           t,
+		replicas:    replicas,
+		dir:         t.TempDir(),
+		nodes:       make(map[string]*Node),
+		addrs:       make(map[string]string),
+		idByAddr:    make(map[string]string),
+		partitioned: make(map[string]bool),
+		delays:      make(map[string]time.Duration),
+	}
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		node := h.start(id, "127.0.0.1:0")
+		if i > 1 {
+			if err := node.Join(h.addr("n1")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Cleanup(h.closeAll)
+	return h
+}
+
+// hookFor builds node id's outbound fault hook: traffic is dropped
+// when either endpoint is partitioned, and CLUSTER subcommands with a
+// configured delay sleep before being sent.
+func (h *harness) hookFor(id string) func(addr string, parts []string) error {
+	return func(addr string, parts []string) error {
+		h.mu.Lock()
+		blocked := h.partitioned[id] || h.partitioned[h.idByAddr[addr]]
+		var delay time.Duration
+		if len(parts) >= 2 && strings.EqualFold(parts[0], "CLUSTER") {
+			delay = h.delays[strings.ToUpper(parts[1])]
+		}
+		h.mu.Unlock()
+		if blocked {
+			return fmt.Errorf("harness: network partition between %s and %s", id, addr)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return nil
+	}
+}
+
+// start boots node id, loading its snapshot when one exists. listen is
+// "127.0.0.1:0" for a fresh port or a recorded address on restart.
+func (h *harness) start(id, listen string) *Node {
+	h.t.Helper()
+	n, err := NewNode(id, testConfig(), h.replicas)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	snap := h.snapPath(id)
+	if _, err := os.Stat(snap); err == nil {
+		if err := n.Store().LoadFile(snap); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	n.SetSnapshotPath(snap)
+	n.setFaultHook(h.hookFor(id))
+	// A just-crashed listener's port can take a moment to rebind.
+	startErr := n.Start(listen)
+	for attempt := 0; startErr != nil && attempt < 50; attempt++ {
+		time.Sleep(20 * time.Millisecond)
+		startErr = n.Start(listen)
+	}
+	if startErr != nil {
+		h.t.Fatal(startErr)
+	}
+	h.mu.Lock()
+	h.nodes[id] = n
+	h.addrs[id] = n.Addr()
+	h.idByAddr[n.Addr()] = id
+	h.mu.Unlock()
+	return n
+}
+
+// crash kills node id WITHOUT a final snapshot — whatever save wrote
+// earlier is all a restart gets, like a real power loss.
+func (h *harness) crash(id string) {
+	h.mu.Lock()
+	n := h.nodes[id]
+	delete(h.nodes, id)
+	h.mu.Unlock()
+	if n != nil {
+		n.Close()
+	}
+}
+
+// save snapshots node id's store (sketches + cluster map), as elld's
+// SIGTERM/SAVE path would.
+func (h *harness) save(id string) {
+	h.t.Helper()
+	if err := h.node(id).Store().SaveFile(h.snapPath(id)); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// restart brings a crashed node back on its old address from its last
+// snapshot and lets it self-heal into the cluster — no seed address.
+func (h *harness) restart(id string) *Node {
+	h.t.Helper()
+	h.mu.Lock()
+	listen := h.addrs[id]
+	h.mu.Unlock()
+	n := h.start(id, listen)
+	if err := n.Rejoin(); err != nil {
+		h.t.Fatalf("rejoin %s: %v", id, err)
+	}
+	return n
+}
+
+// partition cuts node id off from all peer traffic (both directions)
+// or reconnects it.
+func (h *harness) partition(id string, cut bool) {
+	h.mu.Lock()
+	h.partitioned[id] = cut
+	h.mu.Unlock()
+}
+
+// delay makes every node's outbound CLUSTER <verb> messages sleep d
+// before sending (0 clears it).
+func (h *harness) delay(verb string, d time.Duration) {
+	h.mu.Lock()
+	h.delays[strings.ToUpper(verb)] = d
+	h.mu.Unlock()
+}
+
+func (h *harness) snapPath(id string) string { return h.dir + "/" + id + ".elss" }
+
+func (h *harness) node(id string) *Node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nodes[id]
+}
+
+func (h *harness) addr(id string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addrs[id]
+}
+
+// running returns all live nodes sorted by ID.
+func (h *harness) running() []*Node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Node, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// do runs one admin command against node id on a fresh operator
+// connection (operator traffic bypasses the simulated partitions).
+func (h *harness) do(id string, parts ...string) (string, error) {
+	c, err := server.Dial(h.addr(id))
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	return c.Do(parts...)
+}
+
+// converge drives Sync rounds until every running node holds a
+// byte-identical map, failing the test after deadline. Returns the
+// converged encoding.
+func (h *harness) converge(deadline time.Duration) string {
+	h.t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		for _, n := range h.running() {
+			n.Sync() // best-effort: unreachable peers just miss this round
+		}
+		encodings := make(map[string]bool)
+		var enc string
+		for _, n := range h.running() {
+			enc = n.Map().Encode()
+			encodings[enc] = true
+		}
+		if len(encodings) == 1 {
+			return enc
+		}
+		if time.Now().After(end) {
+			for _, n := range h.running() {
+				h.t.Logf("  %s holds %s", n.ID(), n.Map().Encode())
+			}
+			h.t.Fatal("cluster maps failed to converge")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (h *harness) closeAll() {
+	for _, n := range h.running() {
+		n.Close()
+	}
+}
+
+// --- tests -------------------------------------------------------------
+
+// TestChaosConcurrentMembership: goroutines hammer JOIN/LEAVE through
+// different coordinators (with SETMAP broadcasts artificially delayed
+// so they overlap) while writers keep adding elements. Afterwards
+// every node must hold a byte-identical map, and — because ExaLogLog
+// merging is lossless — the cluster-wide count of every key must
+// exactly equal a golden reference sketch fed the same elements; in
+// particular it can never underestimate the exact distinct count.
+func TestChaosConcurrentMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness skipped in -short")
+	}
+	h := newHarness(t, 3, 2)
+	h.delay("SETMAP", 2*time.Millisecond)
+	defer h.delay("SETMAP", 0)
+
+	churners := []string{"x1", "x2"}
+	for _, id := range churners {
+		h.start(id, "127.0.0.1:0")
+	}
+	coords := []string{"n1", "n2", "n3"}
+
+	const keys = 24
+	keyName := func(k int) string { return fmt.Sprintf("chaos-%d", k) }
+	ref := make([]*core.Sketch, keys)
+	exact := make([]map[string]bool, keys)
+	for k := range ref {
+		ref[k] = core.MustNew(testConfig())
+		exact[k] = make(map[string]bool)
+	}
+	var refMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for ci, id := range churners {
+		wg.Add(1)
+		go func(ci int, id string) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				// Errors are part of the chaos: epoch fencing may
+				// refuse a claim mid-race; the next round retries.
+				h.do(coords[(ci+round)%len(coords)], "CLUSTER", "JOIN", id, h.addr(id))
+				h.do(coords[(ci+round+1)%len(coords)], "CLUSTER", "LEAVE", id)
+			}
+		}(ci, id)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				k := (w*120 + i) % keys
+				el := fmt.Sprintf("el-%d-%d", w, i)
+				node := h.node(coords[(w+i)%len(coords)])
+				var err error
+				for attempt := 0; attempt < 200; attempt++ {
+					if _, err = node.Add(keyName(k), el); err == nil {
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				if err != nil {
+					t.Errorf("write %s→%s never succeeded: %v", el, keyName(k), err)
+					continue
+				}
+				refMu.Lock()
+				ref[k].AddString(el)
+				exact[k][el] = true
+				refMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.delay("SETMAP", 0)
+
+	enc := h.converge(30 * time.Second)
+	t.Logf("converged on %s", enc)
+
+	allKeys := make([]string, keys)
+	totalExact := 0
+	for k := 0; k < keys; k++ {
+		allKeys[k] = keyName(k)
+		totalExact += len(exact[k])
+	}
+	for k := 0; k < keys; k++ {
+		want := ref[k].Estimate()
+		for _, n := range h.running() {
+			got, err := n.Count(keyName(k))
+			if err != nil {
+				t.Fatalf("%s: count %s: %v", n.ID(), keyName(k), err)
+			}
+			if got != want {
+				t.Errorf("%s: count %s = %v, want %v (exact %d) — writes lost or duplicated in churn",
+					n.ID(), keyName(k), got, want, len(exact[k]))
+			}
+		}
+	}
+	union, err := h.node("n1").Count(allKeys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union < 0.9*float64(totalExact) {
+		t.Errorf("union count %v underestimates the exact %d distinct writes", union, totalExact)
+	}
+}
+
+// TestCrashRestartSelfHeals: a node is killed mid-rebalance (a join is
+// in flight and its ABSORB pushes are delayed), restarted from its
+// last snapshot with NO seed address, and must self-heal into the
+// current epoch's map with every key still countable.
+func TestCrashRestartSelfHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-restart harness skipped in -short")
+	}
+	h := newHarness(t, 3, 2)
+
+	const keys = 40
+	ref := make([]float64, keys)
+	keyName := func(k int) string { return fmt.Sprintf("crash-%d", k) }
+	for k := 0; k < keys; k++ {
+		for e := 0; e < 5; e++ {
+			if _, err := h.node("n1").Add(keyName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Periodic snapshot point: n3 persists its sketches AND the
+	// current 3-node map.
+	h.save("n3")
+	epochAtSave := h.node("n3").Map().Epoch
+	// Writes after the snapshot exist on n3 only in memory — their
+	// replica on the other owner must carry them across the crash.
+	for k := 0; k < keys; k++ {
+		if _, err := h.node("n2").Add(keyName(k), fmt.Sprintf("late-%d", k)); err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = mustCount(t, h.node("n1"), keyName(k))
+	}
+
+	// A join starts; its rebalance traffic is slowed so n3 dies while
+	// the membership change is still propagating.
+	h.start("x1", "127.0.0.1:0")
+	h.delay("ABSORB", 5*time.Millisecond)
+	joinDone := make(chan struct{})
+	go func() {
+		defer close(joinDone)
+		// The broadcast to the crashing n3 may fail — that is the point.
+		h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1"))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.crash("n3")
+	<-joinDone
+	h.delay("ABSORB", 0)
+
+	// The survivors carry on and converge without n3.
+	h.converge(15 * time.Second)
+	if got := h.node("n1").Map().Len(); got != 4 {
+		t.Fatalf("survivors' map has %d members, want 4 (n1 n2 n3 x1)", got)
+	}
+
+	// Restart n3 from its snapshot: no -join flag, just the persisted
+	// map. It must land on the cluster's current epoch.
+	n3 := h.restart("n3")
+	enc := h.converge(15 * time.Second)
+	if n3.Map().Encode() != enc {
+		t.Fatalf("restarted node map %s diverges from cluster %s", n3.Map().Encode(), enc)
+	}
+	if n3.Map().Epoch <= epochAtSave {
+		t.Errorf("restarted node stuck at snapshot epoch %d (cluster moved past %d)", n3.Map().Epoch, epochAtSave)
+	}
+	if !n3.Map().Has("x1") {
+		t.Error("restarted node never learned about the node that joined while it was down")
+	}
+	// No lost keys: every count matches its pre-crash value, from
+	// every node including the restarted one.
+	for k := 0; k < keys; k++ {
+		for _, n := range h.running() {
+			got := mustCount(t, n, keyName(k))
+			if got != ref[k] {
+				t.Errorf("%s: count %s = %v, want %v after crash-restart", n.ID(), keyName(k), got, ref[k])
+			}
+		}
+	}
+}
+
+// TestMinorityCoordinatorCannotMutate: with a majority of members
+// unreachable, a JOIN through the minority side fails its epoch claim
+// and changes nothing — the fencing that prevents split-brain
+// membership. Healing the partition makes the same JOIN succeed.
+func TestMinorityCoordinatorCannotMutate(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	h.start("x1", "127.0.0.1:0")
+	h.partition("n2", true)
+	h.partition("n3", true)
+
+	before := h.node("n1").Map().Encode()
+	if reply, err := h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1")); err == nil {
+		t.Fatalf("JOIN through a minority coordinator succeeded: %q", reply)
+	}
+	if got := h.node("n1").Map().Encode(); got != before {
+		t.Errorf("failed claim still mutated the map: %s → %s", before, got)
+	}
+
+	h.partition("n2", false)
+	h.partition("n3", false)
+	if _, err := h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1")); err != nil {
+		t.Fatalf("JOIN after heal: %v", err)
+	}
+	enc := h.converge(10 * time.Second)
+	if !strings.Contains(enc, "x1=") {
+		t.Errorf("converged map %s lacks the joined node", enc)
+	}
+}
+
+// TestPartitionedNodeMissesBroadcastThenHeals: a node cut off during a
+// membership change misses the SETMAP broadcast (the majority side
+// proceeds); when the partition heals, Sync pulls it onto the newest
+// map and every count survives.
+func TestPartitionedNodeMissesBroadcastThenHeals(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	const keys = 20
+	keyName := func(k int) string { return fmt.Sprintf("part-%d", k) }
+	ref := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		for e := 0; e < 3; e++ {
+			if _, err := h.node("n2").Add(keyName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref[k] = mustCount(t, h.node("n1"), keyName(k))
+	}
+
+	h.partition("n3", true)
+	h.start("x1", "127.0.0.1:0")
+	// The claim reaches quorum (n1+n2) so the join lands on the
+	// majority; the broadcast to n3 fails, surfacing as an error.
+	h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1"))
+	if got := h.node("n1").Map().Len(); got != 4 {
+		t.Fatalf("majority side map has %d members, want 4", got)
+	}
+	if got := h.node("n3").Map().Len(); got != 3 {
+		t.Fatalf("partitioned node saw the broadcast (map has %d members)", got)
+	}
+
+	h.partition("n3", false)
+	enc := h.converge(10 * time.Second)
+	if h.node("n3").Map().Encode() != enc {
+		t.Error("healed node still diverges")
+	}
+	for k := 0; k < keys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, keyName(k)); got != ref[k] {
+				t.Errorf("%s: count %s = %v, want %v after heal", n.ID(), keyName(k), got, ref[k])
+			}
+		}
+	}
+}
+
+// TestRestartOnNewAddressReannounces: a node that comes back on a
+// different port must announce the new address itself — including the
+// 2-node case where no peer can coordinate the join (the peer's epoch
+// claim targets the dead recorded address and can never reach quorum),
+// so Rejoin has to fall back to coordinating locally.
+func TestRestartOnNewAddressReannounces(t *testing.T) {
+	h := newHarness(t, 2, 2)
+	if _, err := h.node("n1").Add("k", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	h.save("n2")
+	oldAddr := h.addr("n2")
+	h.crash("n2")
+	n2 := h.start("n2", "127.0.0.1:0") // the old port is "taken"
+	if n2.Addr() == oldAddr {
+		t.Skip("OS handed back the same ephemeral port")
+	}
+	if err := n2.Rejoin(); err != nil {
+		t.Fatalf("rejoin on a new address: %v", err)
+	}
+	enc := h.converge(10 * time.Second)
+	if !strings.Contains(enc, "n2="+n2.Addr()) {
+		t.Errorf("converged map %s does not record n2's new address %s", enc, n2.Addr())
+	}
+	for _, n := range h.running() {
+		if got := mustCount(t, n, "k"); int64(got+0.5) != 2 {
+			t.Errorf("%s: count k = %v after re-address, want ≈2", n.ID(), got)
+		}
+	}
+}
+
+// TestLeaveAfterBeingRemovedStillDrains: a node that was LEAVEd by an
+// operator while partitioned still holds its data and believes it is a
+// member; its own Leave must drain that data to the owners rather than
+// report instant success because the map no longer lists it.
+func TestLeaveAfterBeingRemovedStillDrains(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	const keys = 15
+	keyName := func(k int) string { return fmt.Sprintf("dr-%d", k) }
+	ref := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		for e := 0; e < 4; e++ {
+			if _, err := h.node("n3").Add(keyName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref[k] = mustCount(t, h.node("n1"), keyName(k))
+	}
+	h.partition("n3", true)
+	// The LEAVE lands on the majority; the drain notification to n3 is
+	// lost in the partition, so n3 keeps its sketches and a stale map.
+	h.do("n1", "CLUSTER", "LEAVE", "n3")
+	if h.node("n1").Map().Has("n3") {
+		t.Fatal("majority side still lists n3")
+	}
+	if h.node("n3").Store().Len() == 0 {
+		t.Fatal("partitioned n3 drained — the partition hook is leaky")
+	}
+	h.partition("n3", false)
+	// n3's own graceful Leave: its epoch claim adopts the majority's
+	// n3-less map from the vote replies, and the retry path must then
+	// DRAIN, not declare victory because the map already excludes it.
+	if err := h.node("n3").Leave(); err != nil {
+		t.Fatalf("leave after being removed: %v", err)
+	}
+	if got := h.node("n3").Store().Len(); got != 0 {
+		t.Errorf("left node still holds %d sketches, want 0", got)
+	}
+	for k := 0; k < keys; k++ {
+		for _, id := range []string{"n1", "n2"} {
+			if got := mustCount(t, h.node(id), keyName(k)); got != ref[k] {
+				t.Errorf("%s: count %s = %v, want %v after drain", id, keyName(k), got, ref[k])
+			}
+		}
+	}
+}
+
+// TestStaleSetmapIgnored: SETMAP applies the (Epoch, Version,
+// Coordinator) order — a delayed stale map arriving after a newer one
+// is a no-op, and equal-epoch rival maps resolve to the same winner on
+// every node, so out-of-order delivery cannot roll membership back.
+func TestStaleSetmapIgnored(t *testing.T) {
+	h := newHarness(t, 2, 1)
+	cur := h.node("n2").Map()
+
+	older := cur.withNode("ghost", "127.0.0.1:1", cur.Epoch+1, "n1")
+	newer := older.withoutNode("ghost", cur.Epoch+2, "n1")
+	setmap := func(m *Map) {
+		t.Helper()
+		if _, err := h.do("n2", append([]string{"CLUSTER", "SETMAP"}, strings.Fields(m.Encode())...)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setmap(newer) // the later mutation arrives first...
+	setmap(older) // ...then the delayed stale one
+	if got := h.node("n2").Map().Encode(); got != newer.Encode() {
+		t.Fatalf("stale SETMAP rolled the map back: %s, want %s", got, newer.Encode())
+	}
+
+	// Equal-epoch rivals (only possible when a claim couldn't reach
+	// quorum): the coordinator tie-break picks one winner, and
+	// re-delivering the loser changes nothing.
+	rivalA := newer.withNode("a", "127.0.0.1:1", newer.Epoch+1, "n1")
+	rivalB := newer.withNode("b", "127.0.0.1:1", newer.Epoch+1, "n9")
+	setmap(rivalA)
+	setmap(rivalB) // n9 > n1: B wins
+	setmap(rivalA) // loser re-delivered: still B
+	if got := h.node("n2").Map().Encode(); got != rivalB.Encode() {
+		t.Fatalf("equal-epoch tie not deterministic: %s, want %s", got, rivalB.Encode())
+	}
+}
+
+// TestDeltaRebalanceMessageCount: a join must cost ABSORB messages
+// proportional to the keys whose owner set changed, never the old
+// O(keys×replicas) full re-push.
+func TestDeltaRebalanceMessageCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-key rebalance accounting skipped in -short")
+	}
+	nodes := startCluster(t, 3, 2)
+	const total = 1000
+	keyName := func(k int) string { return fmt.Sprintf("delta-%d", k) }
+	for k := 0; k < total; k++ {
+		if _, err := nodes[0].Add(keyName(k), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldMap := nodes[0].Map()
+	var before uint64
+	for _, n := range nodes {
+		before += n.RebalancePushes()
+	}
+
+	joiner, err := NewNode("n4", testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	if err := joiner.Join(nodes[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	newMap := nodes[0].Map()
+
+	moved := 0
+	for k := 0; k < total; k++ {
+		oldIDs := slices.Clone(oldMap.ownerIDs(keyName(k)))
+		newIDs := slices.Clone(newMap.ownerIDs(keyName(k)))
+		slices.Sort(oldIDs)
+		slices.Sort(newIDs)
+		if !slices.Equal(oldIDs, newIDs) {
+			moved++
+		}
+	}
+	var after uint64
+	for _, n := range append(slices.Clone(nodes), joiner) {
+		after += n.RebalancePushes()
+	}
+	pushes := int(after - before)
+
+	if moved == 0 || moved == total {
+		t.Fatalf("owner-set diff degenerate: %d of %d keys moved", moved, total)
+	}
+	t.Logf("join moved %d/%d keys at a cost of %d ABSORB pushes", moved, total, pushes)
+	// Each moved key is pushed by each prior holder to each owner it
+	// gained — ≈ replicas × 1. Allow headroom, but stay far under the
+	// old cost of re-pushing every key to every remote owner.
+	if pushes > 3*moved {
+		t.Errorf("join cost %d pushes for %d moved keys — rebalance is not delta-proportional", pushes, moved)
+	}
+	if pushes >= total*2 {
+		t.Errorf("join re-pushed the whole store (%d pushes for %d keys)", pushes, total)
+	}
+	// The delta still replicated everything: spot-check counts.
+	for k := 0; k < total; k += 101 {
+		if got := mustCount(t, joiner, keyName(k)); int64(got+0.5) != 1 {
+			t.Errorf("count %s = %v after delta rebalance, want ≈1", keyName(k), got)
+		}
+	}
+}
+
+func mustCount(t *testing.T, n *Node, keys ...string) float64 {
+	t.Helper()
+	got, err := n.Count(keys...)
+	if err != nil {
+		t.Fatalf("%s: count %v: %v", n.ID(), keys, err)
+	}
+	return got
+}

@@ -13,27 +13,64 @@ type Member struct {
 	Addr string
 }
 
-// Map is an immutable, versioned view of cluster membership: which nodes
-// exist, where they listen, and how many replicas each key gets. Nodes
-// exchange maps with the CLUSTER SETMAP verb; higher versions win, so a
-// map change made on any node converges everywhere. Treat a Map as
+// Map is an immutable view of cluster membership: which nodes exist,
+// where they listen, and how many replicas each key gets. Nodes
+// exchange maps with the CLUSTER SETMAP verb; newer maps win, so a map
+// change made on any node converges everywhere. Treat a Map as
 // read-only once built — derive changed maps with withNode/withoutNode.
 //
-// Limitation: membership changes are assumed to be serialized by the
-// operator (one JOIN/LEAVE at a time). Two concurrent changes routed
-// through different coordinators can mint equal-version maps with
-// different members, and version-only reconciliation will not merge
-// them — epoch-based conflict resolution (à la Redis Cluster) is a
-// future step; see ROADMAP.md.
+// # Epoch rules
+//
+// Maps are totally ordered by (Epoch, Version, Coordinator), compared
+// in that order — see Newer. Every membership mutation goes through a
+// coordinator that first wins a claim on a fresh epoch from a quorum
+// (majority) of the current members (CLUSTER EPOCH, à la Redis
+// Cluster's config epochs), then mints the new map at that epoch and
+// broadcasts it. A node grants each epoch to at most one coordinator,
+// and majorities intersect, so two concurrent JOIN/LEAVEs routed
+// through different coordinators cannot both win the same epoch: one
+// coordinator retries at a higher epoch. Claim replies carry each
+// voter's current map and the coordinator adopts the newest before
+// minting, so the later mutation builds on — rather than overwrites —
+// a rival map that is still mid-broadcast, as long as some reachable
+// member has installed it. Even when a partition lets equal-epoch maps
+// escape (quorum unreachable), the Version and Coordinator tie-breaks
+// still give every node the same winner, so reconciliation never
+// stalls — convergence degrades, correctness does not.
+//
+// # Limits (single partition)
+//
+// Epoch fencing orders maps; it is not consensus. During a partition a
+// majority side can keep mutating while the minority side serves its
+// last map, and a minority-side mutation that cannot reach quorum
+// fails. When the partition heals, the highest-epoch map wins
+// everywhere (Sync/SETMAP) and the losing side's unmerged membership
+// mutations — not its sketch data, which rebalance re-pushes — are
+// discarded and must be re-issued. Likewise, a mutation whose
+// coordinator becomes unreachable before any reachable member learns
+// its map can be superseded by a later, higher-epoch mutation minted
+// from an older parent, even though the coordinator replied OK. This
+// buys convergence without a consensus dependency; it does not buy
+// linearizable membership.
 type Map struct {
-	Version  uint64
-	Replicas int
-	nodes    map[string]string // id → addr
-	ring     *ring
+	// Epoch is the fencing token: it increases on every membership
+	// mutation and dominates the ordering.
+	Epoch uint64
+	// Version counts mutations within the map's lineage; it breaks
+	// ties between equal-epoch maps (possible only when a claim could
+	// not reach quorum).
+	Version uint64
+	// Coordinator is the ID of the node that minted this map ("" for
+	// a node's initial self-map); it is the final, deterministic
+	// tie-break.
+	Coordinator string
+	Replicas    int
+	nodes       map[string]string // id → addr
+	ring        *ring
 }
 
-// NewMap builds a version-1 map with the given replica factor and
-// members. Replicas is clamped to at least 1.
+// NewMap builds an epoch-1, version-1 map with the given replica factor
+// and members. Replicas is clamped to at least 1.
 func NewMap(replicas int, members ...Member) *Map {
 	if replicas < 1 {
 		replicas = 1
@@ -42,16 +79,39 @@ func NewMap(replicas int, members ...Member) *Map {
 	for _, m := range members {
 		nodes[m.ID] = m.Addr
 	}
-	return build(1, replicas, nodes)
+	return build(1, 1, "", replicas, nodes)
 }
 
-func build(version uint64, replicas int, nodes map[string]string) *Map {
+func build(epoch, version uint64, coordinator string, replicas int, nodes map[string]string) *Map {
 	ids := make([]string, 0, len(nodes))
 	for id := range nodes {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	return &Map{Version: version, Replicas: replicas, nodes: nodes, ring: newRing(ids)}
+	return &Map{
+		Epoch:       epoch,
+		Version:     version,
+		Coordinator: coordinator,
+		Replicas:    replicas,
+		nodes:       nodes,
+		ring:        newRing(ids),
+	}
+}
+
+// Newer reports whether m supersedes other under the total order
+// (Epoch, Version, Coordinator). A nil other is always superseded.
+// Equal maps are NOT newer, which makes re-delivered SETMAPs no-ops.
+func (m *Map) Newer(other *Map) bool {
+	if other == nil {
+		return true
+	}
+	if m.Epoch != other.Epoch {
+		return m.Epoch > other.Epoch
+	}
+	if m.Version != other.Version {
+		return m.Version > other.Version
+	}
+	return m.Coordinator > other.Coordinator
 }
 
 // Members returns all members sorted by ID.
@@ -84,62 +144,123 @@ func (m *Map) Owners(key string) []Member {
 	return out
 }
 
-// withNode returns a new map at version+1 with node id added or
-// re-addressed.
-func (m *Map) withNode(id, addr string) *Map {
+// ownerIDs returns just the IDs owning key, for cheap owner-set diffs.
+func (m *Map) ownerIDs(key string) []string { return m.ring.ownersOf(key, m.Replicas) }
+
+// withNode returns a new map minted by coordinator at epoch with node
+// id added or re-addressed, at version+1.
+func (m *Map) withNode(id, addr string, epoch uint64, coordinator string) *Map {
 	nodes := make(map[string]string, len(m.nodes)+1)
 	for k, v := range m.nodes {
 		nodes[k] = v
 	}
 	nodes[id] = addr
-	return build(m.Version+1, m.Replicas, nodes)
+	return build(epoch, m.Version+1, coordinator, m.Replicas, nodes)
 }
 
-// withoutNode returns a new map at version+1 with node id removed.
-func (m *Map) withoutNode(id string) *Map {
+// withoutNode returns a new map minted by coordinator at epoch with
+// node id removed, at version+1.
+func (m *Map) withoutNode(id string, epoch uint64, coordinator string) *Map {
 	nodes := make(map[string]string, len(m.nodes))
 	for k, v := range m.nodes {
 		if k != id {
 			nodes[k] = v
 		}
 	}
-	return build(m.Version+1, m.Replicas, nodes)
+	return build(epoch, m.Version+1, coordinator, m.Replicas, nodes)
 }
+
+// mapWireTag versions the SETMAP payload; bumping the map schema means
+// minting a new tag, so old nodes reject (rather than misparse) new
+// payloads and vice versa.
+const mapWireTag = "v2"
+
+// noCoordinator is the wire spelling of an empty Coordinator (tokens
+// cannot be empty).
+const noCoordinator = "-"
+
+// maxWireMembers caps how many members DecodeMap accepts; an
+// adversarial payload cannot make a node build an absurd ring.
+const maxWireMembers = 4096
+
+// maxWireBytes caps the total encoded size DecodeMap accepts. It is
+// far below the server snapshot reader's 1 MiB metadata limit, so any
+// map a node can install is guaranteed to round-trip through the
+// snapshot it is persisted in.
+const maxWireBytes = 1 << 18
 
 // Encode renders the map as space-separated protocol tokens:
 //
-//	<version> <replicas> <id>=<addr> [<id>=<addr> ...]
+//	v2 <epoch> <version> <coordinator|-> <replicas> <id>=<addr> [...]
 //
 // the payload of CLUSTER MAP replies and CLUSTER SETMAP commands. Node
-// IDs and addresses must not contain whitespace or '='; Node enforces
-// this at join time.
+// IDs, addresses and coordinator must not contain whitespace or '=';
+// Node enforces this at join time. Members are emitted sorted by ID,
+// so equal maps encode byte-identically.
 func (m *Map) Encode() string {
-	parts := make([]string, 0, 2+len(m.nodes))
-	parts = append(parts, strconv.FormatUint(m.Version, 10), strconv.Itoa(m.Replicas))
+	coord := m.Coordinator
+	if coord == "" {
+		coord = noCoordinator
+	}
+	parts := make([]string, 0, 5+len(m.nodes))
+	parts = append(parts, mapWireTag,
+		strconv.FormatUint(m.Epoch, 10),
+		strconv.FormatUint(m.Version, 10),
+		coord,
+		strconv.Itoa(m.Replicas))
 	for _, mem := range m.Members() {
 		parts = append(parts, mem.ID+"="+mem.Addr)
 	}
 	return strings.Join(parts, " ")
 }
 
-// DecodeMap parses Encode's token form.
+// DecodeMap parses Encode's token form. It is deliberately strict — a
+// corrupt or adversarial SETMAP payload must yield an error, never a
+// panic or a degenerate map (see FuzzMapDecode).
 func DecodeMap(tokens []string) (*Map, error) {
-	if len(tokens) < 2 {
-		return nil, fmt.Errorf("cluster: map needs at least version and replicas, got %d tokens", len(tokens))
+	if len(tokens) < 5 {
+		return nil, fmt.Errorf("cluster: map needs tag, epoch, version, coordinator and replicas, got %d tokens", len(tokens))
 	}
-	version, err := strconv.ParseUint(tokens[0], 10, 64)
+	total := len(tokens) // separators
+	for _, tok := range tokens {
+		total += len(tok)
+	}
+	if total > maxWireBytes {
+		return nil, fmt.Errorf("cluster: map payload is %d bytes (limit %d)", total, maxWireBytes)
+	}
+	if tokens[0] != mapWireTag {
+		return nil, fmt.Errorf("cluster: unsupported map payload tag %q (want %s)", tokens[0], mapWireTag)
+	}
+	epoch, err := strconv.ParseUint(tokens[1], 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: bad map version %q", tokens[0])
+		return nil, fmt.Errorf("cluster: bad map epoch %q", tokens[1])
 	}
-	replicas, err := strconv.Atoi(tokens[1])
-	if err != nil || replicas < 1 {
-		return nil, fmt.Errorf("cluster: bad replica factor %q", tokens[1])
+	version, err := strconv.ParseUint(tokens[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad map version %q", tokens[2])
 	}
-	nodes := make(map[string]string, len(tokens)-2)
-	for _, tok := range tokens[2:] {
+	coordinator := tokens[3]
+	if coordinator == noCoordinator {
+		coordinator = ""
+	} else if !validID(coordinator) {
+		return nil, fmt.Errorf("cluster: bad map coordinator %q", tokens[3])
+	}
+	replicas, err := strconv.Atoi(tokens[4])
+	if err != nil || replicas < 1 || replicas > maxWireMembers {
+		return nil, fmt.Errorf("cluster: bad replica factor %q", tokens[4])
+	}
+	memberTokens := tokens[5:]
+	if len(memberTokens) > maxWireMembers {
+		return nil, fmt.Errorf("cluster: map claims %d members (limit %d)", len(memberTokens), maxWireMembers)
+	}
+	nodes := make(map[string]string, len(memberTokens))
+	for _, tok := range memberTokens {
 		id, addr, ok := strings.Cut(tok, "=")
-		if !ok || id == "" || addr == "" {
+		if !ok || !validID(id) || addr == "" || strings.Contains(addr, "=") {
 			return nil, fmt.Errorf("cluster: bad member token %q", tok)
+		}
+		if _, dup := nodes[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member %q", id)
 		}
 		nodes[id] = addr
 	}
@@ -148,7 +269,7 @@ func DecodeMap(tokens []string) (*Map, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: map has no members")
 	}
-	return build(version, replicas, nodes), nil
+	return build(epoch, version, coordinator, replicas, nodes), nil
 }
 
 // validID reports whether id is usable on the wire (non-empty, no

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMapOrdering pins the (Epoch, Version, Coordinator) total order
+// that SETMAP conflict resolution rests on: every pair of distinct
+// maps has exactly one winner, and a map never supersedes itself.
+func TestMapOrdering(t *testing.T) {
+	mk := func(epoch, version uint64, coord string) *Map {
+		return build(epoch, version, coord, 2, map[string]string{"n1": "a:1"})
+	}
+	cases := []struct {
+		name string
+		a, b *Map
+		want bool // a.Newer(b)
+	}{
+		{"higher epoch wins", mk(3, 1, "n1"), mk(2, 9, "n9"), true},
+		{"lower epoch loses", mk(2, 9, "n9"), mk(3, 1, "n1"), false},
+		{"same epoch, higher version wins", mk(2, 5, "n1"), mk(2, 4, "n9"), true},
+		{"same epoch+version, coordinator breaks tie", mk(2, 4, "n9"), mk(2, 4, "n1"), true},
+		{"identical triple is not newer", mk(2, 4, "n1"), mk(2, 4, "n1"), false},
+		{"anything beats nil", mk(0, 0, ""), nil, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Newer(c.b); got != c.want {
+			t.Errorf("%s: Newer = %v, want %v", c.name, got, c.want)
+		}
+		// Antisymmetry on distinct maps: exactly one direction wins.
+		if c.b != nil && c.a.Newer(c.b) && c.b.Newer(c.a) {
+			t.Errorf("%s: both directions claim to be newer", c.name)
+		}
+	}
+}
+
+// TestMapMutationsAdvanceOrder: withNode/withoutNode at a claimed epoch
+// always supersede their parent, and encode/decode preserves the
+// ordering triple exactly.
+func TestMapMutationsAdvanceOrder(t *testing.T) {
+	m := NewMap(2, Member{"n1", "a:1"}, Member{"n2", "a:2"})
+	added := m.withNode("n3", "a:3", m.Epoch+1, "n2")
+	if !added.Newer(m) || added.Epoch != m.Epoch+1 || added.Version != m.Version+1 || added.Coordinator != "n2" {
+		t.Fatalf("withNode did not advance the order: %q → %q", m.Encode(), added.Encode())
+	}
+	removed := added.withoutNode("n1", added.Epoch+1, "n3")
+	if !removed.Newer(added) || removed.Has("n1") || removed.Len() != 2 {
+		t.Fatalf("withoutNode did not advance the order: %q → %q", added.Encode(), removed.Encode())
+	}
+	dec, err := DecodeMap(strings.Fields(removed.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epoch != removed.Epoch || dec.Version != removed.Version || dec.Coordinator != removed.Coordinator {
+		t.Errorf("round trip lost the ordering triple: %q vs %q", dec.Encode(), removed.Encode())
+	}
+	if dec.Newer(removed) || removed.Newer(dec) {
+		t.Error("round-tripped map compares unequal to its source")
+	}
+}
+
+// FuzzMapDecode: a corrupt or adversarial SETMAP payload must never
+// panic a node, and anything DecodeMap accepts must re-encode to a
+// byte-stable, re-decodable form (otherwise two nodes could disagree
+// about one map).
+func FuzzMapDecode(f *testing.F) {
+	f.Add("v2 1 1 - 2 n1=127.0.0.1:7700 n2=127.0.0.1:7701")
+	f.Add("v2 18446744073709551615 0 n9 1 x=y")
+	f.Add("v2 3 7 n1 4096 a=b")
+	f.Add("1 2 n1=a:1 n2=a:2") // pre-epoch v1 payload
+	f.Add("")
+	f.Add("v2 1 1 - 2 id=a=b")
+	f.Add("v2 1 1 - 2 dup=a dup=b")
+	f.Add("v2 -1 1 - 2 n1=a")
+	f.Fuzz(func(t *testing.T, payload string) {
+		tokens := strings.Fields(payload)
+		m, err := DecodeMap(tokens)
+		if err != nil {
+			return // rejected cleanly — that's fine
+		}
+		if m.Len() == 0 || m.Replicas < 1 {
+			t.Fatalf("DecodeMap(%q) accepted a degenerate map: %+v", payload, m)
+		}
+		// Whatever was accepted must route without panicking.
+		if owners := m.Owners("some-key"); len(owners) == 0 {
+			t.Fatalf("accepted map owns nothing: %q", payload)
+		}
+		enc := m.Encode()
+		m2, err := DecodeMap(strings.Fields(enc))
+		if err != nil {
+			t.Fatalf("re-decode of %q (from %q) failed: %v", enc, payload, err)
+		}
+		if m2.Encode() != enc {
+			t.Fatalf("encode not stable: %q → %q", enc, m2.Encode())
+		}
+	})
+}
+
+// TestEncodeCanonical: equal maps built in different ways encode
+// byte-identically — the property the harness's convergence check and
+// the snapshot metadata both rely on.
+func TestEncodeCanonical(t *testing.T) {
+	a := NewMap(2, Member{"b", "a:2"}, Member{"a", "a:1"}, Member{"c", "a:3"})
+	b := NewMap(2, Member{"c", "a:3"}, Member{"a", "a:1"}, Member{"b", "a:2"})
+	if a.Encode() != b.Encode() {
+		t.Errorf("member insertion order leaked into the encoding:\n%q\n%q", a.Encode(), b.Encode())
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ao, bo := a.ownerIDs(key), b.ownerIDs(key)
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("owners differ for %q: %v vs %v", key, ao, bo)
+			}
+		}
+	}
+}

@@ -4,9 +4,13 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"exaloglog/internal/core"
 	"exaloglog/server"
@@ -16,11 +20,14 @@ import (
 // server.Server, overriding PFADD / PFCOUNT / PFMERGE / DEL / KEYS with
 // cluster-wide semantics and adding CLUSTER subcommands:
 //
-//	CLUSTER INFO                       → +id=.. addr=.. v=.. replicas=.. nodes=.. keys=..
-//	CLUSTER MAP                        → +<version> <replicas> <id>=<addr> ...
-//	CLUSTER JOIN <id> <addr>           → +OK v=<version> (adds the node, broadcasts the map)
-//	CLUSTER LEAVE <id>                 → +OK v=<version> (removes the node, broadcasts)
-//	CLUSTER SETMAP <version> <replicas> <id>=<addr>... → +OK (install if newer, rebalance)
+//	CLUSTER INFO                       → +id=.. addr=.. e=.. v=.. replicas=.. nodes=.. keys=.. rebal=..
+//	CLUSTER MAP                        → +v2 <epoch> <version> <coordinator> <replicas> <id>=<addr> ...
+//	CLUSTER JOIN <id> <addr>           → +OK e=<epoch> v=<version> (claims an epoch, adds the node, broadcasts)
+//	CLUSTER LEAVE <id>                 → +OK e=<epoch> v=<version> (claims an epoch, removes the node, broadcasts)
+//	CLUSTER SETMAP <v2 payload>        → +OK (install if newer under the epoch order, delta-rebalance)
+//	CLUSTER EPOCH <epoch> <coord>      → +GRANTED <epoch> / +DENIED <highest> (epoch claim; internal)
+//	CLUSTER SYNC                       → +OK (one anti-entropy round: pull peer maps, adopt/spread the newest)
+//	CLUSTER REBALANCE                  → +OK (full re-push of local sketches to their owners)
 //	CLUSTER LPFADD <key> <el>...       → :1/:0 (local add; internal replication verb)
 //	CLUSTER LDEL <key>                 → :1/:0 (local delete; internal)
 //	CLUSTER LKEYS                      → +<keys> (local keys; internal)
@@ -31,15 +38,42 @@ import (
 // requests to the owners and merge the serialized sketches locally.
 // DUMP / RESTORE / INFO / SAVE remain node-local, which is exactly what
 // the scatter-gather path relies on.
+//
+// Membership mutations are fenced by epochs (see Map): the coordinator
+// first wins a fresh epoch from a majority of the current members, so
+// concurrent JOIN/LEAVEs through different coordinators converge to
+// one map. The current map is mirrored into the store's metadata blob,
+// which snapshots persist — a restarted node remembers its cluster and
+// Rejoin re-enters it without any seed address.
 type Node struct {
 	id    string
 	store *server.Store
 	srv   *server.Server
 	peers *pool
 
-	mu   sync.RWMutex
-	cmap *Map
+	pushes atomic.Uint64 // cumulative rebalance ABSORB messages sent
+
+	// mutateMu serializes membership mutations coordinated BY THIS
+	// node (claim → mint → install → broadcast), so two JOINs arriving
+	// at the same coordinator cannot claim successive epochs and then
+	// mint rival maps from the same parent — losing one silently.
+	// Mutations coordinated elsewhere need no lock; epochs fence them.
+	mutateMu sync.Mutex
+
+	mu           sync.RWMutex
+	cmap         *Map
+	grantedEpoch uint64 // highest epoch granted to a coordinator or seen in a map
+	grantedTo    string // coordinator holding grantedEpoch ("" if from a map/fast-forward)
 }
+
+const (
+	// epochClaimAttempts bounds how often one claim re-proposes after
+	// being outbid before giving up.
+	epochClaimAttempts = 6
+	// mutateAttempts bounds how often JOIN/LEAVE retries when newer
+	// maps keep landing between its claim and its install.
+	mutateAttempts = 6
+)
 
 // NewNode creates a cluster node with the given ID (no whitespace or
 // '='), sketch configuration and replica factor. Call Start to begin
@@ -72,15 +106,81 @@ func NewNode(id string, cfg core.Config, replicas int) (*Node, error) {
 func (n *Node) SetSnapshotPath(path string) { n.srv.SetSnapshotPath(path) }
 
 // Start listens on addr (port 0 picks a free port) and initializes the
-// cluster map to a single-node cluster of this node.
+// cluster map: to the membership persisted in the store's snapshot
+// metadata when one exists and records this node (a restart — call
+// Rejoin next to re-announce), otherwise to a fresh single-node
+// cluster of this node.
 func (n *Node) Start(addr string) error {
 	if err := n.srv.Listen(addr); err != nil {
 		return err
 	}
+	actual := n.srv.Addr()
+	// A persisted map may record a stale address for this node (it
+	// came back on a different port). That is harmless — every
+	// internal path routes to self by ID, never by address — and
+	// Rejoin announces the real address under a claimed epoch.
+	m := n.persistedMap()
 	n.mu.Lock()
-	n.cmap = NewMap(n.cmap.Replicas, Member{ID: n.id, Addr: n.srv.Addr()})
+	if m == nil {
+		m = NewMap(n.cmap.Replicas, Member{ID: n.id, Addr: actual})
+	}
+	n.cmap = m
+	if m.Epoch > n.grantedEpoch {
+		n.grantedEpoch, n.grantedTo = m.Epoch, m.Coordinator
+	}
+	n.store.SetMeta([]byte(m.Encode()))
 	n.mu.Unlock()
 	return nil
+}
+
+// persistedMap decodes the membership map persisted in the store's
+// snapshot metadata. It returns nil when there is none, it is corrupt,
+// or it does not record this node (a foreign snapshot).
+func (n *Node) persistedMap() *Map {
+	meta := n.store.Meta()
+	if len(meta) == 0 {
+		return nil
+	}
+	m, err := DecodeMap(strings.Fields(string(meta)))
+	if err != nil || !m.Has(n.id) {
+		return nil
+	}
+	return m
+}
+
+// Rejoin re-enters the cluster recorded in this node's persisted map
+// (typically loaded from a snapshot before Start) without any seed
+// address: it Joins through the first reachable recorded peer, which
+// re-announces this node's address and pulls the cluster's current
+// map. A single-node recorded map is already "rejoined". Use it in
+// place of Join when restarting a node whose snapshot survived.
+func (n *Node) Rejoin() error {
+	var errs []error
+	for _, mem := range n.currentMap().Members() {
+		if mem.ID == n.id {
+			continue
+		}
+		if err := n.Join(mem.Addr); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		return nil
+	}
+	if len(errs) == 0 {
+		return nil // single-node cluster: nothing to rejoin
+	}
+	// No peer could coordinate the join. If this node came back on a
+	// NEW address, the peers' epoch quorum may need its own vote (a
+	// 2-node cluster: the peer's claim targets the dead recorded
+	// address and can never win) — coordinate the re-announce locally
+	// instead: the self-grant plus any reachable peer's grant can
+	// still make quorum, and the broadcast carries the address out.
+	if n.currentMap().Addr(n.id) != n.Addr() {
+		if reply := n.handleJoin(n.id, n.Addr()); strings.HasPrefix(reply, "+OK") {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: rejoin: no recorded peer reachable: %w", errors.Join(errs...))
 }
 
 // Join enters the cluster that seedAddr is a member of: the seed adds
@@ -94,6 +194,11 @@ func (n *Node) Join(seedAddr string) error {
 	// pending JOIN held the pooled client's lock, that ABSORB would wait
 	// on it forever: a distributed deadlock whenever a node with local
 	// data (e.g. restored from snapshot) joins on a fresh address.
+	if h := n.peers.hook; h != nil { // fault hook covers the out-of-pool join connection too
+		if err := h(seedAddr, []string{"CLUSTER", "JOIN", n.id, n.Addr()}); err != nil {
+			return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+		}
+	}
 	seed, err := server.Dial(seedAddr)
 	if err != nil {
 		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
@@ -119,31 +224,53 @@ func (n *Node) Join(seedAddr string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: fetch map via %s: %w", seedAddr, err)
 	}
-	if n.swapMap(m) {
-		if err := n.rebalance(m); err != nil {
-			return fmt.Errorf("cluster: rebalance after join: %w", err)
-		}
+	if err := n.installAndRebalance(m); err != nil {
+		return fmt.Errorf("cluster: rebalance after join: %w", err)
 	}
 	return nil
 }
 
-// Leave gracefully exits the cluster: this node first drains every local
-// sketch to its new owners (safe to re-send — merging is idempotent),
-// then broadcasts the shrunken map to the remaining members.
+// Leave gracefully exits the cluster: this node claims a fresh epoch,
+// drains every local sketch to its new owners (safe to re-send —
+// merging is idempotent), then broadcasts the shrunken map to the
+// remaining members.
 func (n *Node) Leave() error {
-	m := n.currentMap()
-	if !m.Has(n.id) {
+	n.mutateMu.Lock()
+	defer n.mutateMu.Unlock()
+	for attempt := 0; attempt < mutateAttempts; attempt++ {
+		if !n.currentMap().Has(n.id) {
+			// Already off the map — possibly from a previous Leave
+			// that failed AFTER installing the self-excluded map.
+			// Finish the hand-off idempotently instead of reporting
+			// instant success: drain whatever is still local and
+			// re-tell the members (no-ops when all done).
+			if err := n.drainStrays(); err != nil {
+				return fmt.Errorf("cluster: drain before leave: %w", err)
+			}
+			return n.broadcast(n.currentMap(), nil)
+		}
+		epoch, err := n.claimEpoch()
+		if err != nil {
+			return fmt.Errorf("cluster: leave: %w", err)
+		}
+		cur := n.currentMap()
+		if !cur.Has(n.id) {
+			continue // someone else removed us mid-claim: drain via the loop top
+		}
+		newMap := cur.withoutNode(n.id, epoch, n.id)
+		prev, changed := n.swapMap(newMap)
+		if !changed {
+			continue // a newer map landed between claim and install; retry
+		}
+		if err := n.rebalance(prev, newMap); err != nil {
+			return fmt.Errorf("cluster: drain before leave: %w", err)
+		}
+		if err := n.broadcast(newMap, nil); err != nil {
+			return fmt.Errorf("cluster: announce leave: %w", err)
+		}
 		return nil
 	}
-	newMap := m.withoutNode(n.id)
-	n.swapMap(newMap)
-	if err := n.rebalance(newMap); err != nil {
-		return fmt.Errorf("cluster: drain before leave: %w", err)
-	}
-	if err := n.broadcast(newMap, nil); err != nil {
-		return fmt.Errorf("cluster: announce leave: %w", err)
-	}
-	return nil
+	return errors.New("cluster: leave kept losing to concurrent membership changes")
 }
 
 // Close shuts down the node's server and peer connections.
@@ -171,16 +298,249 @@ func (n *Node) currentMap() *Map {
 	return n.cmap
 }
 
-// swapMap installs m if it is newer than the current map; it reports
-// whether the map changed.
-func (n *Node) swapMap(m *Map) bool {
+// swapMap installs m if it supersedes the current map under the
+// (Epoch, Version, Coordinator) order, mirroring it into the store's
+// snapshot metadata and fast-forwarding the node's epoch watermark. It
+// returns the map that was current before the call and whether it
+// changed.
+func (n *Node) swapMap(m *Map) (prev *Map, changed bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if m.Version <= n.cmap.Version {
-		return false
+	if !m.Newer(n.cmap) {
+		return n.cmap, false
 	}
-	n.cmap = m
-	return true
+	prev, n.cmap = n.cmap, m
+	if m.Epoch > n.grantedEpoch {
+		n.grantedEpoch, n.grantedTo = m.Epoch, m.Coordinator
+	}
+	n.store.SetMeta([]byte(m.Encode()))
+	return prev, true
+}
+
+// installAndRebalance swaps in m and, if it superseded the current
+// map, runs the delta rebalance for the transition.
+func (n *Node) installAndRebalance(m *Map) error {
+	prev, changed := n.swapMap(m)
+	if !changed {
+		return nil
+	}
+	return n.rebalance(prev, m)
+}
+
+// grantEpoch is this node's vote in an epoch claim: e is granted iff
+// it is above every epoch this node has granted or seen in a map, or
+// is a re-request by the coordinator already holding it (idempotent
+// retry). highest is the node's watermark after the call, which a
+// denied coordinator uses to fast-forward its next proposal.
+func (n *Node) grantEpoch(e uint64, coordinator string) (ok bool, highest uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e > n.grantedEpoch {
+		n.grantedEpoch, n.grantedTo = e, coordinator
+		return true, e
+	}
+	if e == n.grantedEpoch && coordinator == n.grantedTo {
+		return true, e
+	}
+	return false, n.grantedEpoch
+}
+
+// observeEpoch fast-forwards the epoch watermark to e (learned from a
+// denial) without granting it to anyone.
+func (n *Node) observeEpoch(e uint64) {
+	n.mu.Lock()
+	if e > n.grantedEpoch {
+		n.grantedEpoch, n.grantedTo = e, ""
+	}
+	n.mu.Unlock()
+}
+
+// nextEpochProposal picks the next epoch to claim: one past everything
+// this node has seen.
+func (n *Node) nextEpochProposal() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e := n.cmap.Epoch
+	if n.grantedEpoch > e {
+		e = n.grantedEpoch
+	}
+	return e + 1
+}
+
+// claimEpoch wins a fresh epoch from a quorum (majority) of the
+// current members, retrying with higher proposals when outbid. Because
+// any two majorities intersect, at most one coordinator can win a
+// given epoch while a quorum is reachable — the fencing that keeps
+// concurrent JOIN/LEAVEs from minting rival maps at the same epoch.
+//
+// Every vote (grant or denial) also carries the voter's current map;
+// the newest one is adopted before claimEpoch returns, so the
+// coordinator mints its mutation from the freshest map any reachable
+// member holds — a rival's just-installed, not-yet-broadcast map is
+// picked up here instead of being silently overwritten at a higher
+// epoch. Only a mutation whose minting coordinator is unreachable
+// during the whole claim can still be superseded (see the single-
+// partition limits in Map's doc).
+func (n *Node) claimEpoch() (uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < epochClaimAttempts; attempt++ {
+		if attempt > 0 {
+			// Deterministic per-node stagger: coordinators that keep
+			// outbidding each other back off by different amounts and
+			// separate instead of livelocking.
+			time.Sleep(time.Duration(attempt)*4*time.Millisecond +
+				time.Duration(hash64(n.id)%7)*time.Millisecond)
+		}
+		propose := n.nextEpochProposal()
+		members := n.currentMap().Members()
+		quorum := len(members)/2 + 1
+		var (
+			mu      sync.Mutex
+			grants  int
+			highest uint64
+			newest  *Map
+			wg      sync.WaitGroup
+		)
+		tally := func(granted bool, h uint64, m *Map) {
+			mu.Lock()
+			defer mu.Unlock()
+			if granted {
+				grants++
+			}
+			if h > highest {
+				highest = h
+			}
+			if m != nil && m.Newer(newest) {
+				newest = m
+			}
+		}
+		for _, mem := range members {
+			if mem.ID == n.id {
+				ok, h := n.grantEpoch(propose, n.id)
+				tally(ok, h, nil)
+				continue
+			}
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				reply, err := n.peers.do(addr, "CLUSTER", "EPOCH", strconv.FormatUint(propose, 10), n.id)
+				if err != nil {
+					return // unreachable peer: no vote
+				}
+				fields := strings.Fields(reply)
+				if len(fields) < 2 {
+					return
+				}
+				h, _ := strconv.ParseUint(fields[1], 10, 64)
+				m, _ := DecodeMap(fields[2:]) // best-effort; nil on older peers
+				tally(fields[0] == "GRANTED", h, m)
+			}(mem.Addr)
+		}
+		wg.Wait()
+		if newest != nil && newest.Newer(n.currentMap()) {
+			if err := n.installAndRebalance(newest); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if grants >= quorum {
+			return propose, nil
+		}
+		n.observeEpoch(highest)
+		lastErr = fmt.Errorf("cluster: epoch %d claim won %d/%d votes (quorum %d)",
+			propose, grants, len(members), quorum)
+	}
+	return 0, lastErr
+}
+
+// Sync is one anti-entropy round: fetch every peer's map, adopt the
+// newest (delta-rebalancing if it changed), and re-broadcast the
+// winner when any peer was behind. Driven periodically (elld does) it
+// heals nodes that missed a SETMAP broadcast — a restarted node, or
+// either side of a healed partition — without a consensus dependency.
+func (n *Node) Sync() error {
+	local := n.currentMap()
+	members := local.Members()
+	maps := make([]*Map, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, mem := range members {
+		if mem.ID == n.id {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, mem Member) {
+			defer wg.Done()
+			reply, err := n.peers.do(mem.Addr, "CLUSTER", "MAP")
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: sync map from %s: %w", mem.ID, err)
+				return
+			}
+			m, err := DecodeMap(strings.Fields(reply))
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: sync map from %s: %w", mem.ID, err)
+				return
+			}
+			maps[i] = m
+		}(i, mem)
+	}
+	wg.Wait()
+	best := local
+	for _, m := range maps {
+		if m != nil && m.Newer(best) {
+			best = m
+		}
+	}
+	if best.Newer(local) {
+		if err := n.installAndRebalance(best); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	// Push the winner only to the peers observed behind it — every
+	// node runs Sync, so spraying all members would cost O(N²)
+	// messages per tick for a single laggard.
+	setmap := append([]string{"CLUSTER", "SETMAP"}, strings.Fields(best.Encode())...)
+	var pushWG sync.WaitGroup
+	pushErrs := make([]error, len(members))
+	for i, m := range maps {
+		if m == nil || !best.Newer(m) {
+			continue
+		}
+		pushWG.Add(1)
+		go func(i int, addr string) {
+			defer pushWG.Done()
+			_, pushErrs[i] = n.peers.do(addr, setmap...)
+		}(i, members[i].Addr)
+	}
+	pushWG.Wait()
+	errs = append(errs, pushErrs...)
+	if err := n.drainStrays(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// drainStrays pushes local sketches this node does not own under the
+// current map to their owners, then drops them — e.g. a write that
+// landed here under a stale map after this node's rebalance already
+// handed the key off. Free when there are no strays (the common case),
+// so Sync can run it every round.
+func (n *Node) drainStrays() error {
+	m := n.currentMap()
+	stray := false
+	for _, key := range n.store.Keys() {
+		if !slices.Contains(m.ownerIDs(key), n.id) {
+			stray = true
+			break
+		}
+	}
+	if !stray {
+		return nil
+	}
+	// rebalance with old == cur pushes nothing for owned keys (their
+	// owner-set delta is empty) and full-pushes + drops exactly the
+	// strays.
+	return n.rebalance(m, m)
 }
 
 // broadcast sends SETMAP to every member of m except this node, plus any
@@ -554,8 +914,8 @@ func (n *Node) handleCluster(args []string) string {
 	switch sub {
 	case "INFO":
 		m := n.currentMap()
-		return fmt.Sprintf("+id=%s addr=%s v=%d replicas=%d nodes=%d keys=%d",
-			n.id, n.Addr(), m.Version, m.Replicas, m.Len(), n.store.Len())
+		return fmt.Sprintf("+id=%s addr=%s e=%d v=%d replicas=%d nodes=%d keys=%d rebal=%d",
+			n.id, n.Addr(), m.Epoch, m.Version, m.Replicas, m.Len(), n.store.Len(), n.pushes.Load())
 	case "MAP":
 		return "+" + n.currentMap().Encode()
 	case "JOIN":
@@ -573,10 +933,36 @@ func (n *Node) handleCluster(args []string) string {
 		if err != nil {
 			return "-ERR " + err.Error()
 		}
-		if n.swapMap(m) {
-			if err := n.rebalance(m); err != nil {
-				return "-ERR rebalance: " + err.Error()
-			}
+		if err := n.installAndRebalance(m); err != nil {
+			return "-ERR rebalance: " + err.Error()
+		}
+		return "+OK"
+	case "EPOCH":
+		if len(rest) != 2 {
+			return "-ERR CLUSTER EPOCH needs an epoch and a coordinator ID"
+		}
+		e, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			return fmt.Sprintf("-ERR bad epoch %q", rest[0])
+		}
+		if !validID(rest[1]) {
+			return fmt.Sprintf("-ERR invalid coordinator ID %q", rest[1])
+		}
+		// Either way the reply carries this node's current map, so the
+		// claiming coordinator mints its mutation from the newest map
+		// any voter has seen instead of a stale local parent.
+		if ok, highest := n.grantEpoch(e, rest[1]); !ok {
+			return fmt.Sprintf("+DENIED %d %s", highest, n.currentMap().Encode())
+		}
+		return fmt.Sprintf("+GRANTED %d %s", e, n.currentMap().Encode())
+	case "SYNC":
+		if err := n.Sync(); err != nil {
+			return "-ERR sync: " + err.Error()
+		}
+		return "+OK"
+	case "REBALANCE":
+		if err := n.repair(); err != nil {
+			return "-ERR rebalance: " + err.Error()
 		}
 		return "+OK"
 	case "LPFADD":
@@ -621,36 +1007,78 @@ func (n *Node) handleJoin(id, addr string) string {
 	if strings.ContainsAny(addr, " \t\r\n=") || addr == "" {
 		return fmt.Sprintf("-ERR invalid node address %q", addr)
 	}
-	m := n.currentMap()
-	if m.Addr(id) == addr {
-		return fmt.Sprintf("+OK v=%d", m.Version) // idempotent re-join
+	n.mutateMu.Lock()
+	defer n.mutateMu.Unlock()
+	for attempt := 0; attempt < mutateAttempts; attempt++ {
+		if m := n.currentMap(); m.Addr(id) == addr {
+			return fmt.Sprintf("+OK e=%d v=%d", m.Epoch, m.Version) // idempotent re-join
+		}
+		epoch, err := n.claimEpoch()
+		if err != nil {
+			return "-ERR claim epoch: " + err.Error()
+		}
+		cur := n.currentMap() // re-read: the freshest map wins the race with other coordinators
+		if cur.Addr(id) == addr {
+			return fmt.Sprintf("+OK e=%d v=%d", cur.Epoch, cur.Version)
+		}
+		newMap := cur.withNode(id, addr, epoch, n.id)
+		prev, changed := n.swapMap(newMap)
+		if !changed {
+			continue // a newer map landed between claim and install; retry
+		}
+		if err := n.broadcast(newMap, nil); err != nil {
+			return "-ERR broadcast: " + err.Error()
+		}
+		if err := n.rebalance(prev, newMap); err != nil {
+			return "-ERR rebalance: " + err.Error()
+		}
+		return fmt.Sprintf("+OK e=%d v=%d", newMap.Epoch, newMap.Version)
 	}
-	newMap := m.withNode(id, addr)
-	n.swapMap(newMap)
-	if err := n.broadcast(newMap, nil); err != nil {
-		return "-ERR broadcast: " + err.Error()
-	}
-	if err := n.rebalance(newMap); err != nil {
-		return "-ERR rebalance: " + err.Error()
-	}
-	return fmt.Sprintf("+OK v=%d", newMap.Version)
+	return "-ERR join kept losing to concurrent membership changes"
 }
 
 func (n *Node) handleLeave(id string) string {
-	m := n.currentMap()
-	if !m.Has(id) {
-		return fmt.Sprintf("+OK v=%d", m.Version) // idempotent re-leave
+	n.mutateMu.Lock()
+	defer n.mutateMu.Unlock()
+	for attempt := 0; attempt < mutateAttempts; attempt++ {
+		if m := n.currentMap(); !m.Has(id) {
+			return fmt.Sprintf("+OK e=%d v=%d", m.Epoch, m.Version) // idempotent re-leave
+		}
+		epoch, err := n.claimEpoch()
+		if err != nil {
+			return "-ERR claim epoch: " + err.Error()
+		}
+		cur := n.currentMap()
+		if !cur.Has(id) {
+			return fmt.Sprintf("+OK e=%d v=%d", cur.Epoch, cur.Version)
+		}
+		oldAddr := cur.Addr(id)
+		newMap := cur.withoutNode(id, epoch, n.id)
+		prev, changed := n.swapMap(newMap)
+		if !changed {
+			continue
+		}
+		// Tell the departing node too (best-effort: it may be dead) so a
+		// live leaver drains its keys to the remaining owners.
+		if err := n.broadcast(newMap, []string{oldAddr}); err != nil {
+			return "-ERR broadcast: " + err.Error()
+		}
+		if err := n.rebalance(prev, newMap); err != nil {
+			return "-ERR rebalance: " + err.Error()
+		}
+		return fmt.Sprintf("+OK e=%d v=%d", newMap.Epoch, newMap.Version)
 	}
-	oldAddr := m.Addr(id)
-	newMap := m.withoutNode(id)
-	n.swapMap(newMap)
-	// Tell the departing node first (best-effort: it may be dead) so a
-	// live leaver drains its keys to the remaining owners.
-	if err := n.broadcast(newMap, []string{oldAddr}); err != nil {
-		return "-ERR broadcast: " + err.Error()
-	}
-	if err := n.rebalance(newMap); err != nil {
-		return "-ERR rebalance: " + err.Error()
-	}
-	return fmt.Sprintf("+OK v=%d", newMap.Version)
+	return "-ERR leave kept losing to concurrent membership changes"
 }
+
+// RebalancePushes returns the cumulative number of CLUSTER ABSORB
+// messages this node's rebalances have sent — the cost observable that
+// shows a membership change moving only its delta, not every key.
+func (n *Node) RebalancePushes() uint64 { return n.pushes.Load() }
+
+// setFaultHook installs f as this node's outbound fault hook (nil
+// disables). Every outgoing peer command — pool traffic and the
+// dedicated Join connection — consults it first; a non-nil error
+// aborts the send, simulating a partition or delaying a message. Test
+// harness support: set before Start, never while serving.
+func (n *Node) setFaultHook(f func(addr string, parts []string) error) { n.peers.hook = f }

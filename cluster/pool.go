@@ -11,7 +11,13 @@ import (
 // serializes concurrent commands on its connection, so scatter-gather
 // fan-out across peers runs in parallel while same-peer commands queue.
 // Connections that error are dropped and redialed on next use.
+//
+// hook, when non-nil, is consulted before every outbound command; a
+// non-nil return aborts the command with that error. It exists for the
+// in-process test harness (simulated partitions and delays) and must
+// be set before the owning node starts serving.
 type pool struct {
+	hook  func(addr string, parts []string) error
 	mu    sync.Mutex
 	conns map[string]*server.Client
 }
@@ -54,6 +60,11 @@ func (p *pool) drop(addr string, c *server.Client) {
 // key the cached connection is discarded so the next call redials —
 // protocol errors don't require it, but redialing is always safe.
 func (p *pool) do(addr string, parts ...string) (string, error) {
+	if p.hook != nil {
+		if err := p.hook(addr, parts); err != nil {
+			return "", err
+		}
+	}
 	c, err := p.get(addr)
 	if err != nil {
 		return "", err

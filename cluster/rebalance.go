@@ -3,22 +3,36 @@ package cluster
 import (
 	"encoding/base64"
 	"errors"
+	"slices"
 	"sync"
 )
 
-// rebalance reconciles this node's local sketches with cluster map m:
-// every local sketch is pushed (CLUSTER ABSORB, i.e. merge-not-replace)
-// to each of its owners under m, and sketches this node no longer owns
-// are deleted once every owner has a copy. Re-pushing a blob an owner
-// already holds is a no-op merge, so rebalance is idempotent — it can be
-// rerun after any partial failure, and concurrent rebalances of
-// different nodes cannot corrupt each other (the paper's commutative,
-// idempotent merge is what makes this protocol trivially safe).
+// rebalance reconciles this node's local sketches with the membership
+// transition old→cur. It is delta-aware: a key is pushed only to
+// owners it GAINED in the transition — owners that already held it
+// under old are not re-sent — so a membership change costs messages
+// proportional to the keys whose owner set actually changed, not
+// O(keys×replicas). Two cases fall back to a full push of the key to
+// every owner under cur:
 //
-// A node absent from m (it is leaving) owns nothing, so rebalance drains
-// it: every sketch is pushed to its owners and dropped locally.
-func (n *Node) rebalance(m *Map) error {
-	blobs := n.store.DumpAll()
+//   - old is nil (repair / unknown provenance, e.g. data restored from
+//     a snapshot or an operator-issued CLUSTER REBALANCE), and
+//   - this node did not own the key under old (a stray copy, e.g. from
+//     a drain that previously failed half-way) — cur's owners may
+//     never have seen it.
+//
+// Pushes use CLUSTER ABSORB (merge-not-replace): re-sending a blob an
+// owner already holds is a no-op merge, so rebalance stays idempotent
+// — it can be rerun after any partial failure, and concurrent
+// rebalances of different nodes cannot corrupt each other (the paper's
+// commutative, idempotent merge is what makes this protocol trivially
+// safe).
+//
+// A node absent from cur (it is leaving) owns nothing, so rebalance
+// drains it: every local sketch is pushed to its new owners and
+// dropped locally once every push for that key succeeded.
+func (n *Node) rebalance(old, cur *Map) error {
+	blobs := n.store.DumpAllTagged()
 	type push struct {
 		key  string
 		addr string
@@ -26,21 +40,36 @@ func (n *Node) rebalance(m *Map) error {
 	}
 	var pushes []push
 	keep := make(map[string]bool, len(blobs))
-	for key, blob := range blobs {
-		owners := m.Owners(key)
+	for key, tagged := range blobs {
+		owners := cur.Owners(key)
 		if len(owners) == 0 {
 			keep[key] = true // ownerless key (degenerate map): never drop data
 			continue
 		}
-		b64 := base64.StdEncoding.EncodeToString(blob)
+		// oldOwners is non-nil only when this node owned the key under
+		// old; then owners already present under old are skipped.
+		var oldOwners []string
+		if old != nil {
+			if ids := old.ownerIDs(key); slices.Contains(ids, n.id) {
+				oldOwners = ids
+			}
+		}
+		b64 := ""
 		for _, o := range owners {
 			if o.ID == n.id {
 				keep[key] = true
 				continue
 			}
+			if oldOwners != nil && slices.Contains(oldOwners, o.ID) {
+				continue // delta: this owner held the key before the transition
+			}
+			if b64 == "" {
+				b64 = base64.StdEncoding.EncodeToString(tagged.Blob)
+			}
 			pushes = append(pushes, push{key, o.Addr, b64})
 		}
 	}
+	n.pushes.Add(uint64(len(pushes)))
 	errsByKey := make(map[string]error, len(blobs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -62,14 +91,23 @@ func (n *Node) rebalance(m *Map) error {
 	}
 	wg.Wait()
 	var errs []error
-	for key := range blobs {
+	for key, tagged := range blobs {
 		if err := errsByKey[key]; err != nil {
 			errs = append(errs, err)
 			continue // don't drop a key we failed to hand off
 		}
 		if !keep[key] {
-			n.store.Delete(key)
+			// Conditional delete: a write that landed after the dump
+			// was NOT in the pushed blob — keep the key as a stray and
+			// let the next rebalance/Sync hand the fresh state off.
+			n.store.DeleteIfUnchanged(key, tagged)
 		}
 	}
 	return errors.Join(errs...)
 }
+
+// repair re-pushes every local sketch to all of its current owners —
+// the pre-delta full rebalance, kept as an anti-entropy tool (the
+// CLUSTER REBALANCE verb) for healing replica divergence after crashes
+// or partitions.
+func (n *Node) repair() error { return n.rebalance(nil, n.currentMap()) }

@@ -82,15 +82,16 @@ func TestRingStability(t *testing.T) {
 
 func TestMapEncodeDecodeRoundTrip(t *testing.T) {
 	m := NewMap(2, Member{"n1", "127.0.0.1:7700"}, Member{"n2", "127.0.0.1:7701"})
-	m2 := m.withNode("n3", "127.0.0.1:7702")
-	dec, err := DecodeMap([]string{"2", "2", "n1=127.0.0.1:7700", "n2=127.0.0.1:7701", "n3=127.0.0.1:7702"})
+	m2 := m.withNode("n3", "127.0.0.1:7702", 2, "n1")
+	dec, err := DecodeMap([]string{"v2", "2", "2", "n1", "2",
+		"n1=127.0.0.1:7700", "n2=127.0.0.1:7701", "n3=127.0.0.1:7702"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dec.Encode() != m2.Encode() {
 		t.Errorf("round trip mismatch:\n got %q\nwant %q", dec.Encode(), m2.Encode())
 	}
-	if dec.Version != 2 || dec.Replicas != 2 || dec.Len() != 3 {
+	if dec.Epoch != 2 || dec.Version != 2 || dec.Coordinator != "n1" || dec.Replicas != 2 || dec.Len() != 3 {
 		t.Errorf("decoded map %+v", dec)
 	}
 	// Owners agree between the original and the decoded map.
@@ -111,14 +112,21 @@ func TestMapEncodeDecodeRoundTrip(t *testing.T) {
 func TestDecodeMapErrors(t *testing.T) {
 	for _, tokens := range [][]string{
 		nil,
-		{"1"},
-		{"x", "2"},
-		{"1", "0"},
-		{"1", "-3"},
-		{"99", "2"}, // no members: installing would orphan every key
-		{"1", "2", "noequals"},
-		{"1", "2", "=addr"},
-		{"1", "2", "id="},
+		{"v2"},
+		{"v2", "1", "1", "-"},
+		{"1", "2", "n1=a:1"},                 // pre-epoch (v1) payload: rejected, not misparsed
+		{"v1", "1", "1", "-", "2", "n1=a:1"}, // unknown tag
+		{"v2", "x", "1", "-", "2", "n1=a:1"},
+		{"v2", "1", "x", "-", "2", "n1=a:1"},
+		{"v2", "1", "1", "co=ord", "2", "n1=a:1"},
+		{"v2", "1", "1", "-", "0", "n1=a:1"},
+		{"v2", "1", "1", "-", "-3", "n1=a:1"},
+		{"v2", "99", "2", "-", "2"}, // no members: installing would orphan every key
+		{"v2", "1", "2", "-", "2", "noequals"},
+		{"v2", "1", "2", "-", "2", "=addr"},
+		{"v2", "1", "2", "-", "2", "id="},
+		{"v2", "1", "2", "-", "2", "id=a=b"},
+		{"v2", "1", "2", "-", "2", "id=a:1", "id=a:2"}, // duplicate member
 	} {
 		if _, err := DecodeMap(tokens); err == nil {
 			t.Errorf("DecodeMap(%v) succeeded, want error", tokens)

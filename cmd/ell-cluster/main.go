@@ -8,9 +8,11 @@
 // Commands:
 //
 //	info                  show the contacted node's view of the cluster
-//	map                   print the cluster map (version, replicas, members)
-//	join <id> <addr>      add node <id> at <addr> to the cluster
+//	map                   print the cluster map (epoch, version, coordinator, replicas, members)
+//	join <id> <addr>      add node <id> at <addr> to the cluster (epoch-fenced)
 //	leave <id>            remove node <id> (survivors re-replicate its keys)
+//	sync                  one anti-entropy round: pull peer maps, adopt/spread the newest
+//	rebalance             re-push the contacted node's sketches to their owners (repair)
 //	add <key> <el>...     PFADD routed to the key's owners
 //	count <key>...        cluster-wide union distinct count
 //	keys                  list all keys cluster-wide
@@ -31,11 +33,12 @@ import (
 	"os"
 	"strings"
 
+	"exaloglog/cluster"
 	"exaloglog/server"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|join <id> <addr>|leave <id>|add <key> <el>...|count <key>...|keys|ping")
+	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|keys|ping")
 	os.Exit(2)
 }
 
@@ -61,14 +64,18 @@ func main() {
 		fmt.Println(strings.ReplaceAll(reply, " ", "\n"))
 	case "map":
 		reply := mustDo(c, "CLUSTER", "MAP")
-		tokens := strings.Fields(reply)
-		if len(tokens) < 2 {
-			log.Fatalf("malformed map reply %q", reply)
+		m, err := cluster.DecodeMap(strings.Fields(reply))
+		if err != nil {
+			log.Fatalf("malformed map reply %q: %v", reply, err)
 		}
-		fmt.Printf("version  %s\nreplicas %s\n", tokens[0], tokens[1])
-		for _, tok := range tokens[2:] {
-			id, nodeAddr, _ := strings.Cut(tok, "=")
-			fmt.Printf("node     %-12s %s\n", id, nodeAddr)
+		coord := m.Coordinator
+		if coord == "" {
+			coord = "(none)"
+		}
+		fmt.Printf("epoch       %d\nversion     %d\ncoordinator %s\nreplicas    %d\n",
+			m.Epoch, m.Version, coord, m.Replicas)
+		for _, mem := range m.Members() {
+			fmt.Printf("node        %-12s %s\n", mem.ID, mem.Addr)
 		}
 	case "join":
 		if len(rest) != 2 {
@@ -80,6 +87,10 @@ func main() {
 			usage()
 		}
 		fmt.Println(mustDo(c, "CLUSTER", "LEAVE", rest[0]))
+	case "sync":
+		fmt.Println(mustDo(c, "CLUSTER", "SYNC"))
+	case "rebalance":
+		fmt.Println(mustDo(c, "CLUSTER", "REBALANCE"))
 	case "add":
 		if len(rest) < 2 {
 			usage()

@@ -13,7 +13,10 @@
 // and -join adds this node to an existing cluster via any member.
 //
 // On SIGINT/SIGTERM elld takes a final snapshot (when -snapshot is set)
-// before closing the listener, so a restarted node loses nothing.
+// before closing the listener, so a restarted node loses nothing. The
+// snapshot also records the cluster map, so a cluster node restarted
+// with the same -snapshot rejoins its cluster automatically — no -join
+// needed after the first start.
 //
 // Try it with netcat:
 //
@@ -31,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"exaloglog/cluster"
 	"exaloglog/internal/core"
@@ -90,14 +94,41 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 	}
 	fmt.Printf("elld node %s listening on %s (cluster mode, replicas=%d, p=%d)\n",
 		nodeID, node.Addr(), replicas, cfg.P)
-	if join != "" {
+	switch {
+	case join != "":
 		if err := node.Join(join); err != nil {
 			node.Close()
 			log.Fatal(err)
 		}
 		m := node.Map()
-		fmt.Printf("joined cluster via %s (map v%d, %d nodes)\n", join, m.Version, m.Len())
+		fmt.Printf("joined cluster via %s (map e%d v%d, %d nodes)\n", join, m.Epoch, m.Version, m.Len())
+	case node.Map().Len() > 1:
+		// The snapshot recorded a multi-node cluster: self-heal back
+		// into it without any -join seed. Unreachable peers are not
+		// fatal — the periodic sync keeps retrying.
+		if err := node.Rejoin(); err != nil {
+			log.Printf("rejoin (will keep syncing): %v", err)
+		} else {
+			m := node.Map()
+			fmt.Printf("rejoined cluster from snapshot (map e%d v%d, %d nodes)\n", m.Epoch, m.Version, m.Len())
+		}
 	}
+
+	// Anti-entropy: periodically pull peer maps and adopt/spread the
+	// newest, so missed SETMAP broadcasts (partitions, restarts) heal
+	// without operator action.
+	go func() {
+		ticker := time.NewTicker(5 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				node.Sync() // best-effort; unreachable peers retry next tick
+			}
+		}
+	}()
 
 	<-ctx.Done()
 	fmt.Println("shutting down")

@@ -17,17 +17,28 @@ import (
 // are the plain MarshalBinary form (Section 5.3: serialization is a
 // header plus the dense register array, so snapshots are cheap).
 //
-// Format:
+// Format (version 2; version 1 lacked the metadata blob and is still
+// readable):
 //
 //	bytes 0-3  magic "ELSS"
-//	byte  4    version (1)
+//	byte  4    version (2)
+//	uvarint    metadata length, then the opaque metadata blob
 //	uvarint    number of records
 //	per record:
 //	  uvarint  key length, then the key bytes
 //	  uvarint  blob length, then the sketch blob
+//
+// The metadata blob (SetMeta/Meta) is opaque to the server: the
+// cluster package stores its membership map there so a restarted node
+// remembers its cluster.
 const (
-	snapshotMagic   = "ELSS"
-	snapshotVersion = 1
+	snapshotMagic      = "ELSS"
+	snapshotVersion    = 2
+	snapshotVersionV1  = 1
+	snapshotMetaLimit  = 1 << 20
+	snapshotKeyLimit   = 1 << 16
+	snapshotBlobLimit  = 1 << 30
+	snapshotMaxRecords = 1 << 24
 )
 
 // WriteSnapshot serializes all sketches to w. Keys are written in sorted
@@ -51,6 +62,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(buf[:], v)
 		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(s.meta))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(s.meta); err != nil {
 		return err
 	}
 	if err := writeUvarint(uint64(len(keys))); err != nil {
@@ -88,24 +105,34 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 	if string(header[:len(snapshotMagic)]) != snapshotMagic {
 		return fmt.Errorf("server: bad snapshot magic %q", header[:len(snapshotMagic)])
 	}
-	if header[len(snapshotMagic)] != snapshotVersion {
-		return fmt.Errorf("server: unsupported snapshot version %d", header[len(snapshotMagic)])
+	version := header[len(snapshotMagic)]
+	if version != snapshotVersion && version != snapshotVersionV1 {
+		return fmt.Errorf("server: unsupported snapshot version %d", version)
+	}
+	var meta []byte
+	if version >= snapshotVersion {
+		var err error
+		if meta, err = readBlob(br, snapshotMetaLimit); err != nil {
+			return fmt.Errorf("server: snapshot metadata: %w", err)
+		}
+		if len(meta) == 0 {
+			meta = nil
+		}
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return fmt.Errorf("server: snapshot record count: %w", err)
 	}
-	const maxRecords = 1 << 24
-	if count > maxRecords {
-		return fmt.Errorf("server: snapshot claims %d records (limit %d)", count, maxRecords)
+	if count > snapshotMaxRecords {
+		return fmt.Errorf("server: snapshot claims %d records (limit %d)", count, snapshotMaxRecords)
 	}
 	loaded := make(map[string]*core.Sketch, count)
 	for i := uint64(0); i < count; i++ {
-		key, err := readBlob(br, 1<<16)
+		key, err := readBlob(br, snapshotKeyLimit)
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d key: %w", i, err)
 		}
-		blob, err := readBlob(br, 1<<30)
+		blob, err := readBlob(br, snapshotBlobLimit)
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d blob: %w", i, err)
 		}
@@ -117,6 +144,7 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 	}
 	s.mu.Lock()
 	s.sketches = loaded
+	s.meta = meta
 	s.mu.Unlock()
 	return nil
 }

@@ -78,6 +78,76 @@ func TestSnapshotEmptyStore(t *testing.T) {
 	}
 }
 
+// TestSnapshotMetaRoundTrip: the opaque metadata blob (the cluster
+// package keeps its membership map there) survives the snapshot cycle
+// and failed loads leave it untouched.
+func TestSnapshotMetaRoundTrip(t *testing.T) {
+	orig := populatedStore(t, 2)
+	meta := []byte("v2 7 3 n1 2 n1=a:1 n2=a:2")
+	orig.SetMeta(meta)
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewStore(core.RecommendedML(8))
+	if err := restored.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Meta(); !bytes.Equal(got, meta) {
+		t.Errorf("restored meta %q, want %q", got, meta)
+	}
+	// Meta is a copy: mutating the returned slice cannot corrupt the store.
+	restored.Meta()[0] = 'X'
+	if got := restored.Meta(); !bytes.Equal(got, meta) {
+		t.Error("Meta returned an aliased slice")
+	}
+	// A failed load leaves existing meta (and sketches) alone.
+	keep, _ := NewStore(core.RecommendedML(8))
+	keep.SetMeta([]byte("keep-me"))
+	if err := keep.ReadSnapshot(bytes.NewReader(buf.Bytes()[:6])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if got := keep.Meta(); string(got) != "keep-me" {
+		t.Errorf("failed load clobbered meta: %q", got)
+	}
+	// Clearing works and persists as "no meta".
+	orig.SetMeta(nil)
+	buf.Reset()
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Meta() != nil {
+		t.Errorf("cleared meta came back as %q", restored.Meta())
+	}
+}
+
+// TestSnapshotReadsV1: version-1 snapshots (no metadata blob) still
+// load — a pre-upgrade snapshot file must not strand its node.
+func TestSnapshotReadsV1(t *testing.T) {
+	orig := populatedStore(t, 2)
+	var v2 bytes.Buffer
+	if err := orig.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	// A v2 snapshot without meta is the v1 body behind a 0-length meta
+	// blob: rewrite the version byte and drop that length byte.
+	data := v2.Bytes()
+	v1 := append([]byte("ELSS\x01"), data[6:]...)
+	restored, _ := NewStore(core.RecommendedML(8))
+	if err := restored.ReadSnapshot(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Errorf("v1 load restored %d keys, want %d", restored.Len(), orig.Len())
+	}
+	if restored.Meta() != nil {
+		t.Errorf("v1 snapshot produced meta %q", restored.Meta())
+	}
+}
+
 func TestSnapshotCorruptInputs(t *testing.T) {
 	st := populatedStore(t, 2)
 	var buf bytes.Buffer

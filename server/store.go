@@ -28,6 +28,7 @@ type Store struct {
 
 	mu       sync.RWMutex
 	sketches map[string]*core.Sketch
+	meta     []byte
 }
 
 // NewStore returns an empty store whose sketches use configuration cfg.
@@ -200,8 +201,78 @@ func (s *Store) DumpAll() map[string][]byte {
 	return out
 }
 
+// TaggedBlob is a serialized sketch plus an opaque token identifying
+// the exact state that was dumped; DeleteIfUnchanged uses the token to
+// delete a key only if nothing mutated it after the dump.
+type TaggedBlob struct {
+	Blob []byte
+	sk   *core.Sketch // identity: MergeBlob/Restore swap the object
+	tick uint64       // StateChanges at dump time: Add mutates in place
+}
+
+// DumpAllTagged is DumpAll plus a state token per key, for callers that
+// hand blobs off and must not drop a write that lands mid-handoff (the
+// cluster rebalance drain).
+func (s *Store) DumpAllTagged() map[string]TaggedBlob {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]TaggedBlob, len(s.sketches))
+	for k, sk := range s.sketches {
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			continue // unreachable: MarshalBinary cannot fail
+		}
+		out[k] = TaggedBlob{Blob: blob, sk: sk, tick: sk.StateChanges()}
+	}
+	return out
+}
+
+// DeleteIfUnchanged removes key only if its sketch is still exactly the
+// state t captured — no insertion, merge or restore landed since. It
+// reports whether the key is gone (a key already absent counts). A
+// false return means new data arrived after the dump; the caller must
+// re-dump and hand the key off again before dropping it.
+func (s *Store) DeleteIfUnchanged(key string, t TaggedBlob) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.sketches[key]
+	if !ok {
+		return true
+	}
+	if cur != t.sk || cur.StateChanges() != t.tick {
+		return false
+	}
+	delete(s.sketches, key)
+	return true
+}
+
 // Config returns the store's default sketch configuration.
 func (s *Store) Config() core.Config { return s.cfg }
+
+// SetMeta attaches an opaque metadata blob to the store. It is
+// persisted alongside the sketches by WriteSnapshot and restored by
+// ReadSnapshot, so a layer above the store (e.g. the cluster package,
+// which keeps its membership map here) survives restarts. nil clears
+// it. The blob is copied.
+func (s *Store) SetMeta(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b == nil {
+		s.meta = nil
+		return
+	}
+	s.meta = append([]byte(nil), b...)
+}
+
+// Meta returns a copy of the store's metadata blob (nil if unset).
+func (s *Store) Meta() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.meta == nil {
+		return nil
+	}
+	return append([]byte(nil), s.meta...)
+}
 
 // Info describes the sketch at key; ok is false if the key is missing.
 func (s *Store) Info(key string) (info string, ok bool) {
