@@ -1,0 +1,33 @@
+# Developer entry points. CI runs the same commands.
+
+GO ?= go
+
+# The serving-path benchmarks whose trajectory BENCH_serving.json tracks.
+SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFCount|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount
+
+.PHONY: build test race bench bench-smoke fuzz
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 5m ./server/ ./cluster/
+
+# bench runs the serving-path benchmarks and records them (parsed +
+# benchstat-comparable raw lines) in BENCH_serving.json. Compare across
+# commits with: jq -r '.raw[]' BENCH_serving.json | benchstat old /dev/stdin
+bench:
+	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime=1s -cpu 1,8 ./server/ ./cluster/ \
+		| $(GO) run ./cmd/ell-benchjson > BENCH_serving.json
+	@echo wrote BENCH_serving.json
+
+# bench-smoke compiles and runs every benchmark once — a fast
+# does-it-still-run check, not a measurement. CI runs this non-blocking.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/
+
+fuzz:
+	$(GO) test -fuzz FuzzMapDecode -fuzztime 30s ./cluster/

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"exaloglog/server"
+)
+
+// TestMLPFAddWire drives the batched internal add verb over the wire:
+// counted framing, per-group changed bits, and strict framing errors.
+func TestMLPFAddWire(t *testing.T) {
+	nodes := startCluster(t, 1, 1)
+	c, err := server.Dial(nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reply, err := c.Do("CLUSTER", "MLPFADD", "2", "k1", "2", "a", "b", "k2", "1", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != 2 || strings.Trim(reply, "01") != "" {
+		t.Fatalf("MLPFADD reply %q, want two changed-bits", reply)
+	}
+	n1, err := nodes[0].Count("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n1-2) > 0.5 {
+		t.Errorf("k1 count = %f, want ≈2", n1)
+	}
+	n2, err := nodes[0].Count("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2-1) > 0.5 {
+		t.Errorf("k2 count = %f, want ≈1", n2)
+	}
+	// Re-sending the identical batch changes nothing: all bits 0.
+	reply, err = c.Do("CLUSTER", "MLPFADD", "2", "k1", "2", "a", "b", "k2", "1", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "00" {
+		t.Errorf("idempotent re-send reply %q, want 00", reply)
+	}
+
+	for _, bad := range [][]string{
+		{"CLUSTER", "MLPFADD"},                              // no group count
+		{"CLUSTER", "MLPFADD", "x"},                         // bad group count
+		{"CLUSTER", "MLPFADD", "0"},                         // zero groups
+		{"CLUSTER", "MLPFADD", "9000000000000000000"},       // absurd count: must not allocate by it
+		{"CLUSTER", "MLPFADD", "3", "k", "1", "a"},          // count beyond what tokens can satisfy
+		{"CLUSTER", "MLPFADD", "1", "k"},                    // missing element count
+		{"CLUSTER", "MLPFADD", "1", "k", "2", "a"},          // truncated elements
+		{"CLUSTER", "MLPFADD", "1", "k", "q", "a"},          // bad element count
+		{"CLUSTER", "MLPFADD", "1", "k", "1", "a", "extra"}, // trailing tokens
+	} {
+		if _, err := c.Do(bad...); err == nil {
+			t.Errorf("malformed %v accepted", bad)
+		}
+	}
+	// The malformed lines must not have taken the server down.
+	if _, err := c.Do("PING"); err != nil {
+		t.Fatalf("server unusable after malformed MLPFADD: %v", err)
+	}
+}
+
+// TestAddNoElements: a zero-element Add is rejected up front — queued
+// into a batch it would fail every unrelated coalesced write.
+func TestAddNoElements(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	if _, err := nodes[0].Add("key"); err == nil {
+		t.Fatal("Add with no elements succeeded")
+	}
+	if _, err := nodes[0].Add("key", "el"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedAddConvergence fires many concurrent Adds through one
+// coordinator — exercising the per-peer MLPFADD batcher — and checks
+// that every replica of every key converges to the same sketch state,
+// observable as identical counts through every node.
+func TestBatchedAddConvergence(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	const (
+		workers = 8
+		perW    = 300
+		keys    = 7
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("conv-%d", i%keys)
+				if _, err := nodes[0].Add(key, fmt.Sprintf("w%d-e%d", w, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Per-key counts must agree exactly across nodes (replicas are
+	// byte-identical, and Count unions all owner copies).
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("conv-%d", k)
+		ref, err := nodes[0].Count(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range nodes[1:] {
+			got, err := n.Count(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("key %s: node %d count %f != node 0 count %f", key, i+1, got, ref)
+			}
+		}
+	}
+	// The union across all keys ≈ every element inserted.
+	all := make([]string, keys)
+	for k := range all {
+		all[k] = fmt.Sprintf("conv-%d", k)
+	}
+	total, err := nodes[2].Count(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(workers * perW)
+	if rel := math.Abs(total-want) / want; rel > 0.10 {
+		t.Errorf("union count = %.0f, want ≈%.0f", total, want)
+	}
+}

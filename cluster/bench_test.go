@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"exaloglog/server"
@@ -48,6 +49,30 @@ func BenchmarkClusterRoutedPFAdd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkClusterBatchedPFAdd measures concurrent Node.Add calls
+// through one coordinator of a 3-node cluster: the per-peer batcher
+// coalesces the forwards to each owner into pipelined CLUSTER MLPFADD
+// batches, so k concurrent adds to the same owner share one round trip
+// instead of paying k.
+func BenchmarkClusterBatchedPFAdd(b *testing.B) {
+	nodes, _ := startBenchCluster(b)
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := gid.Add(1)
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("g%d-key-%d", g, i%16)
+			if _, err := nodes[0].Add(key, fmt.Sprintf("el-%d", i)); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 }
 

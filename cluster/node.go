@@ -29,6 +29,7 @@ import (
 //	CLUSTER SYNC                       → +OK (one anti-entropy round: pull peer maps, adopt/spread the newest)
 //	CLUSTER REBALANCE                  → +OK (full re-push of local sketches to their owners)
 //	CLUSTER LPFADD <key> <el>...       → :1/:0 (local add; internal replication verb)
+//	CLUSTER MLPFADD <g> <key> <n> <el>... ×g → +<g × '0'/'1'> (batched local adds; internal)
 //	CLUSTER LDEL <key>                 → :1/:0 (local delete; internal)
 //	CLUSTER LKEYS                      → +<keys> (local keys; internal)
 //	CLUSTER ABSORB <key> <base64>      → +OK (merge a sketch blob into key; internal)
@@ -603,6 +604,11 @@ func (n *Node) Add(key string, elements ...string) (bool, error) {
 	if err := validToken("key", key); err != nil {
 		return false, err
 	}
+	if len(elements) == 0 {
+		// Reject before queueing: a zero-element group would fail the
+		// whole MLPFADD batch it gets coalesced into, not just this call.
+		return false, errors.New("cluster: Add needs at least one element")
+	}
 	for _, e := range elements {
 		if err := validToken("element", e); err != nil {
 			return false, err
@@ -623,9 +629,9 @@ func (n *Node) Add(key string, elements ...string) (bool, error) {
 				changed[i] = n.store.Add(key, elements...)
 				return
 			}
-			reply, err := n.peers.do(o.Addr, append([]string{"CLUSTER", "LPFADD", key}, elements...)...)
-			errs[i] = err
-			changed[i] = reply == "1"
+			// Batched forwarding: concurrent Adds to the same owner
+			// coalesce into one pipelined CLUSTER MLPFADD round trip.
+			changed[i], errs[i] = n.peers.batchAdd(o.Addr, key, elements)
 		}(i, o)
 	}
 	wg.Wait()
@@ -660,71 +666,107 @@ func (n *Node) Count(keys ...string) (float64, error) {
 }
 
 // gather fetches every owner's sketch for every key and merges them into
-// one sketch (nil if no key exists anywhere).
+// one sketch (nil if no key exists anywhere). The DUMPs are batched per
+// owner — all of an owner's keys go out as one pipelined request — so a
+// multi-key count costs one round trip per owner, not one per
+// (key, owner) pair. Owners are queried concurrently.
 func (n *Node) gather(m *Map, keys []string) (*core.Sketch, error) {
-	type job struct {
-		key   string
+	type ownerJobs struct {
 		owner Member
+		keys  []string
 	}
-	var jobs []job
+	var owners []*ownerJobs
+	byID := make(map[string]*ownerJobs)
 	for _, key := range keys {
 		for _, o := range m.Owners(key) {
-			jobs = append(jobs, job{key, o})
+			oj, ok := byID[o.ID]
+			if !ok {
+				oj = &ownerJobs{owner: o}
+				byID[o.ID] = oj
+				owners = append(owners, oj)
+			}
+			oj.keys = append(oj.keys, key)
 		}
 	}
-	sketches := make([]*core.Sketch, len(jobs))
-	errs := make([]error, len(jobs))
+	sketches := make([][]*core.Sketch, len(owners))
+	errs := make([]error, len(owners))
 	var wg sync.WaitGroup
-	for i, j := range jobs {
+	for i, oj := range owners {
 		wg.Add(1)
-		go func(i int, j job) {
+		go func(i int, oj *ownerJobs) {
 			defer wg.Done()
-			var blob []byte
-			if j.owner.ID == n.id {
-				var ok bool
-				if blob, ok = n.store.Dump(j.key); !ok {
-					return
+			got := make([]*core.Sketch, 0, len(oj.keys))
+			if oj.owner.ID == n.id {
+				for _, key := range oj.keys {
+					blob, ok := n.store.Dump(key)
+					if !ok {
+						continue
+					}
+					sk, err := core.FromBinary(blob)
+					if err != nil {
+						errs[i] = fmt.Errorf("cluster: sketch %q from %s: %w", key, oj.owner.ID, err)
+						return
+					}
+					got = append(got, sk)
 				}
-			} else {
-				reply, err := n.peers.do(j.owner.Addr, "DUMP", j.key)
-				if errors.Is(err, server.ErrNoSuchKey) {
-					return
-				}
-				if err != nil {
-					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", j.key, j.owner.ID, err)
-					return
-				}
-				if blob, err = base64.StdEncoding.DecodeString(reply); err != nil {
-					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", j.key, j.owner.ID, err)
-					return
-				}
-			}
-			sk, err := core.FromBinary(blob)
-			if err != nil {
-				errs[i] = fmt.Errorf("cluster: sketch %q from %s: %w", j.key, j.owner.ID, err)
+				sketches[i] = got
 				return
 			}
-			sketches[i] = sk
-		}(i, j)
+			cmds := make([][]string, len(oj.keys))
+			for j, key := range oj.keys {
+				cmds[j] = []string{"DUMP", key}
+			}
+			results, err := n.peers.pipeline(oj.owner.Addr, cmds)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: dump from %s: %w", oj.owner.ID, err)
+				return
+			}
+			for j, res := range results {
+				if errors.Is(res.Err, server.ErrNoSuchKey) {
+					continue
+				}
+				if res.Err != nil {
+					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", oj.keys[j], oj.owner.ID, res.Err)
+					return
+				}
+				blob, err := base64.StdEncoding.DecodeString(res.Value)
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", oj.keys[j], oj.owner.ID, err)
+					return
+				}
+				sk, err := core.FromBinary(blob)
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: sketch %q from %s: %w", oj.keys[j], oj.owner.ID, err)
+					return
+				}
+				got = append(got, sk)
+			}
+			sketches[i] = got
+		}(i, oj)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	var acc *core.Sketch
-	for _, sk := range sketches {
-		if sk == nil {
-			continue
+	for _, group := range sketches {
+		for _, sk := range group {
+			if acc == nil {
+				acc = sk
+				continue
+			}
+			if acc.Config() == sk.Config() {
+				if err := acc.Merge(sk); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			merged, err := core.MergeCompatible(acc, sk)
+			if err != nil {
+				return nil, err
+			}
+			acc = merged
 		}
-		if acc == nil {
-			acc = sk
-			continue
-		}
-		merged, err := core.MergeCompatible(acc, sk)
-		if err != nil {
-			return nil, err
-		}
-		acc = merged
 	}
 	return acc, nil
 }
@@ -973,6 +1015,8 @@ func (n *Node) handleCluster(args []string) string {
 			return ":1"
 		}
 		return ":0"
+	case "MLPFADD":
+		return n.handleMLPFAdd(rest)
 	case "LDEL":
 		if len(rest) != 1 {
 			return "-ERR CLUSTER LDEL needs exactly one key"
@@ -998,6 +1042,51 @@ func (n *Node) handleCluster(args []string) string {
 	default:
 		return "-ERR unknown CLUSTER subcommand " + sub
 	}
+}
+
+// handleMLPFAdd executes a batched local-add: g groups, each a key, an
+// element count, and that many elements (counted framing, so keys and
+// elements need no reserved separator token). The reply is '+' followed
+// by one '0'/'1' changed-bit per group, in order — what lets many
+// concurrent forwarded PFADDs share one round trip yet each learn its
+// own outcome.
+func (n *Node) handleMLPFAdd(rest []string) string {
+	if len(rest) < 1 {
+		return "-ERR CLUSTER MLPFADD needs a group count"
+	}
+	g, err := strconv.Atoi(rest[0])
+	// Each group needs at least 3 tokens (key, count, one element), so
+	// a count beyond (len(rest)-1)/3 cannot be satisfied — reject it
+	// before sizing any allocation by it (wire input is untrusted).
+	if err != nil || g < 1 || g > (len(rest)-1)/3 {
+		return fmt.Sprintf("-ERR bad CLUSTER MLPFADD group count %q", rest[0])
+	}
+	bits := make([]byte, 0, g)
+	i := 1
+	for gi := 0; gi < g; gi++ {
+		if len(rest)-i < 2 {
+			return "-ERR truncated CLUSTER MLPFADD group"
+		}
+		key := rest[i]
+		cnt, err := strconv.Atoi(rest[i+1])
+		if err != nil || cnt < 1 {
+			return fmt.Sprintf("-ERR bad CLUSTER MLPFADD element count %q", rest[i+1])
+		}
+		i += 2
+		if len(rest)-i < cnt {
+			return "-ERR truncated CLUSTER MLPFADD group"
+		}
+		if n.store.Add(key, rest[i:i+cnt]...) {
+			bits = append(bits, '1')
+		} else {
+			bits = append(bits, '0')
+		}
+		i += cnt
+	}
+	if i != len(rest) {
+		return "-ERR trailing tokens after CLUSTER MLPFADD groups"
+	}
+	return "+" + string(bits)
 }
 
 func (n *Node) handleJoin(id, addr string) string {

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
+	"strconv"
 	"sync"
 
 	"exaloglog/server"
@@ -12,18 +14,37 @@ import (
 // fan-out across peers runs in parallel while same-peer commands queue.
 // Connections that error are dropped and redialed on next use.
 //
+// Beyond single commands the pool offers two batched paths:
+//
+//   - pipeline sends a slice of commands in one write and reads the
+//     replies in one batch (server.Pipeline) — used by the read
+//     scatter-gather so N keys on one owner cost one round trip.
+//   - batchAdd coalesces concurrent per-key add requests to the same
+//     peer into a single CLUSTER MLPFADD command (group commit): while
+//     one flush is on the wire, every new request queues, and the next
+//     flush carries them all.
+//
 // hook, when non-nil, is consulted before every outbound command; a
 // non-nil return aborts the command with that error. It exists for the
 // in-process test harness (simulated partitions and delays) and must
-// be set before the owning node starts serving.
+// be set before the owning node starts serving. pipeline consults the
+// hook once per queued command (so per-verb partitions and delays see
+// every logical command); batchAdd consults it once per flushed batch,
+// with the combined MLPFADD command.
 type pool struct {
 	hook  func(addr string, parts []string) error
 	mu    sync.Mutex
 	conns map[string]*server.Client
+
+	bmu     sync.Mutex
+	batches map[string]*peerBatch
 }
 
 func newPool() *pool {
-	return &pool{conns: make(map[string]*server.Client)}
+	return &pool{
+		conns:   make(map[string]*server.Client),
+		batches: make(map[string]*peerBatch),
+	}
 }
 
 func (p *pool) get(addr string) (*server.Client, error) {
@@ -74,6 +95,124 @@ func (p *pool) do(addr string, parts ...string) (string, error) {
 		p.drop(addr, c)
 	}
 	return reply, err
+}
+
+// pipeline sends cmds to addr as one pipelined batch and returns one
+// Result per command. A transport-level failure drops the cached
+// connection; per-command protocol errors (e.g. a missing key) land in
+// the individual Results.
+func (p *pool) pipeline(addr string, cmds [][]string) ([]server.Result, error) {
+	if p.hook != nil {
+		for _, parts := range cmds {
+			if err := p.hook(addr, parts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c, err := p.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	pl := c.Pipeline()
+	for _, parts := range cmds {
+		pl.Do(parts...)
+	}
+	results, err := pl.Exec()
+	if err != nil {
+		p.drop(addr, c)
+		return nil, err
+	}
+	return results, nil
+}
+
+// addReq is one queued remote add awaiting a batched flush.
+type addReq struct {
+	key      string
+	elements []string
+	done     chan addResult
+}
+
+type addResult struct {
+	changed bool
+	err     error
+}
+
+// peerBatch is the per-peer group-commit queue for adds.
+type peerBatch struct {
+	mu       sync.Mutex
+	pending  []*addReq
+	flushing bool
+}
+
+func (p *pool) batchFor(addr string) *peerBatch {
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
+	b, ok := p.batches[addr]
+	if !ok {
+		b = &peerBatch{}
+		p.batches[addr] = b
+	}
+	return b
+}
+
+// batchAdd queues an add of elements into key on the peer at addr and
+// returns its result. Concurrent calls to the same peer coalesce: one
+// caller becomes the flusher and drains the queue in MLPFADD batches
+// (one write, one reply per batch) while later callers just park on
+// their result channel — the cluster-side equivalent of the server's
+// coalesced flush.
+func (p *pool) batchAdd(addr, key string, elements []string) (bool, error) {
+	b := p.batchFor(addr)
+	req := &addReq{key: key, elements: elements, done: make(chan addResult, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	if b.flushing {
+		b.mu.Unlock()
+		res := <-req.done
+		return res.changed, res.err
+	}
+	b.flushing = true
+	b.mu.Unlock()
+	for {
+		b.mu.Lock()
+		batch := b.pending
+		if len(batch) == 0 {
+			b.flushing = false
+			b.mu.Unlock()
+			break
+		}
+		b.pending = nil
+		b.mu.Unlock()
+		p.flushAdds(addr, batch)
+	}
+	res := <-req.done
+	return res.changed, res.err
+}
+
+// flushAdds sends one MLPFADD carrying every queued group and fans the
+// per-group results back out to the waiting callers.
+func (p *pool) flushAdds(addr string, batch []*addReq) {
+	size := 3
+	for _, r := range batch {
+		size += 2 + len(r.elements)
+	}
+	parts := make([]string, 0, size)
+	parts = append(parts, "CLUSTER", "MLPFADD", strconv.Itoa(len(batch)))
+	for _, r := range batch {
+		parts = append(parts, r.key, strconv.Itoa(len(r.elements)))
+		parts = append(parts, r.elements...)
+	}
+	reply, err := p.do(addr, parts...)
+	if err == nil && len(reply) != len(batch) {
+		err = fmt.Errorf("cluster: MLPFADD replied %d bits for %d groups", len(reply), len(batch))
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.done <- addResult{err: err}
+			continue
+		}
+		r.done <- addResult{changed: reply[i] == '1'}
+	}
 }
 
 func (p *pool) closeAll() {

@@ -1,0 +1,107 @@
+// ell-benchjson converts `go test -bench` text output (stdin) into a
+// JSON record (stdout) that is both machine-queryable and
+// benchstat-comparable: the parsed per-benchmark numbers sit next to
+// the raw benchmark lines, so
+//
+//	go test -bench . -benchmem ./server/ ./cluster/ | ell-benchjson > BENCH_serving.json
+//	jq -r '.raw[]' BENCH_serving.json | benchstat old.txt /dev/stdin
+//
+// tracks the serving-path perf trajectory across PRs with stock tools.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, ops/s, ...
+}
+
+// Report is the whole file.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Raw        []string    `json:"raw"` // verbatim lines, benchstat-consumable
+}
+
+func main() {
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(trimmed, "cpu:"); ok {
+			report.CPU = strings.TrimSpace(cpu)
+		}
+		keep := strings.HasPrefix(trimmed, "Benchmark") ||
+			strings.HasPrefix(trimmed, "goos:") ||
+			strings.HasPrefix(trimmed, "goarch:") ||
+			strings.HasPrefix(trimmed, "pkg:") ||
+			strings.HasPrefix(trimmed, "cpu:")
+		if !keep {
+			continue
+		}
+		report.Raw = append(report.Raw, line)
+		if b, ok := parseBenchLine(trimmed); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ell-benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "ell-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses "BenchmarkX-8  1000  123 ns/op  0 B/op ..."
+// into a Benchmark; ok is false for non-result lines.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The rest comes in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

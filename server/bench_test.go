@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+func newBenchStore(b *testing.B) *Store {
+	b.Helper()
+	store, err := NewStore(core.RecommendedML(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+func startBenchServer(b *testing.B) *Server {
+	b.Helper()
+	srv := NewServer(newBenchStore(b))
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// benchElements pre-formats element strings so the benchmark loop does
+// not measure fmt.Sprintf.
+func benchElements(n int) []string {
+	els := make([]string, n)
+	for i := range els {
+		els[i] = fmt.Sprintf("el-%d", i)
+	}
+	return els
+}
+
+// BenchmarkStoreAdd measures single-goroutine Store.Add on one key —
+// the per-insert floor with no contention.
+func BenchmarkStoreAdd(b *testing.B) {
+	store := newBenchStore(b)
+	els := benchElements(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Add("key", els[i%len(els)])
+	}
+}
+
+// BenchmarkStoreParallelAdd hammers Store.Add from parallel goroutines,
+// each with its own working set of keys. Under the global-mutex store
+// every add serializes; the sharded store lets disjoint keys proceed
+// concurrently.
+func BenchmarkStoreParallelAdd(b *testing.B) {
+	store := newBenchStore(b)
+	els := benchElements(4096)
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := gid.Add(1)
+		keys := make([]string, 16)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("g%d-key-%d", g, i)
+		}
+		i := 0
+		for pb.Next() {
+			store.Add(keys[i%len(keys)], els[i%len(els)])
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreCount measures Count over an 8-key union — the
+// accumulator-reuse path (one merge per key, no per-key sketch
+// allocation when configurations match).
+func BenchmarkStoreCount(b *testing.B) {
+	store := newBenchStore(b)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		for j := 0; j < 10000; j++ {
+			store.Add(keys[i], fmt.Sprintf("el-%d-%d", i, j))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Count(keys...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerPFAdd is the request-per-round-trip wire baseline: one
+// client, one PFADD, one reply, repeat.
+func BenchmarkServerPFAdd(b *testing.B) {
+	srv := startBenchServer(b)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	els := benchElements(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PFAdd("key", els[i%len(els)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkPipelinedPFAdd measures wire-level PFADD throughput with the
+// Pipeline API: batches of commands go out in one write and the server
+// coalesces the reply flushes, so each op's cost is amortized protocol
+// work instead of a full network round trip.
+func BenchmarkPipelinedPFAdd(b *testing.B) {
+	srv := startBenchServer(b)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	els := benchElements(4096)
+	const batch = 128
+	p := c.Pipeline()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			p.PFAdd("key", els[(done+i)%len(els)])
+		}
+		results, err := p.Exec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != n {
+			b.Fatalf("got %d results, want %d", len(results), n)
+		}
+		done += n
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkDispatchPFAdd isolates the server's PFADD dispatch fast path
+// — tokenized line in, reply bytes out, no network. The acceptance bar
+// is 0 allocs/op: tokens stay []byte end to end and the reply is
+// appended to a reusable scratch buffer.
+func BenchmarkDispatchPFAdd(b *testing.B) {
+	store := newBenchStore(b)
+	srv := NewServer(store)
+	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
+	lines := make([][]byte, 512)
+	for i := range lines {
+		lines[i] = []byte(fmt.Sprintf("PFADD key el-%d\n", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if quit := cc.exec(lines[i%len(lines)]); quit {
+			b.Fatal("unexpected quit")
+		}
+	}
+}
+
+// BenchmarkDispatchPFCount isolates the PFCOUNT dispatch fast path
+// (pooled accumulator, no per-key sketch allocation).
+func BenchmarkDispatchPFCount(b *testing.B) {
+	store := newBenchStore(b)
+	for i := 0; i < 10000; i++ {
+		store.Add("key", fmt.Sprintf("el-%d", i))
+	}
+	srv := NewServer(store)
+	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
+	line := []byte("PFCOUNT key\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.exec(line)
+	}
+}
+
+// BenchmarkServerParallelPFAdd measures wire-level PFADD throughput with
+// one connection per worker, each writing its own keys — the end-to-end
+// number the sharded store and the zero-allocation dispatch fast path
+// exist to move.
+func BenchmarkServerParallelPFAdd(b *testing.B) {
+	srv := startBenchServer(b)
+	els := benchElements(4096)
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := gid.Add(1)
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		keys := make([]string, 16)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("g%d-key-%d", g, i)
+		}
+		i := 0
+		for pb.Next() {
+			if _, err := c.PFAdd(keys[i%len(keys)], els[i%len(els)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

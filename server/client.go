@@ -17,12 +17,14 @@ var ErrNoSuchKey = errors.New("no such key")
 
 // Client is a minimal client for the sketch server protocol. It is safe
 // for concurrent use: commands are serialized on the single connection,
-// so goroutines sharing a Client queue behind each other. Open multiple
-// clients for pipelined throughput.
+// so goroutines sharing a Client queue behind each other. Use Pipeline
+// to batch many commands into one round trip, or open multiple clients
+// for connection-level parallelism.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
+	wbuf []byte // reusable request-line build buffer (guarded by mu)
 }
 
 // Dial connects to a sketch server.
@@ -40,19 +42,38 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// Do sends one command line and returns the raw reply without its type
-// sigil. Protocol errors come back as Go errors. Concurrent calls are
-// serialized; each request sees its own reply.
-func (c *Client) Do(parts ...string) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintln(c.conn, strings.Join(parts, " ")); err != nil {
-		return "", err
+// checkTokens rejects command tokens the line protocol cannot carry: an
+// empty token vanishes and a token containing whitespace is split into
+// several tokens (or injected as a second command) on the server —
+// silently corrupting the stream. Mirrors the cluster package's
+// validToken rule.
+func checkTokens(parts []string) error {
+	if len(parts) == 0 {
+		return errors.New("server: empty command")
 	}
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return "", err
+	for _, p := range parts {
+		if p == "" || strings.ContainsAny(p, " \t\r\n") {
+			return fmt.Errorf("server: token %q must be non-empty and free of whitespace", p)
+		}
 	}
+	return nil
+}
+
+// appendLine appends the space-joined command line (with trailing
+// newline) to buf and returns the extended slice.
+func appendLine(buf []byte, parts []string) []byte {
+	for i, p := range parts {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, p...)
+	}
+	return append(buf, '\n')
+}
+
+// parseReply strips the type sigil from one reply line and converts
+// protocol errors to Go errors.
+func parseReply(line string) (string, error) {
 	line = strings.TrimRight(line, "\r\n")
 	if line == "" {
 		return "", errors.New("server: empty reply")
@@ -69,6 +90,115 @@ func (c *Client) Do(parts ...string) (string, error) {
 	default:
 		return "", fmt.Errorf("server: malformed reply %q", line)
 	}
+}
+
+// Do sends one command line and returns the raw reply without its type
+// sigil. Tokens must be non-empty and whitespace-free. Protocol errors
+// come back as Go errors. Concurrent calls are serialized; each request
+// sees its own reply.
+func (c *Client) Do(parts ...string) (string, error) {
+	if err := checkTokens(parts); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendLine(c.wbuf[:0], parts)
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return parseReply(line)
+}
+
+// Result is one command's outcome within an executed Pipeline.
+type Result struct {
+	Value string // reply without its type sigil
+	Err   error  // per-command protocol error, nil on success
+}
+
+// Pipeline queues commands and sends them all in a single write,
+// reading the replies back in one batch — N commands cost one network
+// round trip instead of N. Obtain one from Client.Pipeline, queue with
+// Do/PFAdd/PFCount/Dump, then call Exec. A Pipeline is not safe for
+// concurrent use; the Exec itself serializes with other commands on
+// the shared connection. After Exec the pipeline is empty and can be
+// reused.
+type Pipeline struct {
+	c   *Client
+	buf []byte
+	n   int
+	err error // first queueing error; reported by Exec
+}
+
+// Pipeline returns an empty command pipeline on this connection.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Do queues one command. Invalid tokens poison the pipeline: Exec will
+// report the first such error and send nothing.
+func (p *Pipeline) Do(parts ...string) {
+	if p.err != nil {
+		return
+	}
+	if err := checkTokens(parts); err != nil {
+		p.err = err
+		return
+	}
+	p.buf = appendLine(p.buf, parts)
+	p.n++
+}
+
+// PFAdd queues a PFADD key element... command.
+func (p *Pipeline) PFAdd(key string, elements ...string) {
+	p.Do(append(append(make([]string, 0, 2+len(elements)), "PFADD", key), elements...)...)
+}
+
+// PFCount queues a PFCOUNT key... command.
+func (p *Pipeline) PFCount(keys ...string) {
+	p.Do(append(append(make([]string, 0, 1+len(keys)), "PFCOUNT"), keys...)...)
+}
+
+// Dump queues a DUMP key command; decode the Result value with
+// base64.StdEncoding.
+func (p *Pipeline) Dump(key string) {
+	p.Do("DUMP", key)
+}
+
+// Len returns the number of queued commands.
+func (p *Pipeline) Len() int { return p.n }
+
+// Exec sends every queued command in one write and reads the replies in
+// order. The returned slice has one Result per queued command;
+// per-command protocol errors land in Result.Err. A non-nil error means
+// the batch as a whole failed (queueing error: nothing was sent;
+// transport error: the connection is broken) — the results are then
+// nil. Exec resets the pipeline for reuse either way.
+func (p *Pipeline) Exec() ([]Result, error) {
+	buf, n, err := p.buf, p.n, p.err
+	p.buf, p.n, p.err = p.buf[:0], 0, nil
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(buf); err != nil {
+		return nil, err
+	}
+	results := make([]Result, n)
+	for i := range results {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("server: pipeline reply %d/%d: %w", i+1, n, err)
+		}
+		results[i].Value, results[i].Err = parseReply(line)
+	}
+	return results, nil
 }
 
 // PFAdd inserts elements into key; it reports whether the sketch changed.

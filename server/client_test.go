@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestClientRejectsBadTokens: an element containing whitespace would be
+// split into several elements (or injected as a second command) on the
+// wire; the client must refuse to send it instead of silently
+// corrupting the stream.
+func TestClientRejectsBadTokens(t *testing.T) {
+	_, c := startServer(t)
+	bad := []string{"a b", "a\tb", "a\nb", "a\rb", ""}
+	for _, el := range bad {
+		if _, err := c.PFAdd("key", el); err == nil {
+			t.Errorf("PFAdd with element %q succeeded", el)
+		}
+		if _, err := c.PFAdd(el, "ok"); err == nil {
+			t.Errorf("PFAdd with key %q succeeded", el)
+		}
+		if _, err := c.PFCount(el); err == nil {
+			t.Errorf("PFCount with key %q succeeded", el)
+		}
+	}
+	if _, err := c.Do(); err == nil {
+		t.Error("empty Do succeeded")
+	}
+	// A rejected command must not desynchronize the connection.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after rejected tokens: %v", err)
+	}
+	// The whitespace-containing element never reached the server as
+	// multiple elements: a clean insert of 1 element counts 1.
+	if _, err := c.PFAdd("clean", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.PFCount("clean"); n != 1 {
+		t.Errorf("clean count = %d, want 1", n)
+	}
+}
+
+// TestPipelineExec drives the Pipeline API end to end: queued commands
+// go out as one batch, and results come back in order with per-command
+// errors in place.
+func TestPipelineExec(t *testing.T) {
+	_, c := startServer(t)
+	p := c.Pipeline()
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.PFAdd("pipe", fmt.Sprintf("el-%d", i))
+	}
+	p.PFCount("pipe")
+	p.Do("DUMP", "missing")
+	p.Do("PING")
+	if p.Len() != n+3 {
+		t.Fatalf("Len = %d, want %d", p.Len(), n+3)
+	}
+	results, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n+3 {
+		t.Fatalf("got %d results, want %d", len(results), n+3)
+	}
+	for i := 0; i < n; i++ {
+		// A distinct element usually changes the sketch (":1") but may
+		// legitimately not (":0") — only an error is wrong here.
+		if results[i].Err != nil || (results[i].Value != "1" && results[i].Value != "0") {
+			t.Fatalf("result %d = %+v, want 0 or 1", i, results[i])
+		}
+	}
+	count, err := strconv.Atoi(results[n].Value)
+	if err != nil || count < n*95/100 || count > n*105/100 {
+		t.Errorf("pipelined PFCOUNT = %q (%v), want ≈%d", results[n].Value, err, n)
+	}
+	if results[n+1].Err == nil {
+		t.Error("DUMP of missing key inside pipeline succeeded")
+	}
+	if results[n+2].Value != "PONG" {
+		t.Errorf("pipelined PING = %+v", results[n+2])
+	}
+	// The pipeline is reusable after Exec.
+	if p.Len() != 0 {
+		t.Fatalf("Len after Exec = %d, want 0", p.Len())
+	}
+	p.PFCount("pipe")
+	results, err = p.Exec()
+	if err != nil || len(results) != 1 {
+		t.Fatalf("reused pipeline: %v, %d results", err, len(results))
+	}
+	if got, _ := strconv.Atoi(results[0].Value); got < n*95/100 || got > n*105/100 {
+		t.Errorf("reused pipeline PFCOUNT = %q, want ≈%d", results[0].Value, n)
+	}
+}
+
+// TestPipelinePoisoned: one invalid token poisons the whole batch —
+// Exec sends nothing and reports the error, and the connection stays
+// in sync.
+func TestPipelinePoisoned(t *testing.T) {
+	_, c := startServer(t)
+	p := c.Pipeline()
+	p.PFAdd("ok", "fine")
+	p.PFAdd("key", "bad element")
+	p.PFAdd("ok", "also-fine")
+	results, err := p.Exec()
+	if err == nil {
+		t.Fatal("poisoned pipeline Exec succeeded")
+	}
+	if !strings.Contains(err.Error(), "bad element") {
+		t.Errorf("error %q does not name the offending token", err)
+	}
+	if results != nil {
+		t.Errorf("poisoned Exec returned results: %+v", results)
+	}
+	// Nothing was sent: the key must not exist.
+	if _, err := c.Dump("ok"); err == nil {
+		t.Error("poisoned pipeline partially executed")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after poisoned pipeline: %v", err)
+	}
+	// The pipeline resets after the failed Exec and works again.
+	p.PFAdd("ok", "fine")
+	if results, err := p.Exec(); err != nil || len(results) != 1 {
+		t.Fatalf("pipeline unusable after poison: %v", err)
+	}
+}
+
+// TestPipelineEmptyExec: executing an empty pipeline is a no-op.
+func TestPipelineEmptyExec(t *testing.T) {
+	_, c := startServer(t)
+	results, err := c.Pipeline().Exec()
+	if err != nil || results != nil {
+		t.Fatalf("empty Exec = %+v, %v", results, err)
+	}
+}

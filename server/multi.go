@@ -1,10 +1,12 @@
 package server
 
 import (
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"exaloglog/internal/core"
 )
@@ -75,16 +77,40 @@ func (mc *MultiClient) PFAdd(key string, elements ...string) (bool, error) {
 
 // PFCount estimates the distinct count of the union of the given keys
 // across all shards: every shard's sketch for every key is fetched with
-// DUMP and merged locally. Missing keys contribute nothing.
+// DUMP and merged locally. Missing keys contribute nothing. The DUMPs
+// for all keys go to each shard as one pipelined batch and the shards
+// are queried concurrently, so the query costs one round trip per
+// shard instead of one per (shard, key) pair.
 func (mc *MultiClient) PFCount(keys ...string) (float64, error) {
+	batches := make([][]Result, len(mc.clients))
+	errs := make([]error, len(mc.clients))
+	var wg sync.WaitGroup
+	for i, c := range mc.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			p := c.Pipeline()
+			for _, key := range keys {
+				p.Dump(key)
+			}
+			batches[i], errs[i] = p.Exec()
+		}(i, c)
+	}
+	wg.Wait()
 	var acc *core.Sketch
-	for _, c := range mc.clients {
-		for _, key := range keys {
-			blob, err := c.Dump(key)
-			if err != nil {
-				if errors.Is(err, ErrNoSuchKey) {
+	for i, results := range batches {
+		if errs[i] != nil {
+			return 0, fmt.Errorf("server: shard %d: %w", i, errs[i])
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				if errors.Is(res.Err, ErrNoSuchKey) {
 					continue
 				}
+				return 0, fmt.Errorf("server: shard %d: %w", i, res.Err)
+			}
+			blob, err := base64.StdEncoding.DecodeString(res.Value)
+			if err != nil {
 				return 0, err
 			}
 			sk, err := core.FromBinary(blob)
@@ -93,6 +119,12 @@ func (mc *MultiClient) PFCount(keys ...string) (float64, error) {
 			}
 			if acc == nil {
 				acc = sk
+				continue
+			}
+			if acc.Config() == sk.Config() {
+				if err := acc.Merge(sk); err != nil {
+					return 0, err
+				}
 				continue
 			}
 			merged, err := core.MergeCompatible(acc, sk)

@@ -80,6 +80,65 @@ func TestProtocolPipelining(t *testing.T) {
 	}
 }
 
+// TestProtocolPipelinedBurstMixed sends one large single-write burst
+// mixing every fast-path and slow-path verb plus blank and erroneous
+// lines, and checks that exactly one reply comes back per non-blank
+// command, in order. This pins the coalesced-flush path: the server
+// may batch the replies into few writes, but never reorder, drop or
+// duplicate one.
+func TestProtocolPipelinedBurstMixed(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, r := rawConn(t, srv)
+	var b strings.Builder
+	var want []string // reply prefixes, in order
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		fmt.Fprintf(&b, "PFADD burst el-%d\n", i)
+		want = append(want, ":") // :1 or (rarely, per sketch semantics) :0
+		if i%10 == 3 {
+			b.WriteString("   \n") // blank: ignored, no reply
+		}
+		if i%10 == 5 {
+			b.WriteString("PFCOUNT burst\n")
+			want = append(want, ":")
+		}
+		if i%10 == 7 {
+			// The typed error and PONG anchor positional alignment:
+			// a dropped or duplicated reply shifts them onto the
+			// wrong prefix.
+			b.WriteString("PFADD\n")
+			want = append(want, "-ERR")
+			b.WriteString("PING\n")
+			want = append(want, "+PONG")
+		}
+	}
+	b.WriteString("PFCOUNT burst\nQUIT\n")
+	want = append(want, ":", "+BYE")
+	if _, err := fmt.Fprint(conn, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	var finalCount string
+	for i, prefix := range want {
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d/%d: %v", i+1, len(want), err)
+		}
+		if !strings.HasPrefix(reply, prefix) {
+			t.Fatalf("reply %d = %q, want prefix %q", i, reply, prefix)
+		}
+		if i == len(want)-2 {
+			finalCount = strings.TrimSpace(reply[1:])
+		}
+	}
+	var n int
+	if _, err := fmt.Sscan(finalCount, &n); err != nil || n < rounds*95/100 || n > rounds*105/100 {
+		t.Errorf("final PFCOUNT = %q, want ≈%d", finalCount, rounds)
+	}
+	if extra, err := r.ReadString('\n'); err == nil {
+		t.Fatalf("unexpected extra reply %q after QUIT", extra)
+	}
+}
+
 // TestProtocolHugeLine: a line beyond the scanner's 16 MiB cap must not
 // crash the server; the connection may drop but the server stays up.
 func TestProtocolHugeLine(t *testing.T) {

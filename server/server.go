@@ -5,8 +5,9 @@ import (
 	"context"
 	"encoding/base64"
 	"errors"
-	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -135,6 +136,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// maxLineBytes caps one protocol line (RESTORE payloads are the big
+// ones); a connection sending a longer line is dropped.
+const maxLineBytes = 16 * 1024 * 1024
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -143,50 +148,156 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // RESTORE payloads
-	w := bufio.NewWriter(conn)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
+	r := bufio.NewReaderSize(conn, 64*1024)
+	cc := &connCtx{s: s, w: bufio.NewWriterSize(conn, 64*1024)}
+	var long []byte // spillover for lines longer than the reader buffer
+	for {
+		line, err := r.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			long = append(long[:0], line...)
+			for err == bufio.ErrBufferFull {
+				line, err = r.ReadSlice('\n')
+				if len(long)+len(line) > maxLineBytes {
+					return // oversized line: drop the connection
+				}
+				long = append(long, line...)
+			}
+			line = long
 		}
-		reply, quit := s.dispatch(line)
-		w.WriteString(reply)
-		w.WriteByte('\n')
-		if err := w.Flush(); err != nil || quit {
+		if err != nil && err != io.EOF {
 			return
+		}
+		atEOF := err == io.EOF
+		quit := cc.exec(line)
+		// Coalesced flush: only flush when no further request is
+		// already buffered, so a pipelining client pays one write
+		// syscall per burst instead of one per command.
+		if quit || atEOF || r.Buffered() == 0 {
+			if cc.w.Flush() != nil || quit || atEOF {
+				return
+			}
 		}
 	}
 }
 
-// dispatch executes one command line and returns the reply (without
-// newline) and whether the connection should close.
-func (s *Server) dispatch(line string) (reply string, quit bool) {
-	fields := strings.Fields(line)
-	verb := strings.ToUpper(fields[0])
-	args := fields[1:]
-	if h, ok := s.handlers[verb]; ok {
-		return h(args), false
+// connCtx is the per-connection dispatch state: the buffered writer the
+// replies coalesce into, plus reusable token and integer scratch
+// buffers that make the PFADD/PFCOUNT fast path allocation-free.
+type connCtx struct {
+	s    *Server
+	w    *bufio.Writer
+	args [][]byte
+	num  []byte
+}
+
+func isLineSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\r' || b == '\n'
+}
+
+// tokenize splits line into whitespace-separated tokens in place,
+// reusing c.args. The returned subslices alias line.
+func (c *connCtx) tokenize(line []byte) [][]byte {
+	args := c.args[:0]
+	for i := 0; i < len(line); {
+		for i < len(line) && isLineSpace(line[i]) {
+			i++
+		}
+		start := i
+		for i < len(line) && !isLineSpace(line[i]) {
+			i++
+		}
+		if i > start {
+			args = append(args, line[start:i])
+		}
 	}
-	switch verb {
+	c.args = args
+	return args
+}
+
+// upperInPlace ASCII-uppercases b (verbs are ASCII; other bytes pass
+// through and simply fail the verb match).
+func upperInPlace(b []byte) {
+	for i, ch := range b {
+		if 'a' <= ch && ch <= 'z' {
+			b[i] = ch - 'a' + 'A'
+		}
+	}
+}
+
+func (c *connCtx) writeRaw(reply string) {
+	c.w.WriteString(reply)
+	c.w.WriteByte('\n')
+}
+
+func (c *connCtx) writeInt(v int64) {
+	c.num = strconv.AppendInt(append(c.num[:0], ':'), v, 10)
+	c.w.Write(c.num)
+	c.w.WriteByte('\n')
+}
+
+func stringArgs(args [][]byte) []string {
+	out := make([]string, len(args))
+	for i, a := range args {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// exec runs one command line, writing the reply into c.w, and reports
+// whether the connection should close. PFADD and PFCOUNT are handled
+// on an allocation-free fast path (tokens stay []byte end to end,
+// integer replies are appended to a reusable scratch buffer); all
+// other verbs — and any verb a Handler overrides — materialize string
+// arguments and take the regular dispatch path.
+func (c *connCtx) exec(line []byte) (quit bool) {
+	args := c.tokenize(line)
+	if len(args) == 0 {
+		return false // blank line: ignored, no reply
+	}
+	verb := args[0]
+	upperInPlace(verb)
+	if len(c.s.handlers) != 0 {
+		if h, ok := c.s.handlers[string(verb)]; ok {
+			c.writeRaw(h(stringArgs(args[1:])))
+			return false
+		}
+	}
+	switch string(verb) { // compiles without allocating the string
 	case "PFADD":
-		if len(args) < 2 {
-			return "-ERR PFADD needs a key and at least one element", false
+		if len(args) < 3 {
+			c.writeRaw("-ERR PFADD needs a key and at least one element")
+			return false
 		}
-		if s.store.Add(args[0], args[1:]...) {
-			return ":1", false
+		if c.s.store.AddBytes(args[1], args[2:]) {
+			c.writeRaw(":1")
+		} else {
+			c.writeRaw(":0")
 		}
-		return ":0", false
+		return false
 	case "PFCOUNT":
-		if len(args) < 1 {
-			return "-ERR PFCOUNT needs at least one key", false
+		if len(args) < 2 {
+			c.writeRaw("-ERR PFCOUNT needs at least one key")
+			return false
 		}
-		n, err := s.store.Count(args...)
+		n, err := c.s.store.CountBytes(args[1:])
 		if err != nil {
-			return "-ERR " + err.Error(), false
+			c.writeRaw("-ERR " + err.Error())
+			return false
 		}
-		return fmt.Sprintf(":%d", int64(n+0.5)), false
+		c.writeInt(int64(n + 0.5))
+		return false
+	}
+	reply, quit := c.s.dispatch(string(verb), stringArgs(args[1:]))
+	c.writeRaw(reply)
+	return quit
+}
+
+// dispatch executes one already-tokenized command (verb upper-cased)
+// and returns the reply (without newline) and whether the connection
+// should close. PFADD and PFCOUNT never reach it: connCtx.exec, its
+// only caller, fully handles them on the allocation-free fast path.
+func (s *Server) dispatch(verb string, args []string) (reply string, quit bool) {
+	switch verb {
 	case "PFMERGE":
 		if len(args) < 2 {
 			return "-ERR PFMERGE needs a destination and at least one source", false

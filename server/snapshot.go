@@ -42,10 +42,12 @@ const (
 )
 
 // WriteSnapshot serializes all sketches to w. Keys are written in sorted
-// order so snapshots of equal stores are byte-identical.
+// order so snapshots of equal stores are byte-identical. Each sketch
+// blob is internally consistent; keys mutated while the snapshot is
+// being gathered may appear in either state.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	blobs := s.DumpAll()
+	meta := s.Meta()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -53,8 +55,8 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	if err := bw.WriteByte(snapshotVersion); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(s.sketches))
-	for k := range s.sketches {
+	keys := make([]string, 0, len(blobs))
+	for k := range blobs {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -64,20 +66,17 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	if err := writeUvarint(uint64(len(s.meta))); err != nil {
+	if err := writeUvarint(uint64(len(meta))); err != nil {
 		return err
 	}
-	if _, err := bw.Write(s.meta); err != nil {
+	if _, err := bw.Write(meta); err != nil {
 		return err
 	}
 	if err := writeUvarint(uint64(len(keys))); err != nil {
 		return err
 	}
 	for _, k := range keys {
-		blob, err := s.sketches[k].MarshalBinary()
-		if err != nil {
-			return err
-		}
+		blob := blobs[k]
 		if err := writeUvarint(uint64(len(k))); err != nil {
 			return err
 		}
@@ -142,11 +141,33 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		}
 		loaded[string(key)] = sk
 	}
-	s.mu.Lock()
-	s.sketches = loaded
-	s.meta = meta
-	s.mu.Unlock()
+	s.replaceAll(loaded, meta)
 	return nil
+}
+
+// replaceAll swaps the store's entire contents for the loaded sketches.
+// Entries being replaced are marked dead so mutators that raced the
+// swap retry against the new maps instead of writing into orphans.
+func (s *Store) replaceAll(loaded map[string]*core.Sketch, meta []byte) {
+	fresh := make([]map[string]*entry, numShards)
+	for i := range fresh {
+		fresh[i] = make(map[string]*entry)
+	}
+	for k, sk := range loaded {
+		fresh[shardIndex(k)][k] = &entry{sk: sk}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			e.mu.Lock()
+			e.dead = true
+			e.mu.Unlock()
+		}
+		sh.m = fresh[i]
+		sh.mu.Unlock()
+	}
+	s.SetMeta(meta)
 }
 
 // readBlob reads a uvarint-length-prefixed byte string with a size cap.

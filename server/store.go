@@ -16,19 +16,57 @@ import (
 	"sync"
 
 	"exaloglog/internal/core"
+	"exaloglog/internal/hashing"
 )
 
+// numShards is the number of independently locked buckets the key space
+// is hashed over. A power of two so the shard index is a mask. 128 is
+// comfortably above any realistic core count, so two concurrent
+// commands on different keys almost never share a shard lock — and even
+// when they do, the shard lock only guards the map lookup; the sketch
+// mutation itself is serialized per entry.
+const numShards = 128
+
+// shardSeed decorrelates the shard hash from the sketches' element
+// hash (which uses seed 0).
+const shardSeed = 0x5bd1e995a967bd1e
+
+// entry is one key's sketch plus its own lock, so concurrent commands
+// on different keys never contend. ver counts observable state changes
+// (inserts that changed registers, merges, restores); together with the
+// entry's identity it lets DeleteIfUnchanged detect writes that landed
+// after a dump. dead marks an entry that has been unlinked from its
+// shard map: a mutator that raced a Delete re-fetches instead of
+// writing into an orphan.
+type entry struct {
+	mu   sync.Mutex
+	sk   *core.Sketch
+	ver  uint64
+	dead bool
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*entry
+}
+
 // Store is a named collection of ExaLogLog sketches, safe for concurrent
-// use. All sketches created through Add share the store's default
+// use. Keys are hash-sharded over independently locked buckets and each
+// sketch carries its own lock, so PFADDs to different keys proceed in
+// parallel. All sketches created through Add share the store's default
 // configuration; Restore may introduce sketches with other configurations,
 // which still count and merge together as long as they share the
 // t-parameter (Section 4.1 of the paper).
 type Store struct {
-	cfg core.Config
+	cfg    core.Config
+	shards [numShards]shard
 
-	mu       sync.RWMutex
-	sketches map[string]*core.Sketch
-	meta     []byte
+	// accs pools union accumulators for Count/Merge so the common
+	// all-configs-identical case allocates no sketch per call.
+	accs sync.Pool
+
+	metaMu sync.RWMutex
+	meta   []byte
 }
 
 // NewStore returns an empty store whose sketches use configuration cfg.
@@ -36,96 +74,314 @@ func NewStore(cfg core.Config) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{cfg: cfg, sketches: make(map[string]*core.Sketch)}, nil
+	s := &Store{cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*entry)
+	}
+	s.accs.New = func() any { return core.MustNew(cfg) }
+	return s, nil
+}
+
+func shardIndex(key string) int {
+	return int(hashing.WyString(key, shardSeed) & (numShards - 1))
+}
+
+func (s *Store) shardOf(key string) *shard {
+	return &s.shards[shardIndex(key)]
+}
+
+func (s *Store) shardOfBytes(key []byte) *shard {
+	return &s.shards[hashing.Wy64(key, shardSeed)&(numShards-1)]
+}
+
+// lookup returns the live entry for key, or nil.
+func (s *Store) lookup(key string) *entry {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	return e
+}
+
+// lookupBytes is lookup with a byte-slice key; the map access compiles
+// to a no-allocation string conversion.
+func (s *Store) lookupBytes(key []byte) *entry {
+	sh := s.shardOfBytes(key)
+	sh.mu.RLock()
+	e := sh.m[string(key)]
+	sh.mu.RUnlock()
+	return e
+}
+
+func (s *Store) getOrCreate(key string) *entry {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.m[key]; e != nil {
+		return e
+	}
+	e = &entry{sk: core.MustNew(s.cfg)}
+	sh.m[key] = e
+	return e
+}
+
+func (s *Store) getOrCreateBytes(key []byte) *entry {
+	sh := s.shardOfBytes(key)
+	sh.mu.RLock()
+	e := sh.m[string(key)]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.m[string(key)]; e != nil {
+		return e
+	}
+	e = &entry{sk: core.MustNew(s.cfg)}
+	sh.m[string(key)] = e
+	return e
+}
+
+// getAcc returns an empty accumulator sketch with the store's default
+// configuration, reusing a pooled one when available.
+func (s *Store) getAcc() *core.Sketch {
+	acc := s.accs.Get().(*core.Sketch)
+	acc.Reset()
+	return acc
 }
 
 // Add inserts elements into the sketch at key, creating it if needed.
 // It returns true if any insertion changed the sketch state (the Redis
 // PFADD convention).
 func (s *Store) Add(key string, elements ...string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sk, ok := s.sketches[key]
-	if !ok {
-		sk = core.MustNew(s.cfg)
-		s.sketches[key] = sk
+	for {
+		e := s.getOrCreate(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue // deleted between lookup and lock; re-create
+		}
+		before := e.sk.StateChanges()
+		for _, el := range elements {
+			e.sk.AddString(el)
+		}
+		changed := e.sk.StateChanges() != before
+		if changed {
+			e.ver++
+		}
+		e.mu.Unlock()
+		return changed
 	}
-	before := sk.StateChanges()
-	for _, e := range elements {
-		sk.AddString(e)
+}
+
+// AddBytes is Add with byte-slice key and elements; it allocates nothing
+// once the key exists, which makes it the server's PFADD fast path. The
+// slices are not retained.
+func (s *Store) AddBytes(key []byte, elements [][]byte) bool {
+	for {
+		e := s.getOrCreateBytes(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		before := e.sk.StateChanges()
+		for _, el := range elements {
+			e.sk.Add(el)
+		}
+		changed := e.sk.StateChanges() != before
+		if changed {
+			e.ver++
+		}
+		e.mu.Unlock()
+		return changed
 	}
-	return sk.StateChanges() != before
+}
+
+// mergeInto folds e's sketch into *acc under e's lock. When the configs
+// match — the overwhelmingly common case — the merge happens in place
+// with no allocation. Otherwise the sketch is cloned out and aligned
+// via MergeCompatible: if *acc is still the untouched pooled
+// accumulator (*found false) the clone simply becomes the accumulator
+// (preserving, e.g., counting a lone foreign-t key); else both are
+// reduced to common parameters. *pooled tracks whether *acc still is
+// the poolable accumulator.
+func (s *Store) mergeInto(acc **core.Sketch, pooled, found *bool, e *entry) error {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return nil // concurrently deleted: contributes nothing
+	}
+	if e.sk.Config() == (*acc).Config() {
+		err := (*acc).Merge(e.sk)
+		e.mu.Unlock()
+		if err != nil {
+			return err // unreachable: identical configs
+		}
+		*found = true
+		return nil
+	}
+	clone := e.sk.Clone()
+	e.mu.Unlock()
+	if !*found {
+		if *pooled {
+			s.accs.Put(*acc)
+			*pooled = false
+		}
+		*acc = clone
+		*found = true
+		return nil
+	}
+	merged, err := core.MergeCompatible(*acc, clone)
+	if err != nil {
+		return err
+	}
+	if *pooled {
+		s.accs.Put(*acc)
+		*pooled = false
+	}
+	*acc = merged
+	return nil
 }
 
 // Count estimates the number of distinct elements in the union of the
-// sketches at the given keys. Missing keys contribute nothing. Keys with
-// different configurations are aligned with MergeCompatible when they
-// share t.
+// sketches at the given keys. Missing keys contribute nothing. Keys
+// with the store's configuration are merged in place into one reusable
+// accumulator (no per-key allocation); keys with other configurations
+// are aligned via reduction when they share t.
 func (s *Store) Count(keys ...string) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var acc *core.Sketch
+	acc, pooled, found := s.getAcc(), true, false
+	defer func() {
+		if pooled {
+			s.accs.Put(acc)
+		}
+	}()
 	for _, k := range keys {
-		sk, ok := s.sketches[k]
-		if !ok {
+		e := s.lookup(k)
+		if e == nil {
 			continue
 		}
-		if acc == nil {
-			acc = sk.Clone()
-			continue
-		}
-		merged, err := core.MergeCompatible(acc, sk)
-		if err != nil {
+		if err := s.mergeInto(&acc, &pooled, &found, e); err != nil {
 			return 0, fmt.Errorf("server: count %q: %w", k, err)
 		}
-		acc = merged
 	}
-	if acc == nil {
+	if !found {
+		return 0, nil
+	}
+	return acc.Estimate(), nil
+}
+
+// CountBytes is Count with byte-slice keys — the server's PFCOUNT fast
+// path. The slices are not retained.
+func (s *Store) CountBytes(keys [][]byte) (float64, error) {
+	acc, pooled, found := s.getAcc(), true, false
+	defer func() {
+		if pooled {
+			s.accs.Put(acc)
+		}
+	}()
+	for _, k := range keys {
+		e := s.lookupBytes(k)
+		if e == nil {
+			continue
+		}
+		if err := s.mergeInto(&acc, &pooled, &found, e); err != nil {
+			return 0, fmt.Errorf("server: count %q: %w", k, err)
+		}
+	}
+	if !found {
 		return 0, nil
 	}
 	return acc.Estimate(), nil
 }
 
 // Merge stores the union of the source keys' sketches at dest (which may
-// itself be one of the sources, and is created if absent).
+// itself be one of the sources, and is created if absent). The union is
+// accumulated without holding dest's lock and then folded into dest in
+// place, so a write racing the merge is never lost.
 func (s *Store) Merge(dest string, sources ...string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	acc := core.MustNew(s.cfg)
-	if d, ok := s.sketches[dest]; ok {
-		acc = d.Clone()
-	}
+	acc, pooled, found := s.getAcc(), true, false
+	defer func() {
+		if pooled {
+			s.accs.Put(acc)
+		}
+	}()
 	for _, k := range sources {
-		sk, ok := s.sketches[k]
-		if !ok {
+		e := s.lookup(k)
+		if e == nil {
 			continue
 		}
-		merged, err := core.MergeCompatible(acc, sk)
-		if err != nil {
+		if err := s.mergeInto(&acc, &pooled, &found, e); err != nil {
 			return fmt.Errorf("server: merge %q: %w", k, err)
 		}
-		acc = merged
 	}
-	s.sketches[dest] = acc
-	return nil
+	for {
+		// When dest would be created, fail an incompatible merge BEFORE
+		// getOrCreate so the error cannot leave an empty dest key behind
+		// as a side effect. MergeCompatible errors only on t mismatch.
+		if s.lookup(dest) == nil && acc.Config().T != s.cfg.T {
+			_, err := core.MergeCompatible(core.MustNew(s.cfg), acc)
+			return fmt.Errorf("server: merge %q: %w", dest, err)
+		}
+		e := s.getOrCreate(dest)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		var err error
+		if e.sk.Config() == acc.Config() {
+			err = e.sk.Merge(acc)
+		} else {
+			var merged *core.Sketch
+			if merged, err = core.MergeCompatible(e.sk, acc); err == nil {
+				e.sk = merged
+			}
+		}
+		if err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("server: merge %q: %w", dest, err)
+		}
+		e.ver++
+		e.mu.Unlock()
+		return nil
+	}
 }
 
 // Delete removes key; it reports whether the key existed.
 func (s *Store) Delete(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.sketches[key]
-	delete(s.sketches, key)
-	return ok
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
+	e.mu.Lock()
+	e.dead = true
+	e.mu.Unlock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+	return true
 }
 
 // Keys returns all keys in sorted order.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.sketches))
-	for k := range s.sketches {
-		keys = append(keys, k)
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys
@@ -133,13 +389,16 @@ func (s *Store) Keys() []string {
 
 // Dump serializes the sketch at key; ok is false if the key is missing.
 func (s *Store) Dump(key string) (data []byte, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sk, ok := s.sketches[key]
-	if !ok {
+	e := s.lookup(key)
+	if e == nil {
 		return nil, false
 	}
-	data, err := sk.MarshalBinary()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return nil, false
+	}
+	data, err := e.sk.MarshalBinary()
 	if err != nil {
 		return nil, false // unreachable: MarshalBinary cannot fail
 	}
@@ -153,10 +412,18 @@ func (s *Store) Restore(key string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sketches[key] = sk
-	return nil
+	for {
+		e := s.getOrCreate(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		e.sk = sk
+		e.ver++
+		e.mu.Unlock()
+		return nil
+	}
 }
 
 // MergeBlob merges a serialized sketch into the sketch at key, creating
@@ -169,34 +436,44 @@ func (s *Store) MergeBlob(key string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.sketches[key]
-	if !ok {
-		s.sketches[key] = in
+	for {
+		e := s.getOrCreate(key)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		if e.sk.IsEmpty() && e.sk.Config() != in.Config() {
+			// Freshly created (or still empty) entry: adopt the incoming
+			// sketch's configuration, as a missing-key MergeBlob always has.
+			e.sk = in
+		} else if e.sk.Config() == in.Config() {
+			err = e.sk.Merge(in)
+		} else {
+			var merged *core.Sketch
+			if merged, err = core.MergeCompatible(e.sk, in); err == nil {
+				e.sk = merged
+			}
+		}
+		if err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("server: merge blob into %q: %w", key, err)
+		}
+		e.ver++
+		e.mu.Unlock()
 		return nil
 	}
-	merged, err := core.MergeCompatible(cur, in)
-	if err != nil {
-		return fmt.Errorf("server: merge blob into %q: %w", key, err)
-	}
-	s.sketches[key] = merged
-	return nil
 }
 
-// DumpAll serializes every sketch in the store, keyed by name. It is a
-// point-in-time copy; mutating the store afterwards does not affect the
-// returned blobs.
+// DumpAll serializes every sketch in the store, keyed by name. Each
+// blob is a consistent snapshot of its sketch; the set of keys is
+// gathered shard by shard, so keys created or deleted mid-call may or
+// may not appear.
 func (s *Store) DumpAll() map[string][]byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string][]byte, len(s.sketches))
-	for k, sk := range s.sketches {
-		blob, err := sk.MarshalBinary()
-		if err != nil {
-			continue // unreachable: MarshalBinary cannot fail
-		}
-		out[k] = blob
+	tagged := s.DumpAllTagged()
+	out := make(map[string][]byte, len(tagged))
+	for k, t := range tagged {
+		out[k] = t.Blob
 	}
 	return out
 }
@@ -206,23 +483,41 @@ func (s *Store) DumpAll() map[string][]byte {
 // delete a key only if nothing mutated it after the dump.
 type TaggedBlob struct {
 	Blob []byte
-	sk   *core.Sketch // identity: MergeBlob/Restore swap the object
-	tick uint64       // StateChanges at dump time: Add mutates in place
+	e    *entry // identity: Restore swaps entries only via death+recreate
+	ver  uint64 // entry version at dump time: every mutation bumps it
 }
 
 // DumpAllTagged is DumpAll plus a state token per key, for callers that
 // hand blobs off and must not drop a write that lands mid-handoff (the
 // cluster rebalance drain).
 func (s *Store) DumpAllTagged() map[string]TaggedBlob {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]TaggedBlob, len(s.sketches))
-	for k, sk := range s.sketches {
-		blob, err := sk.MarshalBinary()
+	type namedEntry struct {
+		key string
+		e   *entry
+	}
+	var entries []namedEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.m {
+			entries = append(entries, namedEntry{k, e})
+		}
+		sh.mu.RUnlock()
+	}
+	out := make(map[string]TaggedBlob, len(entries))
+	for _, ne := range entries {
+		ne.e.mu.Lock()
+		if ne.e.dead {
+			ne.e.mu.Unlock()
+			continue
+		}
+		blob, err := ne.e.sk.MarshalBinary()
+		ver := ne.e.ver
+		ne.e.mu.Unlock()
 		if err != nil {
 			continue // unreachable: MarshalBinary cannot fail
 		}
-		out[k] = TaggedBlob{Blob: blob, sk: sk, tick: sk.StateChanges()}
+		out[ne.key] = TaggedBlob{Blob: blob, e: ne.e, ver: ver}
 	}
 	return out
 }
@@ -233,16 +528,20 @@ func (s *Store) DumpAllTagged() map[string]TaggedBlob {
 // false return means new data arrived after the dump; the caller must
 // re-dump and hand the key off again before dropping it.
 func (s *Store) DeleteIfUnchanged(key string, t TaggedBlob) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.sketches[key]
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[key]
 	if !ok {
 		return true
 	}
-	if cur != t.sk || cur.StateChanges() != t.tick {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e != t.e || e.ver != t.ver {
 		return false
 	}
-	delete(s.sketches, key)
+	e.dead = true
+	delete(sh.m, key)
 	return true
 }
 
@@ -255,8 +554,8 @@ func (s *Store) Config() core.Config { return s.cfg }
 // which keeps its membership map here) survives restarts. nil clears
 // it. The blob is copied.
 func (s *Store) SetMeta(b []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	if b == nil {
 		s.meta = nil
 		return
@@ -266,8 +565,8 @@ func (s *Store) SetMeta(b []byte) {
 
 // Meta returns a copy of the store's metadata blob (nil if unset).
 func (s *Store) Meta() []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	if s.meta == nil {
 		return nil
 	}
@@ -276,20 +575,28 @@ func (s *Store) Meta() []byte {
 
 // Info describes the sketch at key; ok is false if the key is missing.
 func (s *Store) Info(key string) (info string, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sk, ok := s.sketches[key]
-	if !ok {
+	e := s.lookup(key)
+	if e == nil {
 		return "", false
 	}
-	cfg := sk.Config()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return "", false
+	}
+	cfg := e.sk.Config()
 	return fmt.Sprintf("t=%d d=%d p=%d bytes=%d estimate=%.1f",
-		cfg.T, cfg.D, cfg.P, sk.SizeBytes(), sk.Estimate()), true
+		cfg.T, cfg.D, cfg.P, e.sk.SizeBytes(), e.sk.Estimate()), true
 }
 
 // Len returns the number of keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sketches)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }

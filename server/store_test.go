@@ -1,0 +1,301 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"exaloglog/internal/core"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	store, err := NewStore(core.RecommendedML(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestStoreShardedConcurrency hammers the sharded store from many
+// goroutines with overlapping key sets — every worker writes both its
+// own keys and a shared set, interleaved with counts, merges, deletes
+// and tagged dumps — and then checks that every surviving element is
+// accounted for. Run under -race this is the store's memory-model
+// test; the final count checks that no write was lost to a lock gap
+// (e.g. an add racing a delete into an orphaned entry).
+func TestStoreShardedConcurrency(t *testing.T) {
+	store := newTestStore(t)
+	const (
+		workers = 16
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := fmt.Sprintf("own-%d", w)
+			for i := 0; i < perW; i++ {
+				el := fmt.Sprintf("w%d-e%d", w, i)
+				store.Add("shared", el)
+				store.Add(own, el)
+				switch i % 100 {
+				case 10:
+					if _, err := store.Count("shared", own); err != nil {
+						t.Error(err)
+						return
+					}
+				case 30:
+					if err := store.Merge("merged", own); err != nil {
+						t.Error(err)
+						return
+					}
+				case 50:
+					store.Delete(fmt.Sprintf("scratch-%d", w))
+					store.Add(fmt.Sprintf("scratch-%d", w), el)
+				case 70:
+					for key, tagged := range store.DumpAllTagged() {
+						// Only ever try to delete scratch keys; a
+						// false return (concurrent write) is fine.
+						if len(key) > 7 && key[:7] == "scratch" {
+							store.DeleteIfUnchanged(key, tagged)
+						}
+					}
+				case 90:
+					store.Keys()
+					store.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker added its full element set to both "shared" and its
+	// own key; none of those keys are ever deleted, so the counts must
+	// reflect all workers*perW distinct elements.
+	want := float64(workers * perW)
+	got, err := store.Count("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("shared count = %.0f, want ≈%.0f", got, want)
+	}
+	keys := []string{"shared"}
+	for w := 0; w < workers; w++ {
+		keys = append(keys, fmt.Sprintf("own-%d", w))
+	}
+	union, err := store.Count(keys...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union != got {
+		t.Errorf("union over identical content %.0f != %.0f", union, got)
+	}
+}
+
+// TestStoreAddDeleteRace interleaves adds and deletes of the same key:
+// an add must either land before a delete (gone afterwards) or
+// recreate the key, never write into an unlinked sketch.
+func TestStoreAddDeleteRace(t *testing.T) {
+	store := newTestStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				if w%2 == 0 {
+					store.Add("contested", fmt.Sprintf("w%d-e%d", w, i))
+				} else {
+					store.Delete("contested")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Terminal add must be visible: the key exists and counts.
+	store.Add("contested", "final")
+	n, err := store.Count("contested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 0.5 {
+		t.Errorf("count after terminal add = %f, want ≈1 or more", n)
+	}
+}
+
+// TestStoreAddBytesMatchesAdd checks the byte-slice fast path produces
+// the same sketch state as the string path, and does not retain its
+// argument slices.
+func TestStoreAddBytesMatchesAdd(t *testing.T) {
+	a, b := newTestStore(t), newTestStore(t)
+	key := []byte("k")
+	el := make([]byte, 0, 16)
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("el-%04d", i)
+		changed := a.Add("k", s)
+		el = append(el[:0], s...)
+		if got := b.AddBytes(key, [][]byte{el}); got != changed {
+			t.Fatalf("AddBytes(%q) changed = %v, Add = %v", s, got, changed)
+		}
+		// Scribble over the reused slices; the store must not care.
+		for j := range el {
+			el[j] = 0xff
+		}
+	}
+	da, _ := a.Dump("k")
+	db, _ := b.Dump("k")
+	if string(da) != string(db) {
+		t.Error("AddBytes produced different sketch state than Add")
+	}
+	na, _ := a.Count("k")
+	nb, err := b.CountBytes([][]byte{[]byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb {
+		t.Errorf("CountBytes = %.1f, Count = %.1f", nb, na)
+	}
+}
+
+// TestStoreCountCrossConfig pins the accumulator fallback paths: a
+// lone foreign-config key counts on its own, mixes with native keys
+// via reduction when t matches, and errors when t differs.
+func TestStoreCountCrossConfig(t *testing.T) {
+	store := newTestStore(t)
+	foreign := core.MustNew(core.Config{T: 2, D: 20, P: 10})
+	for i := 0; i < 500; i++ {
+		foreign.AddString(fmt.Sprintf("f-%d", i))
+	}
+	blob, _ := foreign.MarshalBinary()
+	if err := store.Restore("foreign", blob); err != nil {
+		t.Fatal(err)
+	}
+	n, err := store.Count("foreign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 400 || n > 600 {
+		t.Errorf("foreign-only count = %.0f, want ≈500", n)
+	}
+	store.Add("native", "f-0", "extra")
+	union, err := store.Count("foreign", "native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union < 400 || union > 620 {
+		t.Errorf("cross-config union = %.0f, want ≈501", union)
+	}
+	otherT := core.MustNew(core.Config{T: 0, D: 2, P: 10})
+	otherT.AddString("x")
+	blobT, _ := otherT.MarshalBinary()
+	if err := store.Restore("ull", blobT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Count("ull", "native"); err == nil {
+		t.Error("counting across different t succeeded, want error")
+	}
+	// The failed count must not have poisoned the pooled accumulator.
+	if n, err := store.Count("native"); err != nil || math.Abs(n-2) > 0.5 {
+		t.Errorf("count after failed cross-t count = %f, %v; want ≈2, nil", n, err)
+	}
+}
+
+// TestStoreMergeFailureLeavesNoDest: a PFMERGE that fails on a
+// t-incompatible source must not leave an empty destination key
+// behind as a side effect of the attempt.
+func TestStoreMergeFailureLeavesNoDest(t *testing.T) {
+	store := newTestStore(t)
+	otherT := core.MustNew(core.Config{T: 0, D: 2, P: 10})
+	otherT.AddString("x")
+	blob, _ := otherT.MarshalBinary()
+	if err := store.Restore("ull", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Merge("fresh-dest", "ull"); err == nil {
+		t.Fatal("cross-t merge succeeded")
+	}
+	if _, ok := store.Dump("fresh-dest"); ok {
+		t.Error("failed merge created an empty destination key")
+	}
+	// An existing dest stays unchanged on failure.
+	store.Add("existing", "a")
+	if err := store.Merge("existing", "ull"); err == nil {
+		t.Fatal("cross-t merge into existing dest succeeded")
+	}
+	if n, err := store.Count("existing"); err != nil || math.Abs(n-1) > 0.5 {
+		t.Errorf("existing dest after failed merge: count %f, %v", n, err)
+	}
+}
+
+// TestStoreMergeConcurrentWithAdds checks the in-place dest fold: a
+// write racing Merge is never lost (the old implementation replaced
+// dest with a precomputed union, dropping concurrent adds).
+func TestStoreMergeConcurrentWithAdds(t *testing.T) {
+	store := newTestStore(t)
+	for i := 0; i < 1000; i++ {
+		store.Add("src", fmt.Sprintf("s-%d", i))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			store.Add("dest", fmt.Sprintf("d-%d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := store.Merge("dest", "src"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	n, err := store.Count("dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2000.0
+	if rel := math.Abs(n-want) / want; rel > 0.05 {
+		t.Errorf("dest count = %.0f, want ≈%.0f (lost writes?)", n, want)
+	}
+}
+
+// TestDeleteIfUnchangedVersioning pins the tagged-dump contract on the
+// sharded store: any mutation after the dump (add, merge-blob,
+// restore) must make DeleteIfUnchanged refuse.
+func TestDeleteIfUnchangedVersioning(t *testing.T) {
+	store := newTestStore(t)
+	store.Add("k", "a")
+	tagged := store.DumpAllTagged()["k"]
+
+	store.Add("k", "b") // mutates after dump
+	if store.DeleteIfUnchanged("k", tagged) {
+		t.Fatal("DeleteIfUnchanged deleted a key mutated after the dump")
+	}
+	tagged = store.DumpAllTagged()["k"]
+	if err := store.MergeBlob("k", tagged.Blob); err != nil {
+		t.Fatal(err)
+	}
+	// A same-state merge is a no-op on the registers but still counts
+	// as a mutation epoch — refusing is the safe direction.
+	if store.DeleteIfUnchanged("k", tagged) {
+		t.Fatal("DeleteIfUnchanged deleted a key merged after the dump")
+	}
+	tagged = store.DumpAllTagged()["k"]
+	if !store.DeleteIfUnchanged("k", tagged) {
+		t.Fatal("DeleteIfUnchanged refused an unmutated key")
+	}
+	if _, ok := store.Dump("k"); ok {
+		t.Fatal("key still present after DeleteIfUnchanged")
+	}
+	// Deleting an absent key counts as done.
+	if !store.DeleteIfUnchanged("k", tagged) {
+		t.Fatal("DeleteIfUnchanged of absent key = false")
+	}
+}
