@@ -5,6 +5,13 @@ package cluster
 // restart it from its snapshot — so membership races that would
 // otherwise only surface in production are reproducible, deterministic
 // enough to assert on, and run under `go test -race`.
+//
+// Failure detection is tested under a FAKE CLOCK: gossip time is a
+// logical round counter advanced only by harness.tick, which gives
+// every running node one Gossip turn per round in sorted-ID order.
+// Nothing in the detector reads a wall clock, so a chaos test that
+// says "crash, then 5 rounds pass" observes exactly the same suspicion
+// and eviction sequence on every run — no sleeps, no flakes.
 
 import (
 	"fmt"
@@ -31,6 +38,7 @@ type harness struct {
 	idByAddr    map[string]string        // reverse index for symmetric partitions
 	partitioned map[string]bool          // node IDs currently cut off
 	delays      map[string]time.Duration // CLUSTER subcommand → outbound delay
+	gates       map[string]chan struct{} // "<id> <VERB>" → outbound blocks until closed
 }
 
 // newHarness boots n nodes (n1..nN, n1 the seed) with the given
@@ -46,6 +54,7 @@ func newHarness(t *testing.T, n, replicas int) *harness {
 		idByAddr:    make(map[string]string),
 		partitioned: make(map[string]bool),
 		delays:      make(map[string]time.Duration),
+		gates:       make(map[string]chan struct{}),
 	}
 	for i := 1; i <= n; i++ {
 		id := fmt.Sprintf("n%d", i)
@@ -68,17 +77,57 @@ func (h *harness) hookFor(id string) func(addr string, parts []string) error {
 		h.mu.Lock()
 		blocked := h.partitioned[id] || h.partitioned[h.idByAddr[addr]]
 		var delay time.Duration
+		var gate chan struct{}
 		if len(parts) >= 2 && strings.EqualFold(parts[0], "CLUSTER") {
 			delay = h.delays[strings.ToUpper(parts[1])]
+			gate = h.gates[id+" "+strings.ToUpper(parts[1])]
 		}
 		h.mu.Unlock()
 		if blocked {
 			return fmt.Errorf("harness: network partition between %s and %s", id, addr)
 		}
+		if gate != nil {
+			<-gate // parked until the test releases the gate
+		}
 		if delay > 0 {
 			time.Sleep(delay)
 		}
 		return nil
+	}
+}
+
+// gate parks every outbound CLUSTER <verb> from node id until the
+// returned release is called — an ordering primitive: unlike delay it
+// enforces a happens-before edge instead of racing a timer, which is
+// what keeps interleaving tests deterministic.
+func (h *harness) gate(id, verb string) (release func()) {
+	ch := make(chan struct{})
+	key := id + " " + strings.ToUpper(verb)
+	h.mu.Lock()
+	h.gates[key] = ch
+	h.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.gates, key)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// waitFor polls cond until it holds, failing the test after deadline.
+// The poll is synchronization only — the asserted ordering comes from
+// gates, not from how fast this loop spins.
+func (h *harness) waitFor(deadline time.Duration, what string, cond func() bool) {
+	h.t.Helper()
+	end := time.Now().Add(deadline)
+	for !cond() {
+		if time.Now().After(end) {
+			h.t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -98,6 +147,7 @@ func (h *harness) start(id, listen string) *Node {
 	}
 	n.SetSnapshotPath(snap)
 	n.setFaultHook(h.hookFor(id))
+	n.SetGossipConfig(GossipConfig{Fanout: 2, SuspectAfter: testSuspectAfter})
 	// A just-crashed listener's port can take a moment to rebind.
 	startErr := n.Start(listen)
 	for attempt := 0; startErr != nil && attempt < 50; attempt++ {
@@ -164,6 +214,29 @@ func (h *harness) delay(verb string, d time.Duration) {
 	h.mu.Lock()
 	h.delays[strings.ToUpper(verb)] = d
 	h.mu.Unlock()
+}
+
+// testSuspectAfter is the harness-wide suspicion window in gossip
+// rounds: small enough to keep chaos tests fast, large enough that a
+// single missed exchange cannot trip the detector.
+const testSuspectAfter = 3
+
+// tick is the fake clock: advance gossip time by `rounds` logical
+// rounds, each giving every running node one Gossip turn in sorted-ID
+// order. Returns the auto-evictions that occurred, as evicted-id →
+// evicting coordinator. Deterministic — the only concurrency inside a
+// round is each node's own fan-out, which the caller's turn blocks on.
+func (h *harness) tick(rounds int) map[string]string {
+	h.t.Helper()
+	evicted := make(map[string]string)
+	for r := 0; r < rounds; r++ {
+		for _, n := range h.running() {
+			for _, id := range n.Gossip() {
+				evicted[id] = n.ID()
+			}
+		}
+	}
+	return evicted
 }
 
 func (h *harness) snapPath(id string) string { return h.dir + "/" + id + ".elss" }
@@ -676,6 +749,325 @@ func TestDeltaRebalanceMessageCount(t *testing.T) {
 		if got := mustCount(t, joiner, keyName(k)); int64(got+0.5) != 1 {
 			t.Errorf("count %s = %v after delta rebalance, want ≈1", keyName(k), got)
 		}
+	}
+}
+
+// TestGossipAutoEvictsCrashedNode: a crashed node is suspected after
+// SuspectAfter silent gossip rounds and auto-evicted once a quorum of
+// members agrees — an epoch-fenced LEAVE no operator had to issue —
+// and the survivors' maps converge with every count intact. Entirely
+// fake-clock driven: the failure timeline is measured in rounds, not
+// seconds.
+func TestGossipAutoEvictsCrashedNode(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	const keys = 20
+	keyName := func(k int) string { return fmt.Sprintf("ev-%d", k) }
+	ref := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		for e := 0; e < 4; e++ {
+			if _, err := h.node("n1").Add(keyName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref[k] = mustCount(t, h.node("n1"), keyName(k))
+	}
+
+	h.tick(2) // healthy baseline: detector states exist, heartbeats flow
+	h.crash("n3")
+
+	// Inside the suspicion window nothing may happen: a detector that
+	// evicts early would tear down nodes on any hiccup.
+	if evs := h.tick(testSuspectAfter - 1); len(evs) != 0 {
+		t.Fatalf("evicted %v before the suspicion window elapsed", evs)
+	}
+	for _, n := range h.running() {
+		if !n.Map().Has("n3") {
+			t.Fatalf("%s dropped n3 before the suspicion window elapsed", n.ID())
+		}
+	}
+
+	// Past the window: suspicion forms, the bits cross via push-pull,
+	// quorum (2 of 3) agrees, and some survivor coordinates the LEAVE.
+	evs := h.tick(testSuspectAfter + 3)
+	if evs["n3"] == "" {
+		t.Fatal("crashed node was never auto-evicted")
+	}
+	enc := h.converge(10 * time.Second)
+	if strings.Contains(enc, "n3=") {
+		t.Fatalf("converged map %s still lists the crashed node", enc)
+	}
+	for k := 0; k < keys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, keyName(k)); got != ref[k] {
+				t.Errorf("%s: count %s = %v, want %v after auto-evict", n.ID(), keyName(k), got, ref[k])
+			}
+		}
+	}
+}
+
+// TestGossipMinorityCannotEvict: a node partitioned onto the minority
+// side suspects everyone else but can never reach suspicion quorum
+// (it cannot hear the other suspecters), so it never even attempts an
+// eviction — and the epoch fence would refuse it if it did. The
+// majority side meanwhile evicts the partitioned node; when the
+// partition heals, the false-positive victim adopts the majority map,
+// drains its keys to the current owners, and no data is lost.
+func TestGossipMinorityCannotEvict(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	const keys = 15
+	keyName := func(k int) string { return fmt.Sprintf("mi-%d", k) }
+	ref := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		for e := 0; e < 3; e++ {
+			if _, err := h.node("n3").Add(keyName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref[k] = mustCount(t, h.node("n1"), keyName(k))
+	}
+
+	h.tick(2)
+	h.partition("n3", true)
+	beforeEnc := h.node("n3").Map().Encode()
+	evs := h.tick(testSuspectAfter + 5)
+
+	// The minority node: full of suspicion, empty of authority.
+	for id, by := range evs {
+		if by == "n3" {
+			t.Fatalf("minority node evicted %s", id)
+		}
+	}
+	if got := h.node("n3").Map().Encode(); got != beforeEnc {
+		t.Fatalf("minority node mutated membership while partitioned: %s → %s", beforeEnc, got)
+	}
+	_, health := h.node("n3").Health()
+	for _, mh := range health {
+		if !mh.Self && !mh.Suspect {
+			t.Errorf("partitioned n3 does not suspect silent peer %s", mh.ID)
+		}
+	}
+
+	// The majority side evicted the silent n3.
+	if evs["n3"] == "" {
+		t.Fatal("majority side never evicted the partitioned node")
+	}
+	for _, id := range []string{"n1", "n2"} {
+		if h.node(id).Map().Has("n3") {
+			t.Fatalf("%s still lists the evicted node", id)
+		}
+	}
+
+	// Heal: gossip tells n3 a newer map exists; the next rounds Sync it
+	// onto the n3-less map and drain its sketches to the owners.
+	h.partition("n3", false)
+	h.tick(3)
+	if h.node("n3").Map().Has("n3") {
+		t.Error("healed false-positive victim still believes it is a member")
+	}
+	if got := h.node("n3").Store().Len(); got != 0 {
+		t.Errorf("healed victim still holds %d sketches, want 0 (drained)", got)
+	}
+	for k := 0; k < keys; k++ {
+		for _, id := range []string{"n1", "n2"} {
+			if got := mustCount(t, h.node(id), keyName(k)); got != ref[k] {
+				t.Errorf("%s: count %s = %v, want %v after heal", id, keyName(k), got, ref[k])
+			}
+		}
+	}
+}
+
+// TestGossipEvictedNodeRejoinsCleanly: a node crashes, is auto-evicted,
+// then restarts from its snapshot and re-enters through the normal
+// JOIN path — which tells it it was evicted — and gets its keys back
+// via the ordinary delta rebalance, converging byte-identically with
+// the survivors.
+func TestGossipEvictedNodeRejoinsCleanly(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	const keys = 25
+	keyName := func(k int) string { return fmt.Sprintf("rj-%d", k) }
+	ref := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		for e := 0; e < 4; e++ {
+			if _, err := h.node("n2").Add(keyName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref[k] = mustCount(t, h.node("n1"), keyName(k))
+	}
+
+	h.tick(2)
+	h.save("n3") // last periodic snapshot before the crash
+	h.crash("n3")
+	evs := h.tick(testSuspectAfter + 4)
+	evictor := evs["n3"]
+	if evictor == "" {
+		t.Fatal("crashed node was never auto-evicted")
+	}
+	h.converge(10 * time.Second)
+
+	// Restart from the snapshot. Join through the evicting coordinator:
+	// the JOIN succeeds AND carries the eviction feedback.
+	n3 := h.start("n3", h.addr("n3"))
+	reply, err := h.do(evictor, "CLUSTER", "JOIN", "n3", n3.Addr())
+	if err != nil {
+		t.Fatalf("rejoin after eviction: %v", err)
+	}
+	if !strings.HasPrefix(reply, "OK") || !strings.Contains(reply, "rejoined-after-eviction=e") {
+		t.Errorf("rejoin reply %q does not tell the node it was evicted", reply)
+	}
+	if err := n3.Rejoin(); err != nil { // pull the map, rebalance local state
+		t.Fatalf("rejoin: %v", err)
+	}
+
+	enc := h.converge(10 * time.Second)
+	if n3.Map().Encode() != enc {
+		t.Fatalf("rejoined node map %s diverges from cluster %s", n3.Map().Encode(), enc)
+	}
+	if n3.Store().Len() == 0 {
+		t.Error("rejoined node received no data back from rebalance")
+	}
+	for k := 0; k < keys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, keyName(k)); got != ref[k] {
+				t.Errorf("%s: count %s = %v, want %v after rejoin", n.ID(), keyName(k), got, ref[k])
+			}
+		}
+	}
+	// The feedback is delivered exactly once.
+	if reply, err := h.do(evictor, "CLUSTER", "JOIN", "n3", n3.Addr()); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(reply, "rejoined-after-eviction") {
+		t.Errorf("idempotent re-join reply %q repeats the consumed eviction note", reply)
+	}
+}
+
+// TestGossipStaleSuspectorDoesNotCountTowardQuorum: suspicion asserted
+// by a node that has since left the map is stale hearsay — the quorum
+// check must count only CURRENT members, or a single live suspecter
+// plus a ghost could evict a node no live majority suspects.
+func TestGossipStaleSuspectorDoesNotCountTowardQuorum(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	h.tick(2) // settle heartbeats so the injected state cannot be refuted by an hb advance
+	h.partition("n3", true)
+
+	// White-box injection: n1 suspects n3, and so does "ghost" — a
+	// suspector that is not (any longer) a member. Two bits, but only
+	// one from a live member: under quorum 2 this must not evict.
+	n1 := h.node("n1")
+	n1.gsp.mu.Lock()
+	n1.gsp.peers["n3"].suspectedBy = map[string]bool{"n1": true, "ghost": true}
+	n1.gsp.mu.Unlock()
+
+	if evs := n1.Gossip(); len(evs) != 0 {
+		t.Fatalf("ghost suspicion completed an eviction quorum: evicted %v", evs)
+	}
+	if !n1.Map().Has("n3") {
+		t.Fatal("n3 was evicted on one live member's suspicion plus a ghost's")
+	}
+}
+
+// TestGossipTransientPartitionDoesNotEvict: a partition shorter than
+// the suspicion window must leave no trace — no eviction, no lingering
+// suspicion once fresh heartbeats flow again. Pins the detector's
+// tolerance as rounds, on the fake clock.
+func TestGossipTransientPartitionDoesNotEvict(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	h.tick(2)
+	h.partition("n3", true)
+	if evs := h.tick(testSuspectAfter - 1); len(evs) != 0 {
+		t.Fatalf("transient partition evicted %v", evs)
+	}
+	h.partition("n3", false)
+	if evs := h.tick(testSuspectAfter + 3); len(evs) != 0 {
+		t.Fatalf("healed partition still evicted %v", evs)
+	}
+	for _, n := range h.running() {
+		if n.Map().Len() != 3 {
+			t.Fatalf("%s map shrank to %d members after a transient partition", n.ID(), n.Map().Len())
+		}
+		_, health := n.Health()
+		for _, mh := range health {
+			if mh.Suspect {
+				t.Errorf("%s still suspects %s after heal", n.ID(), mh.ID)
+			}
+		}
+	}
+	// The wire view agrees: CLUSTER HEALTH reports every member alive.
+	reply, err := h.do("n1", "CLUSTER", "HEALTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(reply, "suspect") || !strings.Contains(reply, "member=true") {
+		t.Errorf("CLUSTER HEALTH %q reports suspicion after heal", reply)
+	}
+}
+
+// TestSupersededJoinReportsWinner: two racing coordinators — one
+// JOINing x1, one LEAVEing it — are serialized by the epoch fence, and
+// the one whose mutation is erased before its handler returns replies
+// +SUPERSEDED with the winning map's (Epoch, Version, Coordinator)
+// instead of a silent +OK, closing the ROADMAP feedback gap. The
+// interleaving is pinned with a gate (n1's rebalance pushes park until
+// the rival LEAVE has landed), not with timers, so the race resolves
+// the same way on every run.
+func TestSupersededJoinReportsWinner(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	const keys = 60 // enough keys that n1's join rebalance must push to x1
+	for k := 0; k < keys; k++ {
+		if _, err := h.node("n1").Add(fmt.Sprintf("sp-%d", k), "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.start("x1", "127.0.0.1:0")
+
+	// Park n1's outbound ABSORB: its JOIN will claim, install,
+	// broadcast (the other nodes rebalance freely) and then hang in its
+	// own rebalance — handler still open, outcome not yet reported.
+	release := h.gate("n1", "ABSORB")
+	defer release()
+	joinReply := make(chan string, 1)
+	go func() {
+		reply, err := h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1"))
+		if err != nil {
+			reply = "ERR " + err.Error()
+		}
+		joinReply <- reply
+	}()
+	h.waitFor(10*time.Second, "join map on n2", func() bool { return h.node("n2").Map().Has("x1") })
+
+	// The rival coordinator: n2 LEAVEs x1. Its claim adopts the join
+	// map from the vote replies and mints a newer map without x1; the
+	// broadcast installs that winner on n1 immediately (SETMAP is not
+	// gated — only n1's subsequent pushes are).
+	leaveReply := make(chan string, 1)
+	go func() {
+		reply, err := h.do("n2", "CLUSTER", "LEAVE", "x1")
+		if err != nil {
+			reply = "ERR " + err.Error()
+		}
+		leaveReply <- reply
+	}()
+	h.waitFor(10*time.Second, "winner map on n1", func() bool { return !h.node("n1").Map().Has("x1") })
+
+	// Only now may n1 finish its join rebalance and report the outcome.
+	release()
+	reply := <-joinReply
+	if !strings.HasPrefix(reply, "SUPERSEDED") {
+		t.Fatalf("join reply %q, want SUPERSEDED (the LEAVE won before the join handler returned)", reply)
+	}
+	if !strings.Contains(reply, "c=n2") {
+		t.Errorf("superseded reply %q does not name the winning coordinator n2", reply)
+	}
+	want := h.node("n1").Map().Triple()
+	if got := strings.TrimSpace(strings.TrimPrefix(reply, "SUPERSEDED")); got != want {
+		t.Errorf("superseded reply carries %q, want the winning triple %q", got, want)
+	}
+	if lr := <-leaveReply; !strings.HasPrefix(lr, "OK") {
+		t.Errorf("winning LEAVE reply %q, want OK", lr)
+	}
+	enc := h.converge(10 * time.Second)
+	if strings.Contains(enc, "x1=") {
+		t.Errorf("converged map %s still lists x1 after the LEAVE won", enc)
 	}
 }
 

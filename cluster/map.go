@@ -66,6 +66,7 @@ type Map struct {
 	Coordinator string
 	Replicas    int
 	nodes       map[string]string // id → addr
+	byAddr      map[string]string // addr → id (reverse index, built once)
 	ring        *ring
 }
 
@@ -88,12 +89,21 @@ func build(epoch, version uint64, coordinator string, replicas int, nodes map[st
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	byAddr := make(map[string]string, len(nodes))
+	for _, id := range ids {
+		// Sorted iteration makes the winner deterministic should two
+		// ids ever share an address (first id wins).
+		if _, dup := byAddr[nodes[id]]; !dup {
+			byAddr[nodes[id]] = id
+		}
+	}
 	return &Map{
 		Epoch:       epoch,
 		Version:     version,
 		Coordinator: coordinator,
 		Replicas:    replicas,
 		nodes:       nodes,
+		byAddr:      byAddr,
 		ring:        newRing(ids),
 	}
 }
@@ -114,6 +124,30 @@ func (m *Map) Newer(other *Map) bool {
 	return m.Coordinator > other.Coordinator
 }
 
+// SupersededByTriple reports whether an ordering triple (epoch,
+// version, coordinator) — e.g. one carried in a gossip digest, without
+// its full map — supersedes m under the same total order as Newer.
+func (m *Map) SupersededByTriple(epoch, version uint64, coordinator string) bool {
+	if epoch != m.Epoch {
+		return epoch > m.Epoch
+	}
+	if version != m.Version {
+		return version > m.Version
+	}
+	return coordinator > m.Coordinator
+}
+
+// Triple renders m's ordering triple as reply fields: "e=<epoch>
+// v=<version> c=<coordinator|->" — the form JOIN/LEAVE replies carry so
+// an operator whose mutation lost can see the map that won.
+func (m *Map) Triple() string {
+	coord := m.Coordinator
+	if coord == "" {
+		coord = noCoordinator
+	}
+	return fmt.Sprintf("e=%d v=%d c=%s", m.Epoch, m.Version, coord)
+}
+
 // Members returns all members sorted by ID.
 func (m *Map) Members() []Member {
 	out := make([]Member, 0, len(m.nodes))
@@ -132,6 +166,12 @@ func (m *Map) Addr(id string) string { return m.nodes[id] }
 
 // Has reports whether node id is a member.
 func (m *Map) Has(id string) bool { _, ok := m.nodes[id]; return ok }
+
+// IDByAddr returns the member id listening on addr ("" if none) — an
+// O(1) reverse lookup for callers on the data path (the failure
+// detector turns per-command transport evidence into per-node
+// liveness with it).
+func (m *Map) IDByAddr(addr string) string { return m.byAddr[addr] }
 
 // Owners returns the members owning key: the primary first, then up to
 // Replicas-1 distinct replicas (fewer if the cluster is smaller).

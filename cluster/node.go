@@ -22,11 +22,14 @@ import (
 //
 //	CLUSTER INFO                       → +id=.. addr=.. e=.. v=.. replicas=.. nodes=.. keys=.. rebal=..
 //	CLUSTER MAP                        → +v2 <epoch> <version> <coordinator> <replicas> <id>=<addr> ...
-//	CLUSTER JOIN <id> <addr>           → +OK e=<epoch> v=<version> (claims an epoch, adds the node, broadcasts)
-//	CLUSTER LEAVE <id>                 → +OK e=<epoch> v=<version> (claims an epoch, removes the node, broadcasts)
+//	CLUSTER JOIN <id> <addr>           → +OK e=.. v=.. c=.. (claims an epoch, adds the node, broadcasts)
+//	                                     or +SUPERSEDED e=.. v=.. c=.. (a rival map won; the triple is the winner's)
+//	CLUSTER LEAVE <id>                 → +OK e=.. v=.. c=.. / +SUPERSEDED e=.. v=.. c=.. (as JOIN, removing the node)
 //	CLUSTER SETMAP <v2 payload>        → +OK (install if newer under the epoch order, delta-rebalance)
 //	CLUSTER EPOCH <epoch> <coord>      → +GRANTED <epoch> / +DENIED <highest> (epoch claim; internal)
 //	CLUSTER SYNC                       → +OK (one anti-entropy round: pull peer maps, adopt/spread the newest)
+//	CLUSTER GOSSIP <g1 digest>         → +<g1 digest> (push-pull failure-detector exchange; internal)
+//	CLUSTER HEALTH                     → +round=.. quorum=.. member=.. <id>=<state>,hb=..,heard=..,sus=.. ...
 //	CLUSTER REBALANCE                  → +OK (full re-push of local sketches to their owners)
 //	CLUSTER LPFADD <key> <el>...       → :1/:0 (local add; internal replication verb)
 //	CLUSTER MLPFADD <g> <key> <n> <el>... ×g → +<g × '0'/'1'> (batched local adds; internal)
@@ -65,7 +68,17 @@ type Node struct {
 	cmap         *Map
 	grantedEpoch uint64 // highest epoch granted to a coordinator or seen in a map
 	grantedTo    string // coordinator holding grantedEpoch ("" if from a map/fast-forward)
+
+	// gsp is the gossip failure detector (see gossip.go). Its lock is
+	// ordered strictly after mu and mutateMu: detector code may read
+	// the map, map code never touches detector state.
+	gsp gossipState
 }
+
+// ErrSuperseded is returned (wrapped) by Join when the mutation was
+// overtaken by a newer map before it could stick — the operator must
+// inspect the cluster and re-issue if still wanted.
+var ErrSuperseded = errors.New("membership mutation superseded by a newer map")
 
 const (
 	// epochClaimAttempts bounds how often one claim re-proposes after
@@ -91,6 +104,12 @@ func NewNode(id string, cfg core.Config, replicas int) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{id: id, store: store, peers: newPool()}
+	n.gsp.cfg = GossipConfig{Fanout: defaultFanout, SuspectAfter: defaultSuspectAfter}
+	n.gsp.peers = make(map[string]*peerState)
+	n.gsp.evictedAt = make(map[string]uint64)
+	// Any successful peer command is liveness evidence; feed it to the
+	// failure detector so steady traffic keeps refuting suspicion.
+	n.peers.alive = n.markAlive
 	n.srv = server.NewServer(store)
 	n.srv.Handle("PFADD", n.handlePFAdd)
 	n.srv.Handle("PFCOUNT", n.handlePFCount)
@@ -208,6 +227,10 @@ func (n *Node) Join(seedAddr string) error {
 	reply, err := seed.Do("CLUSTER", "JOIN", n.id, n.Addr())
 	if err != nil {
 		return fmt.Errorf("cluster: join via %s: %w", seedAddr, err)
+	}
+	if strings.HasPrefix(reply, "SUPERSEDED") {
+		return fmt.Errorf("cluster: join via %s: %w (winner %s)",
+			seedAddr, ErrSuperseded, strings.TrimSpace(strings.TrimPrefix(reply, "SUPERSEDED")))
 	}
 	if !strings.HasPrefix(reply, "OK") {
 		return fmt.Errorf("cluster: join via %s: unexpected reply %q", seedAddr, reply)
@@ -1002,6 +1025,10 @@ func (n *Node) handleCluster(args []string) string {
 			return "-ERR sync: " + err.Error()
 		}
 		return "+OK"
+	case "GOSSIP":
+		return n.handleGossip(rest)
+	case "HEALTH":
+		return n.handleHealth()
 	case "REBALANCE":
 		if err := n.repair(); err != nil {
 			return "-ERR rebalance: " + err.Error()
@@ -1089,6 +1116,34 @@ func (n *Node) handleMLPFAdd(rest []string) string {
 	return "+" + string(bits)
 }
 
+// joinOutcome renders the final JOIN reply by re-reading the current
+// map: +OK when the mutation is reflected in it (whoever minted it),
+// +SUPERSEDED with the winning map's ordering triple when a rival map
+// erased the mutation before the handler could return — the feedback
+// channel that turns the epoch order's deterministic-but-silent losses
+// into something an operator (or Join caller) can act on. A node that
+// re-enters after an auto-eviction is told so.
+func (n *Node) joinOutcome(id, addr string) string {
+	m := n.currentMap()
+	if m.Addr(id) != addr {
+		return "+SUPERSEDED " + m.Triple()
+	}
+	return "+OK " + m.Triple() + n.rejoinNote(id)
+}
+
+// rejoinNote returns " rejoined-after-eviction=e<epoch>" when this node
+// auto-evicted id earlier and id is now coming back, else "". The
+// record is consumed: the note is delivered once.
+func (n *Node) rejoinNote(id string) string {
+	n.gsp.mu.Lock()
+	defer n.gsp.mu.Unlock()
+	if e, ok := n.gsp.evictedAt[id]; ok {
+		delete(n.gsp.evictedAt, id)
+		return fmt.Sprintf(" rejoined-after-eviction=e%d", e)
+	}
+	return ""
+}
+
 func (n *Node) handleJoin(id, addr string) string {
 	if !validID(id) {
 		return fmt.Sprintf("-ERR invalid node ID %q", id)
@@ -1100,7 +1155,7 @@ func (n *Node) handleJoin(id, addr string) string {
 	defer n.mutateMu.Unlock()
 	for attempt := 0; attempt < mutateAttempts; attempt++ {
 		if m := n.currentMap(); m.Addr(id) == addr {
-			return fmt.Sprintf("+OK e=%d v=%d", m.Epoch, m.Version) // idempotent re-join
+			return "+OK " + m.Triple() + n.rejoinNote(id) // idempotent re-join
 		}
 		epoch, err := n.claimEpoch()
 		if err != nil {
@@ -1108,7 +1163,7 @@ func (n *Node) handleJoin(id, addr string) string {
 		}
 		cur := n.currentMap() // re-read: the freshest map wins the race with other coordinators
 		if cur.Addr(id) == addr {
-			return fmt.Sprintf("+OK e=%d v=%d", cur.Epoch, cur.Version)
+			return "+OK " + cur.Triple() + n.rejoinNote(id)
 		}
 		newMap := cur.withNode(id, addr, epoch, n.id)
 		prev, changed := n.swapMap(newMap)
@@ -1121,9 +1176,20 @@ func (n *Node) handleJoin(id, addr string) string {
 		if err := n.rebalance(prev, newMap); err != nil {
 			return "-ERR rebalance: " + err.Error()
 		}
-		return fmt.Sprintf("+OK e=%d v=%d", newMap.Epoch, newMap.Version)
+		return n.joinOutcome(id, addr)
 	}
-	return "-ERR join kept losing to concurrent membership changes"
+	return "+SUPERSEDED " + n.currentMap().Triple()
+}
+
+// leaveOutcome is joinOutcome's LEAVE counterpart: +OK when id is gone
+// from the current map, +SUPERSEDED with the winner's triple when a
+// rival map re-established it.
+func (n *Node) leaveOutcome(id string) string {
+	m := n.currentMap()
+	if m.Has(id) {
+		return "+SUPERSEDED " + m.Triple()
+	}
+	return "+OK " + m.Triple()
 }
 
 func (n *Node) handleLeave(id string) string {
@@ -1131,7 +1197,7 @@ func (n *Node) handleLeave(id string) string {
 	defer n.mutateMu.Unlock()
 	for attempt := 0; attempt < mutateAttempts; attempt++ {
 		if m := n.currentMap(); !m.Has(id) {
-			return fmt.Sprintf("+OK e=%d v=%d", m.Epoch, m.Version) // idempotent re-leave
+			return "+OK " + m.Triple() // idempotent re-leave
 		}
 		epoch, err := n.claimEpoch()
 		if err != nil {
@@ -1139,7 +1205,7 @@ func (n *Node) handleLeave(id string) string {
 		}
 		cur := n.currentMap()
 		if !cur.Has(id) {
-			return fmt.Sprintf("+OK e=%d v=%d", cur.Epoch, cur.Version)
+			return "+OK " + cur.Triple()
 		}
 		oldAddr := cur.Addr(id)
 		newMap := cur.withoutNode(id, epoch, n.id)
@@ -1155,9 +1221,9 @@ func (n *Node) handleLeave(id string) string {
 		if err := n.rebalance(prev, newMap); err != nil {
 			return "-ERR rebalance: " + err.Error()
 		}
-		return fmt.Sprintf("+OK e=%d v=%d", newMap.Epoch, newMap.Version)
+		return n.leaveOutcome(id)
 	}
-	return "-ERR leave kept losing to concurrent membership changes"
+	return "+SUPERSEDED " + n.currentMap().Triple()
 }
 
 // RebalancePushes returns the cumulative number of CLUSTER ABSORB

@@ -31,8 +31,13 @@ import (
 // hook once per queued command (so per-verb partitions and delays see
 // every logical command); batchAdd consults it once per flushed batch,
 // with the combined MLPFADD command.
+// alive, when non-nil, is invoked with the peer address after every
+// successful command or pipeline — transport-level proof the peer is
+// up, which the gossip failure detector folds in as heartbeat-grade
+// evidence so ordinary traffic keeps refuting suspicion.
 type pool struct {
 	hook  func(addr string, parts []string) error
+	alive func(addr string)
 	mu    sync.Mutex
 	conns map[string]*server.Client
 
@@ -94,6 +99,12 @@ func (p *pool) do(addr string, parts ...string) (string, error) {
 	if err != nil && !errors.Is(err, server.ErrNoSuchKey) {
 		p.drop(addr, c)
 	}
+	if err == nil || errors.Is(err, server.ErrNoSuchKey) {
+		// Even an error reply proves the peer answered.
+		if p.alive != nil {
+			p.alive(addr)
+		}
+	}
 	return reply, err
 }
 
@@ -121,6 +132,9 @@ func (p *pool) pipeline(addr string, cmds [][]string) ([]server.Result, error) {
 	if err != nil {
 		p.drop(addr, c)
 		return nil, err
+	}
+	if p.alive != nil {
+		p.alive(addr)
 	}
 	return results, nil
 }

@@ -9,6 +9,7 @@
 //
 //	info                  show the contacted node's view of the cluster
 //	map                   print the cluster map (epoch, version, coordinator, replicas, members)
+//	health                show the contacted node's failure-detector view (alive/suspect per member)
 //	join <id> <addr>      add node <id> at <addr> to the cluster (epoch-fenced)
 //	leave <id>            remove node <id> (survivors re-replicate its keys)
 //	sync                  one anti-entropy round: pull peer maps, adopt/spread the newest
@@ -38,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|keys|ping")
+	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|health|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|keys|ping")
 	os.Exit(2)
 }
 
@@ -77,16 +78,28 @@ func main() {
 		for _, mem := range m.Members() {
 			fmt.Printf("node        %-12s %s\n", mem.ID, mem.Addr)
 		}
+	case "health":
+		reply := mustDo(c, "CLUSTER", "HEALTH")
+		for _, tok := range strings.Fields(reply) {
+			// Member rows are "<id>=<state>,k=v,...": the id cannot
+			// contain '=' (validID), so the first '=' splits cleanly.
+			id, fields, ok := strings.Cut(tok, "=")
+			if !ok {
+				fmt.Println(tok)
+				continue
+			}
+			fmt.Printf("%-12s %s\n", id, strings.ReplaceAll(fields, ",", " "))
+		}
 	case "join":
 		if len(rest) != 2 {
 			usage()
 		}
-		fmt.Println(mustDo(c, "CLUSTER", "JOIN", rest[0], rest[1]))
+		printMutation(mustDo(c, "CLUSTER", "JOIN", rest[0], rest[1]))
 	case "leave":
 		if len(rest) != 1 {
 			usage()
 		}
-		fmt.Println(mustDo(c, "CLUSTER", "LEAVE", rest[0]))
+		printMutation(mustDo(c, "CLUSTER", "LEAVE", rest[0]))
 	case "sync":
 		fmt.Println(mustDo(c, "CLUSTER", "SYNC"))
 	case "rebalance":
@@ -125,6 +138,19 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// printMutation renders a JOIN/LEAVE reply. A mutation can lose to a
+// concurrent one under the epoch order; the reply then starts with
+// SUPERSEDED and carries the winning map's (epoch, version,
+// coordinator) so the operator sees WHAT won instead of a silent no-op.
+func printMutation(reply string) {
+	if rest, ok := strings.CutPrefix(reply, "SUPERSEDED"); ok {
+		fmt.Printf("superseded: a concurrent membership change won (%s); inspect 'map' and re-issue if still wanted\n",
+			strings.TrimSpace(rest))
+		os.Exit(1)
+	}
+	fmt.Println(reply)
 }
 
 func mustDo(c *server.Client, parts ...string) string {

@@ -5,12 +5,21 @@
 // Usage:
 //
 //	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file]
-//	elld -node-id n1 [-replicas 2] [-join host:port]   # cluster mode
+//	elld -node-id n1 [-replicas 2] [-join host:port] \
+//	     [-gossip-interval 1s] [-suspect-after 5]    # cluster mode
 //
 // With -node-id set, elld runs as a member of a sharded, replicated
 // sketch cluster (see the cluster package): keys are routed to owner
 // nodes by consistent hashing, counts scatter-gather serialized sketches,
 // and -join adds this node to an existing cluster via any member.
+//
+// Cluster nodes run a gossip failure detector: every -gossip-interval
+// the node exchanges heartbeat digests with a few peers, suspects any
+// member silent for -suspect-after intervals, and — once a quorum of
+// members agrees — evicts it with an epoch-fenced automatic LEAVE, so
+// a dead node leaves the map without operator action. -gossip-interval
+// 0 disables the detector (membership then changes only by operator
+// command and anti-entropy sync).
 //
 // On SIGINT/SIGTERM elld takes a final snapshot (when -snapshot is set)
 // before closing the listener, so a restarted node loses nothing. The
@@ -48,6 +57,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "cluster node ID; non-empty enables cluster mode")
 	join := flag.String("join", "", "address of any member of an existing cluster to join (cluster mode)")
 	replicas := flag.Int("replicas", 2, "number of nodes holding each key (cluster mode)")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "failure-detector gossip period, 0 disables (cluster mode)")
+	suspectAfter := flag.Int("suspect-after", 5, "gossip intervals a silent member survives before suspicion (cluster mode)")
 	flag.Parse()
 
 	cfg := core.RecommendedML(*p)
@@ -55,7 +66,7 @@ func main() {
 	defer stop()
 
 	if *nodeID != "" {
-		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas)
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter)
 		return
 	}
 
@@ -82,11 +93,12 @@ func main() {
 	saveSnapshot(store, *snapshot)
 }
 
-func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int) {
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int) {
 	node, err := cluster.NewNode(nodeID, cfg, replicas)
 	if err != nil {
 		log.Fatal(err)
 	}
+	node.SetGossipConfig(cluster.GossipConfig{SuspectAfter: suspectAfter})
 	loadSnapshot(node.Store(), snapshot)
 	node.SetSnapshotPath(snapshot)
 	if err := node.Start(addr); err != nil {
@@ -129,6 +141,27 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 			}
 		}
 	}()
+
+	// Failure detection: each tick is one gossip round (heartbeat
+	// exchange, suspicion, quorum-gated auto-LEAVE). The detector
+	// itself is clockless — this ticker IS its clock, which is also
+	// what lets the test harness drive it deterministically.
+	if gossipInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(gossipInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					for _, id := range node.Gossip() {
+						log.Printf("gossip: auto-evicted unresponsive node %s", id)
+					}
+				}
+			}
+		}()
+	}
 
 	<-ctx.Done()
 	fmt.Println("shutting down")

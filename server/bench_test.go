@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -171,8 +173,11 @@ func BenchmarkDispatchPFAdd(b *testing.B) {
 	}
 }
 
-// BenchmarkDispatchPFCount isolates the PFCOUNT dispatch fast path
-// (pooled accumulator, no per-key sketch allocation).
+// BenchmarkDispatchPFCount isolates the PFCOUNT dispatch fast path.
+// Since the per-entry estimate cache, a repeated single-key count on an
+// unchanged sketch is O(1) — no accumulator merge, no register scan —
+// so this measures the hot-key floor. BenchmarkDispatchPFCountInvalidated
+// measures the recompute path the cache saves.
 func BenchmarkDispatchPFCount(b *testing.B) {
 	store := newBenchStore(b)
 	for i := 0; i < 10000; i++ {
@@ -181,6 +186,56 @@ func BenchmarkDispatchPFCount(b *testing.B) {
 	srv := NewServer(store)
 	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
 	line := []byte("PFCOUNT key\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.exec(line)
+	}
+}
+
+// BenchmarkDispatchPFCountInvalidated interleaves a mutating PFADD with
+// every PFCOUNT, so each count misses the estimate cache and pays the
+// full Estimate() over the dense register array — the pre-cache cost,
+// and the bound for write-heavy keys.
+func BenchmarkDispatchPFCountInvalidated(b *testing.B) {
+	store := newBenchStore(b)
+	for i := 0; i < 10000; i++ {
+		store.Add("key", fmt.Sprintf("el-%d", i))
+	}
+	srv := NewServer(store)
+	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
+	count := []byte("PFCOUNT key\n")
+	// Every add uses a never-seen element, so (almost) every one bumps
+	// the entry version and the following count misses the cache. Built
+	// in a reusable buffer so the loop measures dispatch, not Sprintf.
+	prefix := []byte("PFADD key inv-")
+	add := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		add = append(add[:0], prefix...)
+		add = strconv.AppendInt(add, int64(i), 10)
+		add = append(add, '\n')
+		cc.exec(add)
+		cc.exec(count)
+	}
+}
+
+// BenchmarkDispatchPFCountUnion keeps the multi-key accumulator path
+// honest: an 8-key union cannot use the per-entry cache and must still
+// be merge-bound, not allocation-bound.
+func BenchmarkDispatchPFCountUnion(b *testing.B) {
+	store := newBenchStore(b)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		for j := 0; j < 10000; j++ {
+			store.Add(keys[i], fmt.Sprintf("el-%d-%d", i, j))
+		}
+	}
+	srv := NewServer(store)
+	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
+	line := []byte("PFCOUNT " + strings.Join(keys, " ") + "\n")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -43,6 +43,32 @@ type entry struct {
 	sk   *core.Sketch
 	ver  uint64
 	dead bool
+
+	// est caches sk.Estimate() as of version estVer, so a hot-key
+	// PFCOUNT on an unchanged sketch is O(1) instead of a scan of the
+	// dense register array. estValid distinguishes "no cache yet" from
+	// a (legitimate) cached value at ver 0.
+	est      float64
+	estVer   uint64
+	estValid bool
+}
+
+// estimate returns the entry's current estimate under its lock,
+// serving repeated counts of an unchanged sketch from the per-entry
+// cache. The cache needs no explicit invalidation hook: every mutation
+// path already bumps ver, and a ver mismatch is staleness.
+func (e *entry) estimate() (v float64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return 0, false
+	}
+	if !e.estValid || e.estVer != e.ver {
+		e.est = e.sk.Estimate()
+		e.estVer = e.ver
+		e.estValid = true
+	}
+	return e.est, true
 }
 
 type shard struct {
@@ -257,6 +283,16 @@ func (s *Store) mergeInto(acc **core.Sketch, pooled, found *bool, e *entry) erro
 // accumulator (no per-key allocation); keys with other configurations
 // are aligned via reduction when they share t.
 func (s *Store) Count(keys ...string) (float64, error) {
+	if len(keys) == 1 {
+		// Hot-key fast path: a single-key count needs no union at all,
+		// and the per-entry cache makes a repeated count O(1).
+		if e := s.lookup(keys[0]); e != nil {
+			if v, ok := e.estimate(); ok {
+				return v, nil
+			}
+		}
+		return 0, nil
+	}
 	acc, pooled, found := s.getAcc(), true, false
 	defer func() {
 		if pooled {
@@ -281,6 +317,14 @@ func (s *Store) Count(keys ...string) (float64, error) {
 // CountBytes is Count with byte-slice keys — the server's PFCOUNT fast
 // path. The slices are not retained.
 func (s *Store) CountBytes(keys [][]byte) (float64, error) {
+	if len(keys) == 1 {
+		if e := s.lookupBytes(keys[0]); e != nil {
+			if v, ok := e.estimate(); ok {
+				return v, nil
+			}
+		}
+		return 0, nil
+	}
 	acc, pooled, found := s.getAcc(), true, false
 	defer func() {
 		if pooled {

@@ -299,3 +299,129 @@ func TestDeleteIfUnchangedVersioning(t *testing.T) {
 		t.Fatal("DeleteIfUnchanged of absent key = false")
 	}
 }
+
+// TestEstimateCacheInvalidation pins the per-entry cached Estimate: a
+// repeated single-key Count is served from the cache, every mutation
+// path (Add, Merge, MergeBlob, Restore) invalidates it via the entry
+// version counter, and the cached value always equals a reference
+// sketch fed the same elements.
+func TestEstimateCacheInvalidation(t *testing.T) {
+	store := newTestStore(t)
+	ref := core.MustNew(store.Config())
+	count := func() float64 {
+		t.Helper()
+		got, err := store.Count("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	for i := 0; i < 1000; i++ {
+		el := fmt.Sprintf("el-%d", i)
+		store.Add("k", el)
+		ref.AddString(el)
+	}
+	if got, want := count(), ref.Estimate(); got != want {
+		t.Fatalf("count = %v, want %v", got, want)
+	}
+	// The cache is now primed; white-box check that it holds.
+	e := store.lookup("k")
+	e.mu.Lock()
+	if !e.estValid || e.estVer != e.ver {
+		t.Fatalf("cache not primed after Count: valid=%v estVer=%d ver=%d", e.estValid, e.estVer, e.ver)
+	}
+	cachedVer := e.estVer
+	e.mu.Unlock()
+	if got, want := count(), ref.Estimate(); got != want {
+		t.Fatalf("cached count = %v, want %v", got, want)
+	}
+
+	// An add that changes the sketch must invalidate and recompute.
+	store.Add("k", "fresh-element")
+	ref.AddString("fresh-element")
+	if got, want := count(), ref.Estimate(); got != want {
+		t.Fatalf("count after add = %v, want %v (stale cache served)", got, want)
+	}
+	e.mu.Lock()
+	if e.estVer == cachedVer {
+		t.Fatal("cache version did not advance after a mutating add")
+	}
+	e.mu.Unlock()
+
+	// An add that does NOT change the sketch keeps the cache valid —
+	// and correct, since the estimate cannot have moved.
+	store.Add("k", "fresh-element")
+	if got, want := count(), ref.Estimate(); got != want {
+		t.Fatalf("count after idempotent add = %v, want %v", got, want)
+	}
+
+	// Merge, MergeBlob and Restore all route through the version bump.
+	store.Add("other", "a", "b", "c")
+	if err := store.Merge("k", "k", "other"); err != nil {
+		t.Fatal(err)
+	}
+	ref.AddString("a")
+	ref.AddString("b")
+	ref.AddString("c")
+	if got, want := count(), ref.Estimate(); got != want {
+		t.Fatalf("count after Merge = %v, want %v", got, want)
+	}
+	blob, _ := store.Dump("other")
+	if err := store.MergeBlob("k", blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := count(), ref.Estimate(); got != want {
+		t.Fatalf("count after MergeBlob = %v, want %v", got, want)
+	}
+	fresh := core.MustNew(store.Config())
+	fresh.AddString("only")
+	fblob, _ := fresh.MarshalBinary()
+	if err := store.Restore("k", fblob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := count(), fresh.Estimate(); got != want {
+		t.Fatalf("count after Restore = %v, want %v", got, want)
+	}
+
+	// Deleted key: the cache dies with the entry.
+	store.Delete("k")
+	if got := count(); got != 0 {
+		t.Fatalf("count after delete = %v, want 0", got)
+	}
+}
+
+// TestSingleKeyCountMatchesUnionPath: the single-key fast path and the
+// multi-key accumulator path must agree exactly, including for keys
+// with a foreign configuration introduced by Restore.
+func TestSingleKeyCountMatchesUnionPath(t *testing.T) {
+	store := newTestStore(t)
+	for i := 0; i < 500; i++ {
+		store.Add("k", fmt.Sprintf("el-%d", i))
+	}
+	single, err := store.Count("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaUnion, err := store.Count("k", "missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != viaUnion {
+		t.Fatalf("single-key count %v != union-path count %v", single, viaUnion)
+	}
+
+	foreign := core.MustNew(core.Config{T: 2, D: 20, P: 10})
+	foreign.AddString("x")
+	blob, _ := foreign.MarshalBinary()
+	if err := store.Restore("f", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Count("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := foreign.Estimate(); got != want {
+		t.Fatalf("foreign-config single-key count %v, want %v", got, want)
+	}
+}
