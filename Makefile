@@ -3,31 +3,37 @@
 GO ?= go
 
 # The serving-path benchmarks whose trajectory BENCH_serving.json tracks.
-SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFCount|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount
+SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFCount|BenchmarkDispatchWAdd|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount|BenchmarkClusterRoutedWAdd|BenchmarkClusterWindowCount|BenchmarkWindowInsert|BenchmarkWindowEstimate
 
-.PHONY: build test race bench bench-smoke fuzz
+.PHONY: build vet test race bench bench-smoke fuzz
 
 build:
 	$(GO) build ./...
 
-test: build
+vet:
+	$(GO) vet ./...
+
+test: build vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 5m ./server/ ./cluster/
+	$(GO) test -race -timeout 5m ./server/ ./cluster/ ./window/
 
 # bench runs the serving-path benchmarks and records them (parsed +
 # benchstat-comparable raw lines) in BENCH_serving.json. Compare across
 # commits with: jq -r '.raw[]' BENCH_serving.json | benchstat old /dev/stdin
 bench:
-	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime=1s -cpu 1,8 ./server/ ./cluster/ \
+	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime=1s -cpu 1,8 ./server/ ./cluster/ ./window/ \
 		| $(GO) run ./cmd/ell-benchjson > BENCH_serving.json
 	@echo wrote BENCH_serving.json
 
 # bench-smoke compiles and runs every benchmark once — a fast
 # does-it-still-run check, not a measurement. CI runs this non-blocking.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/ ./window/
 
 fuzz:
-	$(GO) test -fuzz FuzzMapDecode -fuzztime 30s ./cluster/
+	$(GO) test -run '^$$' -fuzz FuzzMapDecode -fuzztime 30s ./cluster/
+	$(GO) test -run '^$$' -fuzz FuzzGossipDecode -fuzztime 30s ./cluster/
+	$(GO) test -run '^$$' -fuzz FuzzWindowDecode -fuzztime 30s ./window/
+	$(GO) test -run '^$$' -fuzz FuzzWindowVerbFraming -fuzztime 30s ./server/

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"exaloglog/server"
 )
@@ -93,6 +94,44 @@ func BenchmarkClusterFanoutPFCount(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.PFCount(keys...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkClusterRoutedWAdd measures wire-level WADD through one node
+// of a 3-node cluster: each op carries an explicit timestamp and is
+// forwarded to the key's two owners before the reply.
+func BenchmarkClusterRoutedWAdd(b *testing.B) {
+	_, c := startBenchCluster(b)
+	const base = int64(1_750_000_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("wkey-%d", i%64)
+		if _, err := c.WAdd(key, base+int64(i)*13, fmt.Sprintf("el-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkClusterWindowCount measures the windowed scatter-gather:
+// WCOUNT through one node fetches every owner's slot-wise ring DUMP
+// and merges the rings slice by slice at the coordinator.
+func BenchmarkClusterWindowCount(b *testing.B) {
+	nodes, c := startBenchCluster(b)
+	const base = int64(1_750_000_000_000)
+	for s := 0; s < 30; s++ {
+		for e := 0; e < 100; e++ {
+			if _, err := nodes[0].WindowAdd("wkey", base+int64(s)*1000, fmt.Sprintf("el-%d-%d", s, e)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.WCountAt("wkey", 30*time.Second, base+29_000); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -941,6 +941,93 @@ func TestGossipEvictedNodeRejoinsCleanly(t *testing.T) {
 	}
 }
 
+// TestEvictionRecordGossipsToAllMembers: the rejoined-after-eviction
+// record is no longer a private note of the evicting coordinator — it
+// piggybacks on gossip digests, so after a few rounds EVERY member
+// holds it and whichever member coordinates the rejoin delivers the
+// feedback. Once the node is back on the map the records are
+// garbage-collected everywhere, so no member re-delivers stale
+// feedback later. Fully fake-clock driven.
+func TestEvictionRecordGossipsToAllMembers(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	for k := 0; k < 10; k++ {
+		if _, err := h.node("n1").Add(fmt.Sprintf("er-%d", k), "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.tick(2)
+	h.save("n3")
+	h.crash("n3")
+	evs := h.tick(testSuspectAfter + 4)
+	evictor := evs["n3"]
+	if evictor == "" {
+		t.Fatal("crashed node was never auto-evicted")
+	}
+	h.converge(10 * time.Second)
+
+	// A few more rounds spread the record to the non-evicting survivor.
+	h.tick(3)
+	epoch := uint64(0)
+	for _, n := range h.running() {
+		n.gsp.mu.Lock()
+		e, ok := n.gsp.evictedAt["n3"]
+		n.gsp.mu.Unlock()
+		if !ok {
+			t.Fatalf("%s never learned the eviction record via gossip", n.ID())
+		}
+		if epoch == 0 {
+			epoch = e
+		} else if e != epoch {
+			t.Fatalf("%s holds eviction epoch %d, others %d", n.ID(), e, epoch)
+		}
+	}
+
+	// Rejoin through a member that did NOT coordinate the eviction: it
+	// must deliver the feedback all the same.
+	deliverer := ""
+	for _, n := range h.running() {
+		if n.ID() != evictor {
+			deliverer = n.ID()
+			break
+		}
+	}
+	n3 := h.start("n3", h.addr("n3"))
+	reply, err := h.do(deliverer, "CLUSTER", "JOIN", "n3", n3.Addr())
+	if err != nil {
+		t.Fatalf("rejoin via non-evictor %s: %v", deliverer, err)
+	}
+	want := fmt.Sprintf("rejoined-after-eviction=e%d", epoch)
+	if !strings.HasPrefix(reply, "OK") || !strings.Contains(reply, want) {
+		t.Errorf("rejoin reply %q via %s lacks %q", reply, deliverer, want)
+	}
+	if err := n3.Rejoin(); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	h.converge(10 * time.Second)
+
+	// With n3 back on the map, the next gossip rounds GC every record —
+	// a later idempotent re-join (through ANY member, including the
+	// original evictor) must not repeat the consumed feedback.
+	h.tick(2)
+	for _, n := range h.running() {
+		n.gsp.mu.Lock()
+		_, ok := n.gsp.evictedAt["n3"]
+		n.gsp.mu.Unlock()
+		if ok {
+			t.Errorf("%s still holds the eviction record after the rejoin", n.ID())
+		}
+	}
+	for _, id := range []string{evictor, deliverer} {
+		reply, err := h.do(id, "CLUSTER", "JOIN", "n3", n3.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(reply, "rejoined-after-eviction") {
+			t.Errorf("idempotent re-join via %s repeats the consumed eviction note: %q", id, reply)
+		}
+	}
+}
+
 // TestGossipStaleSuspectorDoesNotCountTowardQuorum: suspicion asserted
 // by a node that has since left the map is stale hearsay — the quorum
 // check must count only CURRENT members, or a single live suspecter

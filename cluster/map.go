@@ -313,7 +313,8 @@ func DecodeMap(tokens []string) (*Map, error) {
 }
 
 // validID reports whether id is usable on the wire (non-empty, no
-// whitespace, no '=').
+// whitespace, no '='; not starting with '~', which marks gossip
+// eviction-record tokens).
 func validID(id string) bool {
-	return id != "" && !strings.ContainsAny(id, " \t\r\n=")
+	return id != "" && id[0] != '~' && !strings.ContainsAny(id, " \t\r\n=")
 }

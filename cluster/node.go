@@ -14,11 +14,13 @@ import (
 
 	"exaloglog/internal/core"
 	"exaloglog/server"
+	"exaloglog/window"
 )
 
 // Node is one member of a sketch cluster. It embeds a server.Store and
-// server.Server, overriding PFADD / PFCOUNT / PFMERGE / DEL / KEYS with
-// cluster-wide semantics and adding CLUSTER subcommands:
+// server.Server, overriding PFADD / PFCOUNT / PFMERGE / WADD / WCOUNT /
+// WINFO / DEL / KEYS with cluster-wide semantics and adding CLUSTER
+// subcommands:
 //
 //	CLUSTER INFO                       → +id=.. addr=.. e=.. v=.. replicas=.. nodes=.. keys=.. rebal=..
 //	CLUSTER MAP                        → +v2 <epoch> <version> <coordinator> <replicas> <id>=<addr> ...
@@ -33,6 +35,7 @@ import (
 //	CLUSTER REBALANCE                  → +OK (full re-push of local sketches to their owners)
 //	CLUSTER LPFADD <key> <el>...       → :1/:0 (local add; internal replication verb)
 //	CLUSTER MLPFADD <g> <key> <n> <el>... ×g → +<g × '0'/'1'> (batched local adds; internal)
+//	CLUSTER LWADD <key> <ts> <el>...   → :<accepted> (local windowed add; internal)
 //	CLUSTER LDEL <key>                 → :1/:0 (local delete; internal)
 //	CLUSTER LKEYS                      → +<keys> (local keys; internal)
 //	CLUSTER ABSORB <key> <base64>      → +OK (merge a sketch blob into key; internal)
@@ -114,6 +117,9 @@ func NewNode(id string, cfg core.Config, replicas int) (*Node, error) {
 	n.srv.Handle("PFADD", n.handlePFAdd)
 	n.srv.Handle("PFCOUNT", n.handlePFCount)
 	n.srv.Handle("PFMERGE", n.handlePFMerge)
+	n.srv.Handle("WADD", n.handleWAdd)
+	n.srv.Handle("WCOUNT", n.handleWCount)
+	n.srv.Handle("WINFO", n.handleWInfo)
 	n.srv.Handle("DEL", n.handleDel)
 	n.srv.Handle("KEYS", n.handleKeys)
 	n.srv.Handle("CLUSTER", n.handleCluster)
@@ -649,7 +655,7 @@ func (n *Node) Add(key string, elements ...string) (bool, error) {
 		go func(i int, o Member) {
 			defer wg.Done()
 			if o.ID == n.id {
-				changed[i] = n.store.Add(key, elements...)
+				changed[i], errs[i] = n.store.Add(key, elements...)
 				return
 			}
 			// Batched forwarding: concurrent Adds to the same owner
@@ -688,12 +694,22 @@ func (n *Node) Count(keys ...string) (float64, error) {
 	return acc.Estimate(), nil
 }
 
-// gather fetches every owner's sketch for every key and merges them into
-// one sketch (nil if no key exists anywhere). The DUMPs are batched per
-// owner — all of an owner's keys go out as one pipelined request — so a
-// multi-key count costs one round trip per owner, not one per
-// (key, owner) pair. Owners are queried concurrently.
-func (n *Node) gather(m *Map, keys []string) (*core.Sketch, error) {
+// ownerBlob is one owner's serialized copy of one key, as collected by
+// gatherOwnerBlobs.
+type ownerBlob struct {
+	key     string
+	ownerID string
+	blob    []byte
+}
+
+// gatherOwnerBlobs fetches every owner's copy of every key as a
+// serialized value blob. The DUMPs are batched per owner — all of an
+// owner's keys go out as one pipelined request — so a multi-key fetch
+// costs one round trip per owner, not one per (key, owner) pair.
+// Owners are queried concurrently; missing keys are skipped. Both the
+// plain (gather) and windowed (gatherWindows) scatter-gathers sit on
+// this one scaffold and differ only in how they decode and merge.
+func (n *Node) gatherOwnerBlobs(m *Map, keys []string) ([]ownerBlob, error) {
 	type ownerJobs struct {
 		owner Member
 		keys  []string
@@ -711,28 +727,21 @@ func (n *Node) gather(m *Map, keys []string) (*core.Sketch, error) {
 			oj.keys = append(oj.keys, key)
 		}
 	}
-	sketches := make([][]*core.Sketch, len(owners))
+	blobs := make([][]ownerBlob, len(owners))
 	errs := make([]error, len(owners))
 	var wg sync.WaitGroup
 	for i, oj := range owners {
 		wg.Add(1)
 		go func(i int, oj *ownerJobs) {
 			defer wg.Done()
-			got := make([]*core.Sketch, 0, len(oj.keys))
+			got := make([]ownerBlob, 0, len(oj.keys))
 			if oj.owner.ID == n.id {
 				for _, key := range oj.keys {
-					blob, ok := n.store.Dump(key)
-					if !ok {
-						continue
+					if blob, ok := n.store.Dump(key); ok {
+						got = append(got, ownerBlob{key, oj.owner.ID, blob})
 					}
-					sk, err := core.FromBinary(blob)
-					if err != nil {
-						errs[i] = fmt.Errorf("cluster: sketch %q from %s: %w", key, oj.owner.ID, err)
-						return
-					}
-					got = append(got, sk)
 				}
-				sketches[i] = got
+				blobs[i] = got
 				return
 			}
 			cmds := make([][]string, len(oj.keys))
@@ -757,38 +766,185 @@ func (n *Node) gather(m *Map, keys []string) (*core.Sketch, error) {
 					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", oj.keys[j], oj.owner.ID, err)
 					return
 				}
-				sk, err := core.FromBinary(blob)
-				if err != nil {
-					errs[i] = fmt.Errorf("cluster: sketch %q from %s: %w", oj.keys[j], oj.owner.ID, err)
-					return
-				}
-				got = append(got, sk)
+				got = append(got, ownerBlob{oj.keys[j], oj.owner.ID, blob})
 			}
-			sketches[i] = got
+			blobs[i] = got
 		}(i, oj)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
+	var out []ownerBlob
+	for _, group := range blobs {
+		out = append(out, group...)
+	}
+	return out, nil
+}
+
+// gather fetches every owner's sketch for every key (one pipelined
+// batch per owner, see gatherOwnerBlobs) and merges them into one
+// sketch (nil if no key exists anywhere). A windowed key surfaces the
+// store's WRONGTYPE error rather than merging garbage.
+func (n *Node) gather(m *Map, keys []string) (*core.Sketch, error) {
+	blobs, err := n.gatherOwnerBlobs(m, keys)
+	if err != nil {
+		return nil, err
+	}
 	var acc *core.Sketch
-	for _, group := range sketches {
-		for _, sk := range group {
-			if acc == nil {
-				acc = sk
-				continue
-			}
-			if acc.Config() == sk.Config() {
-				if err := acc.Merge(sk); err != nil {
-					return nil, err
-				}
-				continue
-			}
-			merged, err := core.MergeCompatible(acc, sk)
-			if err != nil {
+	for _, b := range blobs {
+		if window.IsSerialized(b.blob) {
+			return nil, fmt.Errorf("cluster: sketch %q from %s: %w", b.key, b.ownerID, server.ErrWrongType)
+		}
+		sk, err := core.FromBinary(b.blob)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sketch %q from %s: %w", b.key, b.ownerID, err)
+		}
+		if acc == nil {
+			acc = sk
+			continue
+		}
+		if acc.Config() == sk.Config() {
+			if err := acc.Merge(sk); err != nil {
 				return nil, err
 			}
-			acc = merged
+			continue
+		}
+		merged, err := core.MergeCompatible(acc, sk)
+		if err != nil {
+			return nil, err
+		}
+		acc = merged
+	}
+	return acc, nil
+}
+
+// WindowAdd inserts elements observed at the unix-millisecond
+// timestamp ts into the windowed key on every owner node; it returns
+// how many elements the primary owner accepted (replicas see the same
+// elements and timestamps, so their rings stay identical — slice
+// assignment is a pure function of the timestamp). Keys and elements
+// must be non-empty and whitespace-free (the line protocol's token
+// rule). Every node must share one window geometry (elld's
+// -window-slice/-window-slices), like the sketch configuration.
+func (n *Node) WindowAdd(key string, tsMillis int64, elements ...string) (int, error) {
+	if err := validToken("key", key); err != nil {
+		return 0, err
+	}
+	if len(elements) == 0 {
+		return 0, errors.New("cluster: WindowAdd needs at least one element")
+	}
+	for _, e := range elements {
+		if err := validToken("element", e); err != nil {
+			return 0, err
+		}
+	}
+	owners := n.currentMap().Owners(key)
+	if len(owners) == 0 {
+		return 0, errors.New("cluster: empty cluster map (node not started?)")
+	}
+	ts := strconv.FormatInt(tsMillis, 10)
+	accepted := make([]int, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				accepted[i], errs[i] = n.store.WindowAdd(key, time.UnixMilli(tsMillis), elements...)
+				return
+			}
+			parts := make([]string, 0, 4+len(elements))
+			parts = append(parts, "CLUSTER", "LWADD", key, ts)
+			reply, err := n.peers.do(o.Addr, append(parts, elements...)...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			accepted[i], errs[i] = strconv.Atoi(reply)
+		}(i, o)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	return accepted[0], nil
+}
+
+// WindowCount estimates the distinct count the windowed key observed
+// over the window ending at tsMillis (0: the newest timestamp any
+// owner observed) — cluster-wide: every owner's ring is fetched as a
+// slot-wise DUMP and merged slice by slice at this coordinator, so the
+// union is exact at slice granularity. Fetching all replicas is free
+// correctness-wise (slice merges are idempotent) and masks a replica
+// that missed a write.
+func (n *Node) WindowCount(key string, win time.Duration, tsMillis int64) (float64, error) {
+	if win <= 0 {
+		return 0, fmt.Errorf("cluster: window %v must be positive", win)
+	}
+	if err := validToken("key", key); err != nil {
+		return 0, err
+	}
+	acc, err := n.gatherWindows(n.currentMap(), []string{key})
+	if err != nil {
+		return 0, err
+	}
+	if acc == nil {
+		return 0, nil
+	}
+	now := acc.Latest()
+	if tsMillis != 0 {
+		now = time.UnixMilli(tsMillis)
+	}
+	if now.IsZero() {
+		return 0, nil
+	}
+	return acc.Estimate(now, win), nil
+}
+
+// WindowInfo describes the cluster-wide merged ring of the windowed
+// key (geometry, newest timestamp, summed Dropped statistic, full-span
+// estimate). A key no owner holds is server.ErrNoSuchKey.
+func (n *Node) WindowInfo(key string) (string, error) {
+	if err := validToken("key", key); err != nil {
+		return "", err
+	}
+	acc, err := n.gatherWindows(n.currentMap(), []string{key})
+	if err != nil {
+		return "", err
+	}
+	if acc == nil {
+		return "", fmt.Errorf("cluster: %w", server.ErrNoSuchKey)
+	}
+	return acc.Describe(), nil
+}
+
+// gatherWindows is gather's windowed sibling on the same
+// gatherOwnerBlobs scaffold: every owner's copy arrives as a slot-wise
+// window DUMP and the rings merge slice by slice into one counter (nil
+// if no key exists anywhere). A plain-sketch key surfaces the store's
+// WRONGTYPE error rather than merging garbage.
+func (n *Node) gatherWindows(m *Map, keys []string) (*window.Counter, error) {
+	blobs, err := n.gatherOwnerBlobs(m, keys)
+	if err != nil {
+		return nil, err
+	}
+	var acc *window.Counter
+	for _, b := range blobs {
+		if !window.IsSerialized(b.blob) {
+			return nil, fmt.Errorf("cluster: window dump %q from %s: %w", b.key, b.ownerID, server.ErrWrongType)
+		}
+		c, err := window.FromBinary(b.blob)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: window dump %q from %s: %w", b.key, b.ownerID, err)
+		}
+		if acc == nil {
+			acc = c
+			continue
+		}
+		if err := acc.Merge(c); err != nil {
+			return nil, err
 		}
 	}
 	return acc, nil
@@ -948,6 +1104,57 @@ func (n *Node) handlePFMerge(args []string) string {
 	return "+OK"
 }
 
+func (n *Node) handleWAdd(args []string) string {
+	if len(args) < 3 {
+		return "-ERR WADD needs a key, a unix-millisecond timestamp and at least one element"
+	}
+	ts, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return "-ERR WADD timestamp must be an integer (unix milliseconds)"
+	}
+	accepted, err := n.WindowAdd(args[0], ts, args[2:]...)
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	return ":" + strconv.Itoa(accepted)
+}
+
+func (n *Node) handleWCount(args []string) string {
+	if len(args) < 2 || len(args) > 3 {
+		return "-ERR WCOUNT needs a key and a window duration (plus an optional unix-millisecond timestamp)"
+	}
+	win, err := time.ParseDuration(args[1])
+	if err != nil || win <= 0 {
+		return "-ERR WCOUNT window must be a positive duration like 30s or 5m"
+	}
+	var ts int64
+	if len(args) == 3 {
+		if ts, err = strconv.ParseInt(args[2], 10, 64); err != nil {
+			return "-ERR WCOUNT timestamp must be an integer (unix milliseconds)"
+		}
+	}
+	v, err := n.WindowCount(args[0], win, ts)
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	return ":" + strconv.FormatInt(int64(v+0.5), 10)
+}
+
+func (n *Node) handleWInfo(args []string) string {
+	if len(args) != 1 {
+		return "-ERR WINFO needs exactly one key"
+	}
+	info, err := n.WindowInfo(args[0])
+	if errors.Is(err, server.ErrNoSuchKey) {
+		// Verbatim, so clients map it back to ErrNoSuchKey.
+		return "-ERR " + server.ErrNoSuchKey.Error()
+	}
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	return "+" + info
+}
+
 func (n *Node) handleDel(args []string) string {
 	if len(args) != 1 {
 		return "-ERR DEL needs exactly one key"
@@ -1038,12 +1245,29 @@ func (n *Node) handleCluster(args []string) string {
 		if len(rest) < 2 {
 			return "-ERR CLUSTER LPFADD needs a key and at least one element"
 		}
-		if n.store.Add(rest[0], rest[1:]...) {
+		changed, err := n.store.Add(rest[0], rest[1:]...)
+		if err != nil {
+			return "-ERR " + err.Error()
+		}
+		if changed {
 			return ":1"
 		}
 		return ":0"
 	case "MLPFADD":
 		return n.handleMLPFAdd(rest)
+	case "LWADD":
+		if len(rest) < 3 {
+			return "-ERR CLUSTER LWADD needs a key, a timestamp and at least one element"
+		}
+		ts, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Sprintf("-ERR bad CLUSTER LWADD timestamp %q", rest[1])
+		}
+		accepted, err := n.store.WindowAdd(rest[0], time.UnixMilli(ts), rest[2:]...)
+		if err != nil {
+			return "-ERR " + err.Error()
+		}
+		return ":" + strconv.Itoa(accepted)
 	case "LDEL":
 		if len(rest) != 1 {
 			return "-ERR CLUSTER LDEL needs exactly one key"
@@ -1074,9 +1298,13 @@ func (n *Node) handleCluster(args []string) string {
 // handleMLPFAdd executes a batched local-add: g groups, each a key, an
 // element count, and that many elements (counted framing, so keys and
 // elements need no reserved separator token). The reply is '+' followed
-// by one '0'/'1' changed-bit per group, in order — what lets many
+// by one byte per group, in order — '0'/'1' for the changed-bit, 'E'
+// for a group whose add failed (a WRONGTYPE key) — what lets many
 // concurrent forwarded PFADDs share one round trip yet each learn its
-// own outcome.
+// own outcome. One bad group must NOT fail the whole batch: the other
+// groups belong to unrelated callers coalesced by the group-commit
+// batcher, and earlier groups have already been applied. Only framing
+// corruption (which poisons everything after it) aborts with -ERR.
 func (n *Node) handleMLPFAdd(rest []string) string {
 	if len(rest) < 1 {
 		return "-ERR CLUSTER MLPFADD needs a group count"
@@ -1103,9 +1331,13 @@ func (n *Node) handleMLPFAdd(rest []string) string {
 		if len(rest)-i < cnt {
 			return "-ERR truncated CLUSTER MLPFADD group"
 		}
-		if n.store.Add(key, rest[i:i+cnt]...) {
+		changed, err := n.store.Add(key, rest[i:i+cnt]...)
+		switch {
+		case err != nil:
+			bits = append(bits, 'E')
+		case changed:
 			bits = append(bits, '1')
-		} else {
+		default:
 			bits = append(bits, '0')
 		}
 		i += cnt

@@ -82,8 +82,10 @@ func (p *pool) drop(addr string, c *server.Client) {
 	c.Close()
 }
 
-// do runs one command against addr. On any error other than a missing
-// key the cached connection is discarded so the next call redials —
+// do runs one command against addr. The routine typed-keyspace replies
+// — a missing key, a WRONGTYPE value — are answers, not failures: they
+// keep the pooled connection and count as liveness evidence. Any other
+// error discards the cached connection so the next call redials —
 // protocol errors don't require it, but redialing is always safe.
 func (p *pool) do(addr string, parts ...string) (string, error) {
 	if p.hook != nil {
@@ -96,14 +98,12 @@ func (p *pool) do(addr string, parts ...string) (string, error) {
 		return "", err
 	}
 	reply, err := c.Do(parts...)
-	if err != nil && !errors.Is(err, server.ErrNoSuchKey) {
+	answered := err == nil || errors.Is(err, server.ErrNoSuchKey) || errors.Is(err, server.ErrWrongType)
+	if !answered {
 		p.drop(addr, c)
-	}
-	if err == nil || errors.Is(err, server.ErrNoSuchKey) {
+	} else if p.alive != nil {
 		// Even an error reply proves the peer answered.
-		if p.alive != nil {
-			p.alive(addr)
-		}
+		p.alive(addr)
 	}
 	return reply, err
 }
@@ -204,7 +204,9 @@ func (p *pool) batchAdd(addr, key string, elements []string) (bool, error) {
 }
 
 // flushAdds sends one MLPFADD carrying every queued group and fans the
-// per-group results back out to the waiting callers.
+// per-group results back out to the waiting callers. A group's 'E'
+// outcome (the only per-group failure: a WRONGTYPE key) fails that
+// caller alone; the neighbors coalesced into the batch are unaffected.
 func (p *pool) flushAdds(addr string, batch []*addReq) {
 	size := 3
 	for _, r := range batch {
@@ -223,6 +225,10 @@ func (p *pool) flushAdds(addr string, batch []*addReq) {
 	for i, r := range batch {
 		if err != nil {
 			r.done <- addResult{err: err}
+			continue
+		}
+		if reply[i] == 'E' {
+			r.done <- addResult{err: fmt.Errorf("cluster: add %q on %s: %w", r.key, addr, server.ErrWrongType)}
 			continue
 		}
 		r.done <- addResult{changed: reply[i] == '1'}

@@ -1,0 +1,281 @@
+package cluster
+
+// End-to-end tests for the windowed workload through the cluster:
+// WADD forwarded to every owner, WCOUNT scatter-gathering slot-wise
+// ring DUMPs and merging them at the coordinator. All timestamps are
+// explicit — the window subsystem is clockless by design, so these
+// tests are deterministic fake-clock tests: the same stream yields the
+// same slices, merges and estimates on every run, and windowed
+// estimates are checked for EXACT equality against a local reference
+// ring fed the same elements (slice merging is lossless).
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"exaloglog/server"
+	"exaloglog/window"
+)
+
+// streamMS is the fixed stream epoch for the windowed cluster tests.
+const streamMS = int64(1_750_000_000_000)
+
+func dialNode(t *testing.T, n *Node) *server.Client {
+	t.Helper()
+	c, err := server.Dial(n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestClusterWindowedEndToEnd: a port-scan-shaped stream WADDed through
+// different nodes is countable through ANY node, for any window, with
+// exactly the estimate a single local ring would give — forwarded adds
+// reach every owner, and the coordinator's slot-wise merge of the
+// owners' rings loses nothing.
+func TestClusterWindowedEndToEnd(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	clients := []*server.Client{dialNode(t, nodes[0]), dialNode(t, nodes[1]), dialNode(t, nodes[2])}
+
+	ref, err := window.New(testConfig(), time.Second, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slices, perSlice = 10, 30
+	for s := 0; s < slices; s++ {
+		ts := streamMS + int64(s)*1000
+		for e := 0; e < perSlice; e++ {
+			el := fmt.Sprintf("src-%d-%d", s, e)
+			// Writes rotate over the nodes: any node forwards to the owners.
+			accepted, err := clients[(s+e)%len(clients)].WAdd("scan:host9", ts, el)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accepted != 1 {
+				t.Fatalf("WADD accepted %d of 1 in-span elements", accepted)
+			}
+			ref.AddString(time.UnixMilli(ts), el)
+		}
+	}
+
+	nowMS := streamMS + int64(slices-1)*1000
+	for _, c := range clients {
+		for _, w := range []time.Duration{time.Second, 3 * time.Second, 30 * time.Second} {
+			got, err := c.WCountAt("scan:host9", w, nowMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(ref.Estimate(time.UnixMilli(nowMS), w) + 0.5)
+			if got != want {
+				t.Errorf("WCOUNT %v = %d, want %d — slot-wise merge must equal a local ring", w, got, want)
+			}
+		}
+		// Default now (the newest timestamp any owner observed) matches
+		// the explicit form.
+		defGot, err := c.WCount("scan:host9", 3*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expGot, _ := c.WCountAt("scan:host9", 3*time.Second, nowMS)
+		if defGot != expGot {
+			t.Errorf("WCOUNT default now = %d, explicit = %d", defGot, expGot)
+		}
+	}
+
+	// The window slides: querying 30s past the burst leaves only what
+	// was added since.
+	if _, err := clients[0].WAdd("scan:host9", nowMS+60_000, "late-straggler"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := clients[1].WCountAt("scan:host9", 3*time.Second, nowMS+60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("slid window counts %d, want 1", got)
+	}
+
+	// WINFO aggregates the owners' rings; Dropped merges as the MAX of
+	// the owner copies — each replica of the key dropped the same one
+	// insert, so the merged view reports 1, not replicas×1 (and the
+	// merge stays idempotent for replication retries).
+	if _, err := clients[0].WAdd("scan:host9", streamMS-7_200_000, "ancient"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := clients[2].WInfo("scan:host9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "dropped=1") || !strings.Contains(info, "slices=60") {
+		t.Errorf("cluster WINFO %q lacks the merged drop count or geometry", info)
+	}
+	if _, err := clients[0].WInfo("no-such-window"); !errors.Is(err, server.ErrNoSuchKey) {
+		t.Errorf("WINFO of a missing key: %v, want ErrNoSuchKey", err)
+	}
+
+	// Typed verbs stay typed through the cluster overrides, both ways.
+	if _, err := clients[0].PFAdd("plain", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clients[1].PFCount("scan:host9"); !errors.Is(err, server.ErrWrongType) {
+		t.Errorf("cluster PFCOUNT on a windowed key: %v, want ErrWrongType", err)
+	}
+	if _, err := clients[2].WAdd("plain", streamMS, "x"); !errors.Is(err, server.ErrWrongType) {
+		t.Errorf("cluster WADD on a plain key: %v, want ErrWrongType", err)
+	}
+	if _, err := clients[0].WCount("plain", time.Second); !errors.Is(err, server.ErrWrongType) {
+		t.Errorf("cluster WCOUNT on a plain key: %v, want ErrWrongType", err)
+	}
+	// A multi-owner failure (errors.Join of both replicas' WRONGTYPE)
+	// must still be ONE wire line: the connections stay in sync and the
+	// very next command on each sees its own reply.
+	for i, c := range clients {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("client %d desynchronized after wrongtype replies: %v", i, err)
+		}
+	}
+}
+
+// TestMLPFAddWrongTypeGroupDoesNotPoisonBatch: with the typed keyspace
+// a batched-add group CAN fail (WRONGTYPE); its outcome must be the
+// per-group 'E' byte, not a batch-level -ERR — the other groups belong
+// to unrelated callers coalesced by the group-commit batcher and their
+// adds have already been applied.
+func TestMLPFAddWrongTypeGroupDoesNotPoisonBatch(t *testing.T) {
+	nodes := startCluster(t, 1, 1)
+	if _, err := nodes[0].Store().WindowAdd("wkey", time.UnixMilli(streamMS), "x"); err != nil {
+		t.Fatal(err)
+	}
+	c := dialNode(t, nodes[0])
+	reply, err := c.Do("CLUSTER", "MLPFADD", "3", "wkey", "1", "a", "pkey", "1", "b", "wkey", "1", "c")
+	if err != nil {
+		t.Fatalf("whole batch failed on one wrongtype group: %v", err)
+	}
+	if reply != "E1E" {
+		t.Fatalf("MLPFADD reply %q, want E1E (per-group outcomes)", reply)
+	}
+	// The healthy group landed.
+	if n, err := nodes[0].Store().Count("pkey"); err != nil || int64(n+0.5) != 1 {
+		t.Errorf("healthy group not applied: %v, %v", n, err)
+	}
+	// The batcher maps 'E' back to a per-caller ErrWrongType, so a
+	// forwarded Add through the pool reports the right error too.
+	if _, err := nodes[0].peers.batchAdd(nodes[0].Addr(), "wkey", []string{"z"}); !errors.Is(err, server.ErrWrongType) {
+		t.Errorf("batched add to a windowed key: %v, want ErrWrongType", err)
+	}
+}
+
+// TestPoolKeepsConnectionOnWrongType: WRONGTYPE is a routine reply of
+// the typed keyspace, not a transport failure — the pooled connection
+// must survive it (no redial churn on the hot forward path) and the
+// reply must count as liveness evidence.
+func TestPoolKeepsConnectionOnWrongType(t *testing.T) {
+	nodes := startCluster(t, 2, 1)
+	n1, n2 := nodes[0], nodes[1]
+	if _, err := n2.Store().WindowAdd("wkey", time.UnixMilli(streamMS), "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the pooled connection and remember its identity.
+	if _, err := n1.peers.do(n2.Addr(), "PING"); err != nil {
+		t.Fatal(err)
+	}
+	n1.peers.mu.Lock()
+	before := n1.peers.conns[n2.Addr()]
+	n1.peers.mu.Unlock()
+	if before == nil {
+		t.Fatal("no pooled connection after PING")
+	}
+	if _, err := n1.peers.do(n2.Addr(), "CLUSTER", "LPFADD", "wkey", "y"); !errors.Is(err, server.ErrWrongType) {
+		t.Fatalf("LPFADD on a windowed key: %v, want ErrWrongType", err)
+	}
+	n1.peers.mu.Lock()
+	after := n1.peers.conns[n2.Addr()]
+	n1.peers.mu.Unlock()
+	if after != before {
+		t.Error("pool dropped the connection on a WRONGTYPE reply")
+	}
+}
+
+// TestClusterWindowedRebalance: windowed keys ride the ordinary
+// membership machinery — a join moves them to their new owners with
+// slot-wise ABSORB merges, a leave drains them — and every windowed
+// estimate is unchanged afterwards, from every surviving node.
+func TestClusterWindowedRebalance(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	const keys = 24
+	keyName := func(k int) string { return fmt.Sprintf("win-%d", k) }
+	for k := 0; k < keys; k++ {
+		for s := 0; s < 5; s++ {
+			for e := 0; e < 6; e++ {
+				ts := streamMS + int64(s)*1000
+				if _, err := nodes[k%3].WindowAdd(keyName(k), ts, fmt.Sprintf("el-%d-%d-%d", k, s, e)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	nowMS := streamMS + 4_000
+	ref := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		v, err := nodes[0].WindowCount(keyName(k), 5*time.Second, nowMS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 1 {
+			t.Fatalf("key %s counts %v before the membership churn", keyName(k), v)
+		}
+		ref[k] = v
+	}
+
+	// Join: the delta rebalance must ship window rings (slot-wise
+	// blobs) to the owners the keys gained.
+	joiner, err := NewNode("n4", testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.Close() })
+	if err := joiner.Join(nodes[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if joiner.Store().Len() == 0 {
+		t.Error("no windowed keys moved to the joining node")
+	}
+	for k := 0; k < keys; k++ {
+		for _, n := range append([]*Node{joiner}, nodes...) {
+			got, err := n.WindowCount(keyName(k), 5*time.Second, nowMS)
+			if err != nil {
+				t.Fatalf("%s: %v", n.ID(), err)
+			}
+			if got != ref[k] {
+				t.Errorf("%s: count %s = %v after join, want %v", n.ID(), keyName(k), got, ref[k])
+			}
+		}
+	}
+
+	// Leave: the departing node drains its rings to the remaining owners.
+	if err := joiner.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if got := joiner.Store().Len(); got != 0 {
+		t.Errorf("left node still holds %d keys", got)
+	}
+	for k := 0; k < keys; k++ {
+		for _, n := range nodes {
+			got, err := n.WindowCount(keyName(k), 5*time.Second, nowMS)
+			if err != nil {
+				t.Fatalf("%s: %v", n.ID(), err)
+			}
+			if got != ref[k] {
+				t.Errorf("%s: count %s = %v after leave, want %v", n.ID(), keyName(k), got, ref[k])
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 // Benchmark is one parsed result line.
 type Benchmark struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"` // package the row came from (bench output spans several)
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, ops/s, ...
@@ -45,11 +46,15 @@ func main() {
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pkg := ""
 	for sc.Scan() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if cpu, ok := strings.CutPrefix(trimmed, "cpu:"); ok {
 			report.CPU = strings.TrimSpace(cpu)
+		}
+		if p, ok := strings.CutPrefix(trimmed, "pkg:"); ok {
+			pkg = strings.TrimSpace(p)
 		}
 		keep := strings.HasPrefix(trimmed, "Benchmark") ||
 			strings.HasPrefix(trimmed, "goos:") ||
@@ -61,6 +66,7 @@ func main() {
 		}
 		report.Raw = append(report.Raw, line)
 		if b, ok := parseBenchLine(trimmed); ok {
+			b.Pkg = pkg
 			report.Benchmarks = append(report.Benchmarks, b)
 		}
 	}

@@ -16,6 +16,9 @@
 //	rebalance             re-push the contacted node's sketches to their owners (repair)
 //	add <key> <el>...     PFADD routed to the key's owners
 //	count <key>...        cluster-wide union distinct count
+//	wadd <key> <ts> <el>...  WADD routed to the key's owners (ts in unix ms)
+//	wcount <key> <window> [ts]  windowed distinct count, slot-wise merged
+//	winfo <key>           merged ring info (geometry, latest, dropped)
 //	keys                  list all keys cluster-wide
 //	ping                  check liveness of the contacted node
 //
@@ -39,7 +42,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|health|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|keys|ping")
+	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|health|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|wadd <key> <ts> <el>...|wcount <key> <window> [ts]|winfo <key>|keys|ping")
 	os.Exit(2)
 }
 
@@ -122,6 +125,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(n)
+	case "wadd":
+		if len(rest) < 3 {
+			usage()
+		}
+		reply := mustDo(c, append([]string{"WADD"}, rest...)...)
+		fmt.Printf("accepted=%s\n", reply)
+	case "wcount":
+		if len(rest) != 2 && len(rest) != 3 {
+			usage()
+		}
+		fmt.Println(mustDo(c, append([]string{"WCOUNT"}, rest...)...))
+	case "winfo":
+		if len(rest) != 1 {
+			usage()
+		}
+		for _, tok := range strings.Fields(mustDo(c, "WINFO", rest[0])) {
+			fmt.Println(tok)
+		}
 	case "keys":
 		keys, err := c.Keys()
 		if err != nil {

@@ -1,12 +1,21 @@
 // Command elld serves ExaLogLog sketches over TCP with Redis-style
 // PFADD / PFCOUNT / PFMERGE commands — the "approximate distinct counting
-// as a data-store command" scenario of the paper's introduction.
+// as a data-store command" scenario of the paper's introduction — plus
+// the sliding-window verbs WADD / WCOUNT / WINFO (port-scan/DDoS-style
+// distinct counting over time windows, the introduction's other
+// motivating workload).
 //
 // Usage:
 //
-//	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file]
+//	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file] \
+//	     [-window-slice 1s] [-window-slices 60]
 //	elld -node-id n1 [-replicas 2] [-join host:port] \
 //	     [-gossip-interval 1s] [-suspect-after 5]    # cluster mode
+//
+// -window-slice and -window-slices set the ring geometry of keys
+// created by WADD: windows are answerable up to slice·slices back, at
+// slice-granular edges. Every node of one cluster must use the same
+// geometry (like -p).
 //
 // With -node-id set, elld runs as a member of a sharded, replicated
 // sketch cluster (see the cluster package): keys are routed to owner
@@ -59,6 +68,8 @@ func main() {
 	replicas := flag.Int("replicas", 2, "number of nodes holding each key (cluster mode)")
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "failure-detector gossip period, 0 disables (cluster mode)")
 	suspectAfter := flag.Int("suspect-after", 5, "gossip intervals a silent member survives before suspicion (cluster mode)")
+	windowSlice := flag.Duration("window-slice", time.Second, "slice duration of WADD-created sliding-window keys")
+	windowSlices := flag.Int("window-slices", 60, "number of slices in WADD-created rings (max window = slice x slices)")
 	flag.Parse()
 
 	cfg := core.RecommendedML(*p)
@@ -66,12 +77,15 @@ func main() {
 	defer stop()
 
 	if *nodeID != "" {
-		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter)
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices)
 		return
 	}
 
 	store, err := server.NewStore(cfg)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.SetWindowConfig(*windowSlice, *windowSlices); err != nil {
 		log.Fatal(err)
 	}
 	loadSnapshot(store, *snapshot)
@@ -93,9 +107,12 @@ func main() {
 	saveSnapshot(store, *snapshot)
 }
 
-func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int) {
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int) {
 	node, err := cluster.NewNode(nodeID, cfg, replicas)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.Store().SetWindowConfig(windowSlice, windowSlices); err != nil {
 		log.Fatal(err)
 	}
 	node.SetGossipConfig(cluster.GossipConfig{SuspectAfter: suspectAfter})

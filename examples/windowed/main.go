@@ -1,0 +1,130 @@
+// Sliding-window distinct counting served by the cluster: the paper's
+// introduction motivates ExaLogLog with port-scan/DDoS detection over
+// IP traffic — "how many distinct ports did this source touch in the
+// last N seconds?" — and the windowed keyspace pushes that workload
+// into the storage nodes. Three in-process nodes form a sharded,
+// replicated cluster; collectors WADD flow records (with their own
+// timestamps — the store never consults a wall clock) through
+// whichever node is closest, and a detector WCOUNTs any node for any
+// window. Owners hold slice-rings of mergeable sketches, so a count
+// scatter-gathers the rings and merges them slot-wise — lossless, like
+// every ExaLogLog merge.
+//
+// Run with:
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"exaloglog"
+	"exaloglog/cluster"
+	"exaloglog/server"
+)
+
+const (
+	precision = 11
+	scanner   = "10.9.8.7" // the source that sweeps the port space
+	benign    = "192.0.2.5"
+)
+
+func main() {
+	// Bring up a 3-node cluster with replica factor 2. All nodes share
+	// the sketch configuration AND the window geometry: 1-second
+	// slices, 120 of them — windows up to 2 minutes, 1-second edges.
+	cfg := exaloglog.Config{T: 2, D: 20, P: precision}
+	var nodes []*cluster.Node
+	for i := 1; i <= 3; i++ {
+		n, err := cluster.NewNode(fmt.Sprintf("n%d", i), cfg, 2)
+		if err != nil {
+			panic(err)
+		}
+		if err := n.Store().SetWindowConfig(time.Second, 120); err != nil {
+			panic(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			panic(err)
+		}
+		defer n.Close()
+		if i > 1 {
+			if err := n.Join(nodes[0].Addr()); err != nil {
+				panic(err)
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	fmt.Printf("3-node cluster up (replicas=2, window 1s x 120), seed at %s\n\n", nodes[0].Addr())
+
+	// Two wire clients standing in for two collector sites.
+	collectors := make([]*server.Client, 2)
+	for i := range collectors {
+		c, err := server.Dial(nodes[i].Addr())
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		collectors[i] = c
+	}
+
+	// Replay 90 seconds of traffic. The benign host keeps talking to a
+	// handful of ports the whole time; the scanner sweeps thousands of
+	// distinct ports, but only during seconds 60-75.
+	rng := rand.New(rand.NewSource(7))
+	start := time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC)
+	for sec := 0; sec < 90; sec++ {
+		ts := start.Add(time.Duration(sec) * time.Second).UnixMilli()
+		for f := 0; f < 40; f++ {
+			c := collectors[(sec+f)%len(collectors)]
+			if _, err := c.WAdd("ports:"+benign, ts, fmt.Sprintf("port-%d", 8000+rng.Intn(6))); err != nil {
+				panic(err)
+			}
+			if sec >= 60 && sec < 75 {
+				if _, err := c.WAdd("ports:"+scanner, ts, fmt.Sprintf("port-%d", rng.Intn(65536))); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+
+	// The detector asks a third node — one nobody wrote through. Counts
+	// are evaluated at stream time, so the answers are reproducible.
+	detector, err := server.Dial(nodes[2].Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer detector.Close()
+
+	fmt.Println("distinct ports touched, per sliding 15s window (threshold 500):")
+	for sec := 15; sec <= 90; sec += 15 {
+		at := start.Add(time.Duration(sec-1) * time.Second).UnixMilli()
+		for _, src := range []string{benign, scanner} {
+			n, err := detector.WCountAt("ports:"+src, 15*time.Second, at)
+			if err != nil {
+				panic(err)
+			}
+			flag := ""
+			if n >= 500 {
+				flag = "  << PORT SCAN"
+			}
+			fmt.Printf("  t=%2ds  %-12s %6d%s\n", sec, src, n, flag)
+		}
+	}
+
+	// WINFO shows the merged ring across all owners, including the
+	// drop counter for records that arrived older than the ring span.
+	if _, err := collectors[0].WAdd("ports:"+scanner, start.Add(-time.Hour).UnixMilli(), "too-old"); err != nil {
+		panic(err)
+	}
+	info, err := detector.WInfo("ports:" + scanner)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nWINFO ports:%s →\n  %s\n", scanner, info)
+	fmt.Println("\n(dropped counts the too-old record once — replica rings merge with")
+	fmt.Println(" max-dropped so retries stay idempotent; slice-granular window edges")
+	fmt.Println(" mean a 15s query covers 15-16s of traffic — the trade the bucketed")
+	fmt.Println(" design makes for constant-time inserts and lossless merges)")
+}

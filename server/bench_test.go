@@ -173,6 +173,29 @@ func BenchmarkDispatchPFAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchWAdd isolates the WADD dispatch fast path — the
+// windowed workload's write hot path. Like PFADD it must stay at
+// 0 allocs/op once the key exists: tokens stay []byte, the timestamp
+// is parsed without strconv's string conversion, and the accepted
+// count is appended to the reusable scratch buffer.
+func BenchmarkDispatchWAdd(b *testing.B) {
+	store := newBenchStore(b)
+	srv := NewServer(store)
+	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
+	lines := make([][]byte, 512)
+	for i := range lines {
+		// Timestamps advance so the ring rotates like live traffic.
+		lines[i] = []byte(fmt.Sprintf("WADD key %d el-%d\n", 1_750_000_000_000+int64(i)*37, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if quit := cc.exec(lines[i%len(lines)]); quit {
+			b.Fatal("unexpected quit")
+		}
+	}
+}
+
 // BenchmarkDispatchPFCount isolates the PFCOUNT dispatch fast path.
 // Since the per-entry estimate cache, a repeated single-key count on an
 // unchanged sketch is O(1) — no accumulator merge, no register scan —

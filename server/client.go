@@ -9,11 +9,18 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrNoSuchKey is returned (wrapped) when a command addresses a missing
 // key; test with errors.Is.
 var ErrNoSuchKey = errors.New("no such key")
+
+// ErrWrongType is returned (wrapped) when a command addresses a key
+// holding another value type — e.g. PFCOUNT on a windowed key, or WADD
+// on a plain sketch; test with errors.Is. The message carries the
+// Redis-style WRONGTYPE marker so it survives the wire.
+var ErrWrongType = errors.New("WRONGTYPE key holds a value of another type")
 
 // Client is a minimal client for the sketch server protocol. It is safe
 // for concurrent use: commands are serialized on the single connection,
@@ -85,6 +92,11 @@ func parseReply(line string) (string, error) {
 		msg := strings.TrimPrefix(line[1:], "ERR ")
 		if msg == ErrNoSuchKey.Error() {
 			return "", fmt.Errorf("server: %w", ErrNoSuchKey)
+		}
+		if strings.HasSuffix(msg, ErrWrongType.Error()) {
+			// The marker survives server-side wrapping ("server: count
+			// "k": WRONGTYPE ..."), so clients can errors.Is-test it.
+			return "", fmt.Errorf("%s%w", strings.TrimSuffix(msg, ErrWrongType.Error()), ErrWrongType)
 		}
 		return "", errors.New(msg)
 	default:
@@ -160,6 +172,19 @@ func (p *Pipeline) PFCount(keys ...string) {
 	p.Do(append(append(make([]string, 0, 1+len(keys)), "PFCOUNT"), keys...)...)
 }
 
+// WAdd queues a WADD key ts element... command (ts in unix
+// milliseconds).
+func (p *Pipeline) WAdd(key string, tsMillis int64, elements ...string) {
+	parts := make([]string, 0, 3+len(elements))
+	parts = append(parts, "WADD", key, strconv.FormatInt(tsMillis, 10))
+	p.Do(append(parts, elements...)...)
+}
+
+// WCount queues a WCOUNT key window command.
+func (p *Pipeline) WCount(key string, window time.Duration) {
+	p.Do("WCOUNT", key, window.String())
+}
+
 // Dump queues a DUMP key command; decode the Result value with
 // base64.StdEncoding.
 func (p *Pipeline) Dump(key string) {
@@ -223,6 +248,50 @@ func (c *Client) PFCount(keys ...string) (int64, error) {
 func (c *Client) PFMerge(dest string, sources ...string) error {
 	_, err := c.Do(append([]string{"PFMERGE", dest}, sources...)...)
 	return err
+}
+
+// WAdd inserts elements observed at the unix-millisecond timestamp ts
+// into the sliding-window counter at key (created on first use); it
+// returns how many elements were accepted — the rest were older than
+// the key's ring span.
+func (c *Client) WAdd(key string, tsMillis int64, elements ...string) (int, error) {
+	parts := make([]string, 0, 3+len(elements))
+	parts = append(parts, "WADD", key, strconv.FormatInt(tsMillis, 10))
+	reply, err := c.Do(append(parts, elements...)...)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(reply)
+	if err != nil {
+		return 0, fmt.Errorf("server: unexpected WADD reply %q", reply)
+	}
+	return n, nil
+}
+
+// WCount returns the estimated distinct count the windowed key
+// observed over the window ending at its newest timestamp.
+func (c *Client) WCount(key string, window time.Duration) (int64, error) {
+	reply, err := c.Do("WCOUNT", key, window.String())
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// WCountAt is WCount with an explicit window end (unix milliseconds) —
+// the deterministic form replayed streams and tests use.
+func (c *Client) WCountAt(key string, window time.Duration, tsMillis int64) (int64, error) {
+	reply, err := c.Do("WCOUNT", key, window.String(), strconv.FormatInt(tsMillis, 10))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// WInfo describes the windowed key: ring geometry, newest observed
+// timestamp, dropped-insert count and full-span estimate.
+func (c *Client) WInfo(key string) (string, error) {
+	return c.Do("WINFO", key)
 }
 
 // Del removes a key; it reports whether the key existed.

@@ -7,8 +7,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"exaloglog/internal/core"
+	"exaloglog/window"
 )
 
 // MultiClient talks to a fleet of sketch servers as one logical store:
@@ -138,6 +140,72 @@ func (mc *MultiClient) PFCount(keys ...string) (float64, error) {
 		return 0, nil
 	}
 	return acc.Estimate(), nil
+}
+
+// WAdd inserts elements observed at the unix-millisecond timestamp ts
+// into the windowed key on its home shard; it returns how many
+// elements were accepted.
+func (mc *MultiClient) WAdd(key string, tsMillis int64, elements ...string) (int, error) {
+	return mc.shardFor(key).WAdd(key, tsMillis, elements...)
+}
+
+// WCount estimates the distinct count the windowed key observed over
+// the window ending at tsMillis (0: the newest timestamp any shard
+// observed). Like PFCount it tolerates the key existing on several
+// shards — every shard's ring is fetched with DUMP and merged
+// slot-wise, so the union is exact at slice granularity.
+func (mc *MultiClient) WCount(key string, win time.Duration, tsMillis int64) (float64, error) {
+	blobs := make([][]byte, len(mc.clients))
+	errs := make([]error, len(mc.clients))
+	var wg sync.WaitGroup
+	for i, c := range mc.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			blob, err := c.Dump(key)
+			if errors.Is(err, ErrNoSuchKey) {
+				return
+			}
+			blobs[i], errs[i] = blob, err
+		}(i, c)
+	}
+	wg.Wait()
+	var acc *window.Counter
+	for i, blob := range blobs {
+		if errs[i] != nil {
+			return 0, fmt.Errorf("server: shard %d: %w", i, errs[i])
+		}
+		if blob == nil {
+			continue
+		}
+		if !window.IsSerialized(blob) {
+			// A plain-sketch copy of the key: same ErrWrongType the
+			// single-node and cluster paths report, not a decode error.
+			return 0, fmt.Errorf("server: shard %d: key %q: %w", i, key, ErrWrongType)
+		}
+		c, err := window.FromBinary(blob)
+		if err != nil {
+			return 0, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		if acc == nil {
+			acc = c
+			continue
+		}
+		if err := acc.Merge(c); err != nil {
+			return 0, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	if acc == nil {
+		return 0, nil
+	}
+	now := acc.Latest()
+	if tsMillis != 0 {
+		now = time.UnixMilli(tsMillis)
+	}
+	if now.IsZero() {
+		return 0, nil
+	}
+	return acc.Estimate(now, win), nil
 }
 
 // Keys returns the union of all shards' keys, sorted and deduplicated.

@@ -6,10 +6,12 @@ import (
 	"encoding/base64"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Server serves the sketch store over TCP with a line-oriented protocol.
@@ -19,20 +21,36 @@ import (
 //	PFADD key element [element ...]   → :1 if the state changed, :0 if not
 //	PFCOUNT key [key ...]             → :<rounded union distinct count>
 //	PFMERGE dest src [src ...]        → +OK
+//	WADD key ts element [element ...] → :<accepted> (ts in unix milliseconds;
+//	                                    elements older than the ring span are
+//	                                    dropped and counted, see WINFO)
+//	WCOUNT key window [ts]            → :<rounded distinct count over the
+//	                                    window ending at ts (default: the
+//	                                    key's newest observed timestamp)>;
+//	                                    window is a Go duration, e.g. 30s
+//	WINFO key                         → +slice=.. slices=.. span=.. latest=..
+//	                                    dropped=.. bytes=.. estimate=..
 //	DEL key                           → :1 if the key existed, :0 if not
 //	KEYS                              → +<space-separated sorted keys>
-//	INFO key                          → +t=.. d=.. p=.. bytes=.. estimate=..
-//	DUMP key                          → =<base64 of the serialized sketch>
+//	INFO key                          → +<value-typed description>
+//	DUMP key                          → =<base64 of the serialized value>
 //	RESTORE key <base64>              → +OK
 //	SAVE                              → +OK (snapshot to the configured path)
 //	PING                              → +PONG
 //	QUIT                              → +BYE and the connection closes
 //
-// Errors are reported as "-ERR <message>".
+// Errors are reported as "-ERR <message>"; a typed-verb/value mismatch
+// (e.g. PFCOUNT on a windowed key) mentions WRONGTYPE in the message.
+//
+// Dispatch is table-driven: every verb — built-in or registered through
+// Handle — lives in one command registry entry carrying its arity check
+// and handler, plus an optional allocation-free fast path for the hot
+// verbs (PFADD, PFCOUNT, WADD). Adding a workload's verbs means
+// registering entries, not growing a switch.
 type Server struct {
 	store        *Store
 	snapshotPath string
-	handlers     map[string]Handler
+	commands     map[string]*command
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -46,9 +64,29 @@ type Server struct {
 // "+OK", ":1" or "-ERR ...".
 type Handler func(args []string) (reply string)
 
+// command is one registry entry: arity bounds (arguments after the
+// verb; max < 0 means unbounded), the arity-failure reply, the regular
+// string-args handler, and — for hot verbs — a fast handler that works
+// on the in-place byte tokens and writes its own reply, allocating
+// nothing.
+type command struct {
+	min, max int
+	usage    string
+	run      func(s *Server, args []string) (reply string, quit bool)
+	fast     func(c *connCtx, args [][]byte)
+}
+
+// register installs cmd under the (upper-case) verb name, replacing any
+// existing entry.
+func (s *Server) register(verb string, cmd *command) {
+	s.commands[strings.ToUpper(verb)] = cmd
+}
+
 // NewServer returns a server wrapping the given store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{}), handlers: make(map[string]Handler)}
+	s := &Server{store: store, conns: make(map[net.Conn]struct{}), commands: make(map[string]*command)}
+	s.registerBuiltins()
+	return s
 }
 
 // SetSnapshotPath enables the SAVE command, writing snapshots to path.
@@ -59,12 +97,184 @@ func (s *Server) SetSnapshotPath(path string) { s.snapshotPath = path }
 func (s *Server) Store() *Store { return s.store }
 
 // Handle registers a handler for verb (case-insensitive), taking
-// precedence over the built-in command of the same name. This is the
-// extension point the cluster package uses to layer CLUSTER verbs — and
-// cluster-wide PFADD/PFCOUNT semantics — onto the line protocol. Call
-// before Listen; Handle is not safe to call concurrently with serving.
+// precedence over the built-in command of the same name — including its
+// fast path; an overridden verb always sees string arguments. This is
+// the extension point the cluster package uses to layer CLUSTER verbs —
+// and cluster-wide PFADD/PFCOUNT/WADD/WCOUNT semantics — onto the line
+// protocol. Call before Listen; Handle is not safe to call concurrently
+// with serving.
 func (s *Server) Handle(verb string, h Handler) {
-	s.handlers[strings.ToUpper(verb)] = h
+	s.register(verb, &command{
+		max: -1,
+		run: func(_ *Server, args []string) (string, bool) { return h(args), false },
+	})
+}
+
+// registerBuiltins fills the command registry with the built-in verbs.
+func (s *Server) registerBuiltins() {
+	s.register("PFADD", &command{
+		min: 2, max: -1,
+		usage: "-ERR PFADD needs a key and at least one element",
+		fast:  fastPFAdd,
+		run: func(s *Server, args []string) (string, bool) {
+			changed, err := s.store.Add(args[0], args[1:]...)
+			if err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return boolReply(changed), false
+		},
+	})
+	s.register("PFCOUNT", &command{
+		min: 1, max: -1,
+		usage: "-ERR PFCOUNT needs at least one key",
+		fast:  fastPFCount,
+		run: func(s *Server, args []string) (string, bool) {
+			n, err := s.store.Count(args...)
+			if err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return ":" + strconv.FormatInt(int64(n+0.5), 10), false
+		},
+	})
+	s.register("WADD", &command{
+		min: 3, max: -1,
+		usage: "-ERR WADD needs a key, a unix-millisecond timestamp and at least one element",
+		fast:  fastWAdd,
+		run: func(s *Server, args []string) (string, bool) {
+			ts, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil {
+				return "-ERR WADD timestamp must be an integer (unix milliseconds)", false
+			}
+			n, err := s.store.WindowAdd(args[0], time.UnixMilli(ts), args[2:]...)
+			if err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return ":" + strconv.Itoa(n), false
+		},
+	})
+	s.register("WCOUNT", &command{
+		min: 2, max: 3,
+		usage: "-ERR WCOUNT needs a key and a window duration (plus an optional unix-millisecond timestamp)",
+		run: func(s *Server, args []string) (string, bool) {
+			win, err := time.ParseDuration(args[1])
+			if err != nil || win <= 0 {
+				return "-ERR WCOUNT window must be a positive duration like 30s or 5m", false
+			}
+			var now time.Time
+			if len(args) == 3 {
+				ts, err := strconv.ParseInt(args[2], 10, 64)
+				if err != nil {
+					return "-ERR WCOUNT timestamp must be an integer (unix milliseconds)", false
+				}
+				now = time.UnixMilli(ts)
+			}
+			n, err := s.store.WindowCount(args[0], win, now)
+			if err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return ":" + strconv.FormatInt(int64(n+0.5), 10), false
+		},
+	})
+	s.register("WINFO", &command{
+		min: 1, max: 1,
+		usage: "-ERR WINFO needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			info, ok, err := s.store.WindowInfo(args[0])
+			if err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			if !ok {
+				return "-ERR no such key", false
+			}
+			return "+" + info, false
+		},
+	})
+	s.register("PFMERGE", &command{
+		min: 2, max: -1,
+		usage: "-ERR PFMERGE needs a destination and at least one source",
+		run: func(s *Server, args []string) (string, bool) {
+			if err := s.store.Merge(args[0], args[1:]...); err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return "+OK", false
+		},
+	})
+	s.register("DEL", &command{
+		min: 1, max: 1,
+		usage: "-ERR DEL needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			return boolReply(s.store.Delete(args[0])), false
+		},
+	})
+	s.register("KEYS", &command{
+		max: -1,
+		run: func(s *Server, args []string) (string, bool) {
+			return "+" + strings.Join(s.store.Keys(), " "), false
+		},
+	})
+	s.register("INFO", &command{
+		min: 1, max: 1,
+		usage: "-ERR INFO needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			info, ok := s.store.Info(args[0])
+			if !ok {
+				return "-ERR no such key", false
+			}
+			return "+" + info, false
+		},
+	})
+	s.register("DUMP", &command{
+		min: 1, max: 1,
+		usage: "-ERR DUMP needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			data, ok := s.store.Dump(args[0])
+			if !ok {
+				return "-ERR no such key", false
+			}
+			return "=" + base64.StdEncoding.EncodeToString(data), false
+		},
+	})
+	s.register("RESTORE", &command{
+		min: 2, max: 2,
+		usage: "-ERR RESTORE needs a key and a base64 payload",
+		run: func(s *Server, args []string) (string, bool) {
+			data, err := base64.StdEncoding.DecodeString(args[1])
+			if err != nil {
+				return "-ERR bad base64: " + err.Error(), false
+			}
+			if err := s.store.Restore(args[0], data); err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return "+OK", false
+		},
+	})
+	s.register("SAVE", &command{
+		max: -1,
+		run: func(s *Server, args []string) (string, bool) {
+			if s.snapshotPath == "" {
+				return "-ERR no snapshot path configured", false
+			}
+			if err := s.store.SaveFile(s.snapshotPath); err != nil {
+				return "-ERR " + err.Error(), false
+			}
+			return "+OK", false
+		},
+	})
+	s.register("PING", &command{
+		max: -1,
+		run: func(s *Server, args []string) (string, bool) { return "+PONG", false },
+	})
+	s.register("QUIT", &command{
+		max: -1,
+		run: func(s *Server, args []string) (string, bool) { return "+BYE", true },
+	})
+}
+
+func boolReply(v bool) string {
+	if v {
+		return ":1"
+	}
+	return ":0"
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:7700";
@@ -182,7 +392,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // connCtx is the per-connection dispatch state: the buffered writer the
 // replies coalesce into, plus reusable token and integer scratch
-// buffers that make the PFADD/PFCOUNT fast path allocation-free.
+// buffers that make the PFADD/PFCOUNT/WADD fast paths allocation-free.
 type connCtx struct {
 	s    *Server
 	w    *bufio.Writer
@@ -225,6 +435,14 @@ func upperInPlace(b []byte) {
 }
 
 func (c *connCtx) writeRaw(reply string) {
+	// One reply is one line — that IS the protocol. An embedded newline
+	// (e.g. an errors.Join of several owners' failures bubbling into an
+	// "-ERR ..." reply) would split into two wire lines and desynchronize
+	// every pipelining client, so fold it here, centrally. The scan is
+	// free on the clean path (no allocation unless a newline exists).
+	if strings.ContainsAny(reply, "\r\n") {
+		reply = strings.NewReplacer("\r\n", "; ", "\n", "; ", "\r", "; ").Replace(reply)
+	}
 	c.w.WriteString(reply)
 	c.w.WriteByte('\n')
 }
@@ -243,12 +461,44 @@ func stringArgs(args [][]byte) []string {
 	return out
 }
 
+// parseIntBytes parses a signed decimal int64 from b without
+// allocating — the fast paths' strconv.ParseInt.
+func parseIntBytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		if i++; i == len(b) {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if v > (math.MaxInt64-int64(d))/10 {
+			return 0, false
+		}
+		v = v*10 + int64(d)
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
 // exec runs one command line, writing the reply into c.w, and reports
-// whether the connection should close. PFADD and PFCOUNT are handled
-// on an allocation-free fast path (tokens stay []byte end to end,
-// integer replies are appended to a reusable scratch buffer); all
-// other verbs — and any verb a Handler overrides — materialize string
-// arguments and take the regular dispatch path.
+// whether the connection should close. The verb is resolved through
+// the command registry exactly once: entries with a fast handler
+// (PFADD, PFCOUNT, WADD — unless overridden) run on the
+// allocation-free path where tokens stay []byte end to end and integer
+// replies are appended to a reusable scratch buffer; all other entries
+// materialize string arguments for their regular handler.
 func (c *connCtx) exec(line []byte) (quit bool) {
 	args := c.tokenize(line)
 	if len(args) == 0 {
@@ -256,111 +506,61 @@ func (c *connCtx) exec(line []byte) (quit bool) {
 	}
 	verb := args[0]
 	upperInPlace(verb)
-	if len(c.s.handlers) != 0 {
-		if h, ok := c.s.handlers[string(verb)]; ok {
-			c.writeRaw(h(stringArgs(args[1:])))
-			return false
-		}
-	}
-	switch string(verb) { // compiles without allocating the string
-	case "PFADD":
-		if len(args) < 3 {
-			c.writeRaw("-ERR PFADD needs a key and at least one element")
-			return false
-		}
-		if c.s.store.AddBytes(args[1], args[2:]) {
-			c.writeRaw(":1")
-		} else {
-			c.writeRaw(":0")
-		}
-		return false
-	case "PFCOUNT":
-		if len(args) < 2 {
-			c.writeRaw("-ERR PFCOUNT needs at least one key")
-			return false
-		}
-		n, err := c.s.store.CountBytes(args[1:])
-		if err != nil {
-			c.writeRaw("-ERR " + err.Error())
-			return false
-		}
-		c.writeInt(int64(n + 0.5))
+	cmd, ok := c.s.commands[string(verb)] // compiles without allocating the string
+	if !ok {
+		c.writeRaw("-ERR unknown command " + string(verb))
 		return false
 	}
-	reply, quit := c.s.dispatch(string(verb), stringArgs(args[1:]))
+	n := len(args) - 1
+	if n < cmd.min || (cmd.max >= 0 && n > cmd.max) {
+		c.writeRaw(cmd.usage)
+		return false
+	}
+	if cmd.fast != nil {
+		cmd.fast(c, args[1:])
+		return false
+	}
+	reply, quit := cmd.run(c.s, stringArgs(args[1:]))
 	c.writeRaw(reply)
 	return quit
 }
 
-// dispatch executes one already-tokenized command (verb upper-cased)
-// and returns the reply (without newline) and whether the connection
-// should close. PFADD and PFCOUNT never reach it: connCtx.exec, its
-// only caller, fully handles them on the allocation-free fast path.
-func (s *Server) dispatch(verb string, args []string) (reply string, quit bool) {
-	switch verb {
-	case "PFMERGE":
-		if len(args) < 2 {
-			return "-ERR PFMERGE needs a destination and at least one source", false
-		}
-		if err := s.store.Merge(args[0], args[1:]...); err != nil {
-			return "-ERR " + err.Error(), false
-		}
-		return "+OK", false
-	case "DEL":
-		if len(args) != 1 {
-			return "-ERR DEL needs exactly one key", false
-		}
-		if s.store.Delete(args[0]) {
-			return ":1", false
-		}
-		return ":0", false
-	case "KEYS":
-		return "+" + strings.Join(s.store.Keys(), " "), false
-	case "INFO":
-		if len(args) != 1 {
-			return "-ERR INFO needs exactly one key", false
-		}
-		info, ok := s.store.Info(args[0])
-		if !ok {
-			return "-ERR no such key", false
-		}
-		return "+" + info, false
-	case "DUMP":
-		if len(args) != 1 {
-			return "-ERR DUMP needs exactly one key", false
-		}
-		data, ok := s.store.Dump(args[0])
-		if !ok {
-			return "-ERR no such key", false
-		}
-		return "=" + base64.StdEncoding.EncodeToString(data), false
-	case "RESTORE":
-		if len(args) != 2 {
-			return "-ERR RESTORE needs a key and a base64 payload", false
-		}
-		data, err := base64.StdEncoding.DecodeString(args[1])
-		if err != nil {
-			return "-ERR bad base64: " + err.Error(), false
-		}
-		if err := s.store.Restore(args[0], data); err != nil {
-			return "-ERR " + err.Error(), false
-		}
-		return "+OK", false
-	case "SAVE":
-		if s.snapshotPath == "" {
-			return "-ERR no snapshot path configured", false
-		}
-		if err := s.store.SaveFile(s.snapshotPath); err != nil {
-			return "-ERR " + err.Error(), false
-		}
-		return "+OK", false
-	case "PING":
-		return "+PONG", false
-	case "QUIT":
-		return "+BYE", true
-	default:
-		return "-ERR unknown command " + verb, false
+// --- fast-path handlers ------------------------------------------------
+
+func fastPFAdd(c *connCtx, args [][]byte) {
+	changed, err := c.s.store.AddBytes(args[0], args[1:])
+	if err != nil {
+		c.writeRaw("-ERR " + err.Error())
+		return
 	}
+	if changed {
+		c.writeRaw(":1")
+	} else {
+		c.writeRaw(":0")
+	}
+}
+
+func fastPFCount(c *connCtx, args [][]byte) {
+	n, err := c.s.store.CountBytes(args)
+	if err != nil {
+		c.writeRaw("-ERR " + err.Error())
+		return
+	}
+	c.writeInt(int64(n + 0.5))
+}
+
+func fastWAdd(c *connCtx, args [][]byte) {
+	ts, ok := parseIntBytes(args[1])
+	if !ok {
+		c.writeRaw("-ERR WADD timestamp must be an integer (unix milliseconds)")
+		return
+	}
+	n, err := c.s.store.WindowAddBytes(args[0], ts, args[2:])
+	if err != nil {
+		c.writeRaw("-ERR " + err.Error())
+		return
+	}
+	c.writeInt(int64(n))
 }
 
 // Serve is a convenience for binaries: listen on addr and block until ctx

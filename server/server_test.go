@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
@@ -291,6 +292,40 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if gotUnion != got {
 		t.Errorf("union over identical content %d != %d", gotUnion, got)
+	}
+}
+
+// TestMultilineReplyIsFoldedToOneLine: one reply is one line — that is
+// the protocol. A handler whose error message contains newlines (e.g.
+// an errors.Join of several cluster owners' failures) must reach the
+// wire as a single folded line, or every later reply on the connection
+// would be off by one.
+func TestMultilineReplyIsFoldedToOneLine(t *testing.T) {
+	store, err := NewStore(core.RecommendedML(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	srv.Handle("MULTI", func(args []string) string {
+		return "-ERR " + fmt.Errorf("%w", fmt.Errorf("first\nsecond\rthird")).Error()
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, err := c.Do("MULTI"); err == nil {
+		t.Fatal("multiline error reply did not surface as an error")
+	} else if got := err.Error(); strings.ContainsAny(got, "\r\n") || !strings.Contains(got, "; ") {
+		t.Errorf("reply %q not folded to one line", got)
+	}
+	// The connection is still in sync: the next command sees ITS reply.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection desynchronized after a multiline reply: %v", err)
 	}
 }
 

@@ -7,33 +7,35 @@ import (
 	"io"
 	"os"
 	"sort"
-
-	"exaloglog/internal/core"
 )
 
 // Snapshot persistence: the whole store serializes to a compact binary
-// stream — a magic header followed by (key, sketch-blob) records — so a
-// sketch service can restart without losing its counters. Sketch blobs
-// are the plain MarshalBinary form (Section 5.3: serialization is a
-// header plus the dense register array, so snapshots are cheap).
+// stream — a magic header followed by (key, value-blob) records — so a
+// sketch service can restart without losing its counters. Plain sketch
+// blobs are the core MarshalBinary form (Section 5.3: serialization is
+// a header plus the dense register array, so snapshots are cheap);
+// windowed keys serialize slot-wise (see the window package).
 //
-// Format (version 2; version 1 lacked the metadata blob and is still
-// readable):
+// Format (version 3; versions 1 and 2 are still readable):
 //
 //	bytes 0-3  magic "ELSS"
-//	byte  4    version (2)
+//	byte  4    version (3)
 //	uvarint    metadata length, then the opaque metadata blob
 //	uvarint    number of records
 //	per record:
 //	  uvarint  key length, then the key bytes
-//	  uvarint  blob length, then the sketch blob
+//	  byte     value type tag ('E' plain sketch, 'W' window ring)
+//	  uvarint  blob length, then the value blob
 //
-// The metadata blob (SetMeta/Meta) is opaque to the server: the
-// cluster package stores its membership map there so a restarted node
+// Version 2 lacked the per-record type tag (every value was a plain
+// sketch); version 1 additionally lacked the metadata blob. The
+// metadata blob (SetMeta/Meta) is opaque to the server: the cluster
+// package stores its membership map there so a restarted node
 // remembers its cluster.
 const (
 	snapshotMagic      = "ELSS"
-	snapshotVersion    = 2
+	snapshotVersion    = 3
+	snapshotVersionV2  = 2
 	snapshotVersionV1  = 1
 	snapshotMetaLimit  = 1 << 20
 	snapshotKeyLimit   = 1 << 16
@@ -41,12 +43,12 @@ const (
 	snapshotMaxRecords = 1 << 24
 )
 
-// WriteSnapshot serializes all sketches to w. Keys are written in sorted
-// order so snapshots of equal stores are byte-identical. Each sketch
+// WriteSnapshot serializes all values to w. Keys are written in sorted
+// order so snapshots of equal stores are byte-identical. Each value
 // blob is internally consistent; keys mutated while the snapshot is
 // being gathered may appear in either state.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	blobs := s.DumpAll()
+	blobs := s.DumpAllTagged()
 	meta := s.Meta()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
@@ -76,17 +78,20 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	for _, k := range keys {
-		blob := blobs[k]
+		tagged := blobs[k]
 		if err := writeUvarint(uint64(len(k))); err != nil {
 			return err
 		}
 		if _, err := bw.WriteString(k); err != nil {
 			return err
 		}
-		if err := writeUvarint(uint64(len(blob))); err != nil {
+		if err := bw.WriteByte(tagged.Type); err != nil {
 			return err
 		}
-		if _, err := bw.Write(blob); err != nil {
+		if err := writeUvarint(uint64(len(tagged.Blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(tagged.Blob); err != nil {
 			return err
 		}
 	}
@@ -105,11 +110,11 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		return fmt.Errorf("server: bad snapshot magic %q", header[:len(snapshotMagic)])
 	}
 	version := header[len(snapshotMagic)]
-	if version != snapshotVersion && version != snapshotVersionV1 {
+	if version != snapshotVersion && version != snapshotVersionV2 && version != snapshotVersionV1 {
 		return fmt.Errorf("server: unsupported snapshot version %d", version)
 	}
 	var meta []byte
-	if version >= snapshotVersion {
+	if version >= snapshotVersionV2 {
 		var err error
 		if meta, err = readBlob(br, snapshotMetaLimit); err != nil {
 			return fmt.Errorf("server: snapshot metadata: %w", err)
@@ -125,36 +130,43 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 	if count > snapshotMaxRecords {
 		return fmt.Errorf("server: snapshot claims %d records (limit %d)", count, snapshotMaxRecords)
 	}
-	loaded := make(map[string]*core.Sketch, count)
+	loaded := make(map[string]SketchValue, count)
 	for i := uint64(0); i < count; i++ {
 		key, err := readBlob(br, snapshotKeyLimit)
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d key: %w", i, err)
 		}
+		// v1/v2 records carry no type tag: every value is a plain sketch.
+		tag := valueTagEll
+		if version >= snapshotVersion {
+			if tag, err = br.ReadByte(); err != nil {
+				return fmt.Errorf("server: snapshot record %d type tag: %w", i, err)
+			}
+		}
 		blob, err := readBlob(br, snapshotBlobLimit)
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d blob: %w", i, err)
 		}
-		sk, err := core.FromBinary(blob)
+		val, err := decodeValueTagged(tag, blob)
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d (%q): %w", i, key, err)
 		}
-		loaded[string(key)] = sk
+		loaded[string(key)] = val
 	}
 	s.replaceAll(loaded, meta)
 	return nil
 }
 
-// replaceAll swaps the store's entire contents for the loaded sketches.
+// replaceAll swaps the store's entire contents for the loaded values.
 // Entries being replaced are marked dead so mutators that raced the
 // swap retry against the new maps instead of writing into orphans.
-func (s *Store) replaceAll(loaded map[string]*core.Sketch, meta []byte) {
+func (s *Store) replaceAll(loaded map[string]SketchValue, meta []byte) {
 	fresh := make([]map[string]*entry, numShards)
 	for i := range fresh {
 		fresh[i] = make(map[string]*entry)
 	}
-	for k, sk := range loaded {
-		fresh[shardIndex(k)][k] = &entry{sk: sk}
+	for k, val := range loaded {
+		fresh[shardIndex(k)][k] = &entry{val: val}
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]

@@ -2,10 +2,14 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"exaloglog/internal/core"
 )
@@ -124,27 +128,177 @@ func TestSnapshotMetaRoundTrip(t *testing.T) {
 	}
 }
 
-// TestSnapshotReadsV1: version-1 snapshots (no metadata blob) still
-// load — a pre-upgrade snapshot file must not strand its node.
-func TestSnapshotReadsV1(t *testing.T) {
+// encodeLegacySnapshot renders a store's plain sketches in the exact
+// byte layout old writers produced: version 1 (no metadata blob, no
+// type tags) or version 2 (metadata blob, no type tags). It is the
+// test's own encoder on purpose — the shipped writer only emits v3, so
+// backwards readability has to be pinned against independently
+// constructed bytes.
+func encodeLegacySnapshot(t *testing.T, version byte, blobs map[string][]byte, meta []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("ELSS")
+	buf.WriteByte(version)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		buf.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	if version >= 2 {
+		writeUvarint(uint64(len(meta)))
+		buf.Write(meta)
+	} else if len(meta) != 0 {
+		t.Fatal("v1 snapshots cannot carry metadata")
+	}
+	keys := make([]string, 0, len(blobs))
+	for k := range blobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		writeUvarint(uint64(len(k)))
+		buf.WriteString(k)
+		writeUvarint(uint64(len(blobs[k])))
+		buf.Write(blobs[k])
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotCrossVersion: version-1 and version-2 snapshot files (no
+// per-record type tags; v1 also without the metadata blob) still load —
+// a pre-upgrade snapshot must not strand its node — and a legacy store
+// carried forward re-saves as version 3 with every count intact.
+func TestSnapshotCrossVersion(t *testing.T) {
+	orig := populatedStore(t, 3)
+	meta := []byte("v2 7 3 n1 2 n1=a:1 n2=a:2")
+	blobs := orig.DumpAll()
+
+	counts := func(s *Store) map[string]float64 {
+		out := make(map[string]float64)
+		for _, k := range s.Keys() {
+			n, err := s.Count(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[k] = n
+		}
+		return out
+	}
+	want := counts(orig)
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+		meta []byte
+	}{
+		{"v1", encodeLegacySnapshot(t, 1, blobs, nil), nil},
+		{"v2", encodeLegacySnapshot(t, 2, blobs, meta), meta},
+	} {
+		restored, _ := NewStore(core.RecommendedML(8))
+		if err := restored.ReadSnapshot(bytes.NewReader(tc.data)); err != nil {
+			t.Fatalf("%s snapshot rejected: %v", tc.name, err)
+		}
+		if restored.Len() != orig.Len() {
+			t.Errorf("%s load restored %d keys, want %d", tc.name, restored.Len(), orig.Len())
+		}
+		if got := restored.Meta(); !bytes.Equal(got, tc.meta) {
+			t.Errorf("%s load meta %q, want %q", tc.name, got, tc.meta)
+		}
+		for k, w := range want {
+			if got := counts(restored)[k]; got != w {
+				t.Errorf("%s load count %s = %v, want %v", tc.name, k, got, w)
+			}
+		}
+		// Carry the legacy store forward: re-save (now v3) and load again.
+		var v3 bytes.Buffer
+		if err := restored.WriteSnapshot(&v3); err != nil {
+			t.Fatal(err)
+		}
+		if got := v3.Bytes()[4]; got != snapshotVersion {
+			t.Fatalf("re-save wrote version %d, want %d", got, snapshotVersion)
+		}
+		again, _ := NewStore(core.RecommendedML(8))
+		if err := again.ReadSnapshot(&v3); err != nil {
+			t.Fatalf("%s → v3 reload: %v", tc.name, err)
+		}
+		for k, w := range want {
+			if got := counts(again)[k]; got != w {
+				t.Errorf("%s → v3 reload count %s = %v, want %v", tc.name, k, got, w)
+			}
+		}
+	}
+}
+
+// TestSnapshotV3WindowRoundTrip: snapshot v3 tags each record with its
+// value type, so a store mixing plain and windowed keys round-trips
+// with both workloads intact — including the windowed keys' Dropped
+// statistic and per-window estimates.
+func TestSnapshotV3WindowRoundTrip(t *testing.T) {
 	orig := populatedStore(t, 2)
-	var v2 bytes.Buffer
-	if err := orig.WriteSnapshot(&v2); err != nil {
+	base := time.UnixMilli(1_700_000_000_000)
+	for s := 0; s < 5; s++ {
+		ts := base.Add(time.Duration(s) * time.Second)
+		for e := 0; e < 50; e++ {
+			if _, err := orig.WindowAdd("scan:10.0.0.9", ts, fmt.Sprintf("port-%d-%d", s, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := orig.WindowAdd("scan:10.0.0.9", base.Add(-time.Hour), "ancient"); err != nil {
 		t.Fatal(err)
 	}
-	// A v2 snapshot without meta is the v1 body behind a 0-length meta
-	// blob: rewrite the version byte and drop that length byte.
-	data := v2.Bytes()
-	v1 := append([]byte("ELSS\x01"), data[6:]...)
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
 	restored, _ := NewStore(core.RecommendedML(8))
-	if err := restored.ReadSnapshot(bytes.NewReader(v1)); err != nil {
-		t.Fatalf("v1 snapshot rejected: %v", err)
+	if err := restored.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
 	}
 	if restored.Len() != orig.Len() {
-		t.Errorf("v1 load restored %d keys, want %d", restored.Len(), orig.Len())
+		t.Fatalf("restored %d keys, want %d", restored.Len(), orig.Len())
 	}
-	if restored.Meta() != nil {
-		t.Errorf("v1 snapshot produced meta %q", restored.Meta())
+	for _, key := range orig.Keys() {
+		if key == "scan:10.0.0.9" {
+			continue
+		}
+		a, _ := orig.Count(key)
+		b, err := restored.Count(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("plain key %s: restored count %g != %g", key, b, a)
+		}
+	}
+	for w := 1; w <= 5; w++ {
+		win := time.Duration(w) * time.Second
+		a, err := orig.WindowCount("scan:10.0.0.9", win, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.WindowCount("scan:10.0.0.9", win, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("window %v: restored estimate %g != %g", win, b, a)
+		}
+	}
+	a, _, err := orig.WindowInfo("scan:10.0.0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := restored.WindowInfo("scan:10.0.0.9")
+	if err != nil || !ok {
+		t.Fatalf("restored WindowInfo: %v, ok=%v", err, ok)
+	}
+	if a != b {
+		t.Errorf("restored window info %q != %q (Dropped or geometry lost)", b, a)
+	}
+	if !strings.Contains(b, "dropped=1") {
+		t.Errorf("window info %q does not surface the dropped insert", b)
 	}
 }
 

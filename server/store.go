@@ -2,7 +2,10 @@
 // the PFADD / PFCOUNT / PFMERGE commands that Redis offers on top of
 // HyperLogLog — the "query languages of many data stores offer special
 // commands for approximate distinct counting" motivation of the paper's
-// introduction — backed by ExaLogLog sketches.
+// introduction — backed by ExaLogLog sketches. Keys are polymorphic:
+// beside plain sketches the store holds sliding-window slice-rings
+// (WADD / WCOUNT / WINFO), the paper's port-scan/DDoS workload, behind
+// the same sharding, persistence and replication machinery.
 //
 // The wire protocol is a line-oriented subset of the Redis conventions:
 // one command per line, space-separated tokens, and typed single-line
@@ -14,9 +17,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"exaloglog/internal/core"
 	"exaloglog/internal/hashing"
+	"exaloglog/window"
 )
 
 // numShards is the number of independently locked buckets the key space
@@ -31,20 +36,22 @@ const numShards = 128
 // hash (which uses seed 0).
 const shardSeed = 0x5bd1e995a967bd1e
 
-// entry is one key's sketch plus its own lock, so concurrent commands
-// on different keys never contend. ver counts observable state changes
-// (inserts that changed registers, merges, restores); together with the
-// entry's identity it lets DeleteIfUnchanged detect writes that landed
-// after a dump. dead marks an entry that has been unlinked from its
-// shard map: a mutator that raced a Delete re-fetches instead of
-// writing into an orphan.
+// entry is one key's value plus its own lock, so concurrent commands
+// on different keys never contend. The value is polymorphic (see
+// SketchValue); everything else here — the version counter, the death
+// mark, the estimate cache — is value-type-agnostic machinery. ver
+// counts observable state changes (inserts that changed registers,
+// merges, restores); together with the entry's identity it lets
+// DeleteIfUnchanged detect writes that landed after a dump. dead marks
+// an entry that has been unlinked from its shard map: a mutator that
+// raced a Delete re-fetches instead of writing into an orphan.
 type entry struct {
 	mu   sync.Mutex
-	sk   *core.Sketch
+	val  SketchValue
 	ver  uint64
 	dead bool
 
-	// est caches sk.Estimate() as of version estVer, so a hot-key
+	// est caches val.Estimate() as of version estVer, so a hot-key
 	// PFCOUNT on an unchanged sketch is O(1) instead of a scan of the
 	// dense register array. estValid distinguishes "no cache yet" from
 	// a (legitimate) cached value at ver 0.
@@ -53,22 +60,27 @@ type entry struct {
 	estValid bool
 }
 
-// estimate returns the entry's current estimate under its lock,
-// serving repeated counts of an unchanged sketch from the per-entry
-// cache. The cache needs no explicit invalidation hook: every mutation
-// path already bumps ver, and a ver mismatch is staleness.
-func (e *entry) estimate() (v float64, ok bool) {
+// estimateEll returns the entry's current plain-sketch estimate under
+// its lock, serving repeated counts of an unchanged sketch from the
+// per-entry cache. The cache needs no explicit invalidation hook:
+// every mutation path already bumps ver, and a ver mismatch is
+// staleness. ok is false for a dead entry; a non-plain value is
+// ErrWrongType.
+func (e *entry) estimateEll() (v float64, ok bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.dead {
-		return 0, false
+		return 0, false, nil
+	}
+	if _, isEll := e.val.(*ellValue); !isEll {
+		return 0, false, ErrWrongType
 	}
 	if !e.estValid || e.estVer != e.ver {
-		e.est = e.sk.Estimate()
+		e.est = e.val.Estimate()
 		e.estVer = e.ver
 		e.estValid = true
 	}
-	return e.est, true
+	return e.est, true, nil
 }
 
 type shard struct {
@@ -76,15 +88,22 @@ type shard struct {
 	m  map[string]*entry
 }
 
-// Store is a named collection of ExaLogLog sketches, safe for concurrent
+// Store is a named collection of sketch values, safe for concurrent
 // use. Keys are hash-sharded over independently locked buckets and each
-// sketch carries its own lock, so PFADDs to different keys proceed in
+// value carries its own lock, so PFADDs to different keys proceed in
 // parallel. All sketches created through Add share the store's default
 // configuration; Restore may introduce sketches with other configurations,
 // which still count and merge together as long as they share the
-// t-parameter (Section 4.1 of the paper).
+// t-parameter (Section 4.1 of the paper). Windowed values created
+// through WindowAdd use the store's window geometry (SetWindowConfig).
 type Store struct {
-	cfg    core.Config
+	cfg core.Config
+
+	// winSlice/winSlices is the ring geometry a WindowAdd-created key
+	// gets. Set before serving (SetWindowConfig); read-only afterwards.
+	winSlice  time.Duration
+	winSlices int
+
 	shards [numShards]shard
 
 	// accs pools union accumulators for Count/Merge so the common
@@ -100,12 +119,30 @@ func NewStore(cfg core.Config) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg}
+	s := &Store{cfg: cfg, winSlice: defaultWindowSlice, winSlices: defaultWindowSlices}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*entry)
 	}
 	s.accs.New = func() any { return core.MustNew(cfg) }
 	return s, nil
+}
+
+// SetWindowConfig sets the slice duration and slice count a WindowAdd
+// uses when it creates a new windowed key (existing keys keep their
+// geometry; serialized rings carry their own). The maximum queryable
+// window is slice·slices. Call before serving; SetWindowConfig is not
+// safe to call concurrently with commands.
+func (s *Store) SetWindowConfig(slice time.Duration, slices int) error {
+	if _, err := window.New(s.cfg, slice, slices); err != nil {
+		return err
+	}
+	s.winSlice, s.winSlices = slice, slices
+	return nil
+}
+
+// WindowConfig returns the ring geometry WindowAdd-created keys get.
+func (s *Store) WindowConfig() (slice time.Duration, slices int) {
+	return s.winSlice, s.winSlices
 }
 
 func shardIndex(key string) int {
@@ -139,7 +176,24 @@ func (s *Store) lookupBytes(key []byte) *entry {
 	return e
 }
 
-func (s *Store) getOrCreate(key string) *entry {
+// newValue constructs an empty value of the given type with the
+// store's defaults.
+func (s *Store) newValue(tag byte) SketchValue {
+	if tag == valueTagWindow {
+		c, err := window.New(s.cfg, s.winSlice, s.winSlices)
+		if err != nil {
+			panic(err) // unreachable: cfg and geometry validated up front
+		}
+		return &windowValue{c: c}
+	}
+	return &ellValue{sk: core.MustNew(s.cfg)}
+}
+
+// getOrCreate returns the live entry for key, creating it with an
+// empty value of the given type when absent. A concurrent creation of
+// the same key with another type wins the usual way — first in; the
+// loser's command then fails its type check.
+func (s *Store) getOrCreate(key string, tag byte) *entry {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
 	e := sh.m[key]
@@ -152,12 +206,12 @@ func (s *Store) getOrCreate(key string) *entry {
 	if e = sh.m[key]; e != nil {
 		return e
 	}
-	e = &entry{sk: core.MustNew(s.cfg)}
+	e = &entry{val: s.newValue(tag)}
 	sh.m[key] = e
 	return e
 }
 
-func (s *Store) getOrCreateBytes(key []byte) *entry {
+func (s *Store) getOrCreateBytes(key []byte, tag byte) *entry {
 	sh := s.shardOfBytes(key)
 	sh.mu.RLock()
 	e := sh.m[string(key)]
@@ -170,7 +224,7 @@ func (s *Store) getOrCreateBytes(key []byte) *entry {
 	if e = sh.m[string(key)]; e != nil {
 		return e
 	}
-	e = &entry{sk: core.MustNew(s.cfg)}
+	e = &entry{val: s.newValue(tag)}
 	sh.m[string(key)] = e
 	return e
 }
@@ -185,56 +239,172 @@ func (s *Store) getAcc() *core.Sketch {
 
 // Add inserts elements into the sketch at key, creating it if needed.
 // It returns true if any insertion changed the sketch state (the Redis
-// PFADD convention).
-func (s *Store) Add(key string, elements ...string) bool {
+// PFADD convention). A key holding another value type is ErrWrongType.
+func (s *Store) Add(key string, elements ...string) (bool, error) {
 	for {
-		e := s.getOrCreate(key)
+		e := s.getOrCreate(key, valueTagEll)
 		e.mu.Lock()
 		if e.dead {
 			e.mu.Unlock()
 			continue // deleted between lookup and lock; re-create
 		}
-		before := e.sk.StateChanges()
-		for _, el := range elements {
-			e.sk.AddString(el)
+		sk, err := e.ellLocked()
+		if err != nil {
+			e.mu.Unlock()
+			return false, fmt.Errorf("server: add %q: %w", key, err)
 		}
-		changed := e.sk.StateChanges() != before
+		before := sk.StateChanges()
+		for _, el := range elements {
+			sk.AddString(el)
+		}
+		changed := sk.StateChanges() != before
 		if changed {
 			e.ver++
 		}
 		e.mu.Unlock()
-		return changed
+		return changed, nil
 	}
 }
 
 // AddBytes is Add with byte-slice key and elements; it allocates nothing
 // once the key exists, which makes it the server's PFADD fast path. The
 // slices are not retained.
-func (s *Store) AddBytes(key []byte, elements [][]byte) bool {
+func (s *Store) AddBytes(key []byte, elements [][]byte) (bool, error) {
 	for {
-		e := s.getOrCreateBytes(key)
+		e := s.getOrCreateBytes(key, valueTagEll)
 		e.mu.Lock()
 		if e.dead {
 			e.mu.Unlock()
 			continue
 		}
-		before := e.sk.StateChanges()
-		for _, el := range elements {
-			e.sk.Add(el)
+		sk, err := e.ellLocked()
+		if err != nil {
+			e.mu.Unlock()
+			return false, fmt.Errorf("server: add %q: %w", key, err)
 		}
-		changed := e.sk.StateChanges() != before
+		before := sk.StateChanges()
+		for _, el := range elements {
+			sk.Add(el)
+		}
+		changed := sk.StateChanges() != before
 		if changed {
 			e.ver++
 		}
 		e.mu.Unlock()
-		return changed
+		return changed, nil
 	}
 }
 
-// mergeInto folds e's sketch into *acc under e's lock. When the configs
-// match — the overwhelmingly common case — the merge happens in place
-// with no allocation. Otherwise the sketch is cloned out and aligned
-// via MergeCompatible: if *acc is still the untouched pooled
+// WindowAdd inserts elements observed at ts into the windowed counter
+// at key, creating it (with the store's window geometry) if needed. It
+// returns how many of the elements were accepted — the rest were older
+// than the ring span and are counted in the ring's Dropped statistic,
+// observable through WINFO. A key holding another value type is
+// ErrWrongType.
+func (s *Store) WindowAdd(key string, ts time.Time, elements ...string) (int, error) {
+	for {
+		e := s.getOrCreate(key, valueTagWindow)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		c, err := e.windowLocked()
+		if err != nil {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("server: window add %q: %w", key, err)
+		}
+		before := c.Dropped()
+		for _, el := range elements {
+			c.AddString(ts, el)
+		}
+		accepted := len(elements) - int(c.Dropped()-before)
+		e.ver++
+		e.mu.Unlock()
+		return accepted, nil
+	}
+}
+
+// WindowAddBytes is WindowAdd with byte-slice key and elements and a
+// unix-millisecond timestamp — the server's WADD fast path. The slices
+// are not retained.
+func (s *Store) WindowAddBytes(key []byte, tsMillis int64, elements [][]byte) (int, error) {
+	ts := time.UnixMilli(tsMillis)
+	for {
+		e := s.getOrCreateBytes(key, valueTagWindow)
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			continue
+		}
+		c, err := e.windowLocked()
+		if err != nil {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("server: window add %q: %w", key, err)
+		}
+		before := c.Dropped()
+		for _, el := range elements {
+			c.Add(ts, el)
+		}
+		accepted := len(elements) - int(c.Dropped()-before)
+		e.ver++
+		e.mu.Unlock()
+		return accepted, nil
+	}
+}
+
+// WindowCount estimates the number of distinct elements the windowed
+// counter at key observed in (now-win, now]. A zero now means the
+// counter's own newest observed timestamp — the deterministic default
+// for clockless callers. A missing key counts 0; a key holding another
+// value type is ErrWrongType.
+func (s *Store) WindowCount(key string, win time.Duration, now time.Time) (float64, error) {
+	e := s.lookup(key)
+	if e == nil {
+		return 0, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return 0, nil
+	}
+	c, err := e.windowLocked()
+	if err != nil {
+		return 0, fmt.Errorf("server: window count %q: %w", key, err)
+	}
+	if now.IsZero() {
+		now = c.Latest()
+		if now.IsZero() {
+			return 0, nil // nothing observed yet
+		}
+	}
+	return c.Estimate(now, win), nil
+}
+
+// WindowInfo describes the windowed counter at key (the WINFO reply
+// body, including the Dropped statistic); ok is false if the key is
+// missing. A key holding another value type is ErrWrongType.
+func (s *Store) WindowInfo(key string) (info string, ok bool, err error) {
+	e := s.lookup(key)
+	if e == nil {
+		return "", false, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return "", false, nil
+	}
+	c, err := e.windowLocked()
+	if err != nil {
+		return "", false, fmt.Errorf("server: window info %q: %w", key, err)
+	}
+	return c.Describe(), true, nil
+}
+
+// mergeInto folds e's plain sketch into *acc under e's lock. When the
+// configs match — the overwhelmingly common case — the merge happens in
+// place with no allocation. Otherwise the sketch is cloned out and
+// aligned via MergeCompatible: if *acc is still the untouched pooled
 // accumulator (*found false) the clone simply becomes the accumulator
 // (preserving, e.g., counting a lone foreign-t key); else both are
 // reduced to common parameters. *pooled tracks whether *acc still is
@@ -245,8 +415,13 @@ func (s *Store) mergeInto(acc **core.Sketch, pooled, found *bool, e *entry) erro
 		e.mu.Unlock()
 		return nil // concurrently deleted: contributes nothing
 	}
-	if e.sk.Config() == (*acc).Config() {
-		err := (*acc).Merge(e.sk)
+	sk, err := e.ellLocked()
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	if sk.Config() == (*acc).Config() {
+		err := (*acc).Merge(sk)
 		e.mu.Unlock()
 		if err != nil {
 			return err // unreachable: identical configs
@@ -254,7 +429,7 @@ func (s *Store) mergeInto(acc **core.Sketch, pooled, found *bool, e *entry) erro
 		*found = true
 		return nil
 	}
-	clone := e.sk.Clone()
+	clone := sk.Clone()
 	e.mu.Unlock()
 	if !*found {
 		if *pooled {
@@ -278,7 +453,8 @@ func (s *Store) mergeInto(acc **core.Sketch, pooled, found *bool, e *entry) erro
 }
 
 // Count estimates the number of distinct elements in the union of the
-// sketches at the given keys. Missing keys contribute nothing. Keys
+// sketches at the given keys. Missing keys contribute nothing; a
+// windowed key is ErrWrongType (query those with WindowCount). Keys
 // with the store's configuration are merged in place into one reusable
 // accumulator (no per-key allocation); keys with other configurations
 // are aligned via reduction when they share t.
@@ -287,7 +463,11 @@ func (s *Store) Count(keys ...string) (float64, error) {
 		// Hot-key fast path: a single-key count needs no union at all,
 		// and the per-entry cache makes a repeated count O(1).
 		if e := s.lookup(keys[0]); e != nil {
-			if v, ok := e.estimate(); ok {
+			v, ok, err := e.estimateEll()
+			if err != nil {
+				return 0, fmt.Errorf("server: count %q: %w", keys[0], err)
+			}
+			if ok {
 				return v, nil
 			}
 		}
@@ -319,7 +499,11 @@ func (s *Store) Count(keys ...string) (float64, error) {
 func (s *Store) CountBytes(keys [][]byte) (float64, error) {
 	if len(keys) == 1 {
 		if e := s.lookupBytes(keys[0]); e != nil {
-			if v, ok := e.estimate(); ok {
+			v, ok, err := e.estimateEll()
+			if err != nil {
+				return 0, fmt.Errorf("server: count %q: %w", keys[0], err)
+			}
+			if ok {
 				return v, nil
 			}
 		}
@@ -349,7 +533,8 @@ func (s *Store) CountBytes(keys [][]byte) (float64, error) {
 // Merge stores the union of the source keys' sketches at dest (which may
 // itself be one of the sources, and is created if absent). The union is
 // accumulated without holding dest's lock and then folded into dest in
-// place, so a write racing the merge is never lost.
+// place, so a write racing the merge is never lost. Windowed keys —
+// sources or dest — are ErrWrongType.
 func (s *Store) Merge(dest string, sources ...string) error {
 	acc, pooled, found := s.getAcc(), true, false
 	defer func() {
@@ -374,19 +559,23 @@ func (s *Store) Merge(dest string, sources ...string) error {
 			_, err := core.MergeCompatible(core.MustNew(s.cfg), acc)
 			return fmt.Errorf("server: merge %q: %w", dest, err)
 		}
-		e := s.getOrCreate(dest)
+		e := s.getOrCreate(dest, valueTagEll)
 		e.mu.Lock()
 		if e.dead {
 			e.mu.Unlock()
 			continue
 		}
-		var err error
-		if e.sk.Config() == acc.Config() {
-			err = e.sk.Merge(acc)
+		sk, err := e.ellLocked()
+		if err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("server: merge %q: %w", dest, err)
+		}
+		if sk.Config() == acc.Config() {
+			err = sk.Merge(acc)
 		} else {
 			var merged *core.Sketch
-			if merged, err = core.MergeCompatible(e.sk, acc); err == nil {
-				e.sk = merged
+			if merged, err = core.MergeCompatible(sk, acc); err == nil {
+				e.val = &ellValue{sk: merged}
 			}
 		}
 		if err != nil {
@@ -431,7 +620,10 @@ func (s *Store) Keys() []string {
 	return keys
 }
 
-// Dump serializes the sketch at key; ok is false if the key is missing.
+// Dump serializes the value at key; ok is false if the key is missing.
+// Plain sketches keep the raw core format; windowed keys serialize
+// slot-wise (see the window package), so a scatter-gather reader can
+// merge rings instead of collapsed sketches.
 func (s *Store) Dump(key string) (data []byte, ok bool) {
 	e := s.lookup(key)
 	if e == nil {
@@ -442,63 +634,54 @@ func (s *Store) Dump(key string) (data []byte, ok bool) {
 	if e.dead {
 		return nil, false
 	}
-	data, err := e.sk.MarshalBinary()
+	data, err := e.val.MarshalBinary()
 	if err != nil {
-		return nil, false // unreachable: MarshalBinary cannot fail
+		return nil, false // unreachable: value marshaling cannot fail
 	}
 	return data, true
 }
 
-// Restore replaces the sketch at key with the serialized sketch data
-// (produced by Dump or any exaloglog MarshalBinary).
+// Restore replaces the value at key with the serialized value data
+// (produced by Dump or any exaloglog/window MarshalBinary). The blob's
+// own magic selects the value type, so Restore may change a key's type.
 func (s *Store) Restore(key string, data []byte) error {
-	sk, err := core.FromBinary(data)
+	val, err := decodeValue(data)
 	if err != nil {
 		return err
 	}
 	for {
-		e := s.getOrCreate(key)
+		e := s.getOrCreate(key, val.Tag())
 		e.mu.Lock()
 		if e.dead {
 			e.mu.Unlock()
 			continue
 		}
-		e.sk = sk
+		e.val = val
 		e.ver++
 		e.mu.Unlock()
 		return nil
 	}
 }
 
-// MergeBlob merges a serialized sketch into the sketch at key, creating
+// MergeBlob merges a serialized value into the value at key, creating
 // the key if absent. Unlike Restore it never discards existing state,
 // which makes it idempotent and safe to re-send — the property cluster
 // replication and rebalance rely on (paper Section 1: merging is
-// commutative and idempotent).
+// commutative and idempotent). Windowed blobs merge slot-wise. A
+// type mismatch against a non-empty existing value is ErrWrongType.
 func (s *Store) MergeBlob(key string, data []byte) error {
-	in, err := core.FromBinary(data)
+	in, err := decodeValue(data)
 	if err != nil {
 		return err
 	}
 	for {
-		e := s.getOrCreate(key)
+		e := s.getOrCreate(key, in.Tag())
 		e.mu.Lock()
 		if e.dead {
 			e.mu.Unlock()
 			continue
 		}
-		if e.sk.IsEmpty() && e.sk.Config() != in.Config() {
-			// Freshly created (or still empty) entry: adopt the incoming
-			// sketch's configuration, as a missing-key MergeBlob always has.
-			e.sk = in
-		} else if e.sk.Config() == in.Config() {
-			err = e.sk.Merge(in)
-		} else {
-			var merged *core.Sketch
-			if merged, err = core.MergeCompatible(e.sk, in); err == nil {
-				e.sk = merged
-			}
-		}
+		err := s.mergeValueLocked(e, in)
 		if err != nil {
 			e.mu.Unlock()
 			return fmt.Errorf("server: merge blob into %q: %w", key, err)
@@ -509,8 +692,43 @@ func (s *Store) MergeBlob(key string, data []byte) error {
 	}
 }
 
-// DumpAll serializes every sketch in the store, keyed by name. Each
-// blob is a consistent snapshot of its sketch; the set of keys is
+// mergeValueLocked folds the decoded value in into e's value; e.mu held.
+func (s *Store) mergeValueLocked(e *entry, in SketchValue) error {
+	if e.val.empty() {
+		// Freshly created (or still empty) entry: adopt the incoming
+		// value wholesale — its type, configuration and geometry — as a
+		// missing-key MergeBlob always has.
+		e.val = in
+		return nil
+	}
+	switch inv := in.(type) {
+	case *ellValue:
+		cur, err := e.ellLocked()
+		if err != nil {
+			return err
+		}
+		if cur.Config() == inv.sk.Config() {
+			return cur.Merge(inv.sk)
+		}
+		merged, err := core.MergeCompatible(cur, inv.sk)
+		if err != nil {
+			return err
+		}
+		e.val = &ellValue{sk: merged}
+		return nil
+	case *windowValue:
+		cur, err := e.windowLocked()
+		if err != nil {
+			return err
+		}
+		return cur.Merge(inv.c)
+	default:
+		return fmt.Errorf("unknown value type %T", in)
+	}
+}
+
+// DumpAll serializes every value in the store, keyed by name. Each
+// blob is a consistent snapshot of its value; the set of keys is
 // gathered shard by shard, so keys created or deleted mid-call may or
 // may not appear.
 func (s *Store) DumpAll() map[string][]byte {
@@ -522,11 +740,13 @@ func (s *Store) DumpAll() map[string][]byte {
 	return out
 }
 
-// TaggedBlob is a serialized sketch plus an opaque token identifying
+// TaggedBlob is a serialized value plus an opaque token identifying
 // the exact state that was dumped; DeleteIfUnchanged uses the token to
-// delete a key only if nothing mutated it after the dump.
+// delete a key only if nothing mutated it after the dump. Type carries
+// the value's type tag (snapshot v3 uses it).
 type TaggedBlob struct {
 	Blob []byte
+	Type byte
 	e    *entry // identity: Restore swaps entries only via death+recreate
 	ver  uint64 // entry version at dump time: every mutation bumps it
 }
@@ -555,18 +775,19 @@ func (s *Store) DumpAllTagged() map[string]TaggedBlob {
 			ne.e.mu.Unlock()
 			continue
 		}
-		blob, err := ne.e.sk.MarshalBinary()
+		blob, err := ne.e.val.MarshalBinary()
+		tag := ne.e.val.Tag()
 		ver := ne.e.ver
 		ne.e.mu.Unlock()
 		if err != nil {
-			continue // unreachable: MarshalBinary cannot fail
+			continue // unreachable: value marshaling cannot fail
 		}
-		out[ne.key] = TaggedBlob{Blob: blob, e: ne.e, ver: ver}
+		out[ne.key] = TaggedBlob{Blob: blob, Type: tag, e: ne.e, ver: ver}
 	}
 	return out
 }
 
-// DeleteIfUnchanged removes key only if its sketch is still exactly the
+// DeleteIfUnchanged removes key only if its value is still exactly the
 // state t captured — no insertion, merge or restore landed since. It
 // reports whether the key is gone (a key already absent counts). A
 // false return means new data arrived after the dump; the caller must
@@ -617,7 +838,10 @@ func (s *Store) Meta() []byte {
 	return append([]byte(nil), s.meta...)
 }
 
-// Info describes the sketch at key; ok is false if the key is missing.
+// Info describes the value at key; ok is false if the key is missing.
+// The rendering is value-typed: plain sketches report their
+// configuration and estimate, windowed keys their ring geometry,
+// Dropped statistic and full-span estimate.
 func (s *Store) Info(key string) (info string, ok bool) {
 	e := s.lookup(key)
 	if e == nil {
@@ -628,9 +852,7 @@ func (s *Store) Info(key string) (info string, ok bool) {
 	if e.dead {
 		return "", false
 	}
-	cfg := e.sk.Config()
-	return fmt.Sprintf("t=%d d=%d p=%d bytes=%d estimate=%.1f",
-		cfg.T, cfg.D, cfg.P, e.sk.SizeBytes(), e.sk.Estimate()), true
+	return e.val.Info(), true
 }
 
 // Len returns the number of keys.

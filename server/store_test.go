@@ -135,10 +135,13 @@ func TestStoreAddBytesMatchesAdd(t *testing.T) {
 	el := make([]byte, 0, 16)
 	for i := 0; i < 1000; i++ {
 		s := fmt.Sprintf("el-%04d", i)
-		changed := a.Add("k", s)
+		changed, err := a.Add("k", s)
+		if err != nil {
+			t.Fatal(err)
+		}
 		el = append(el[:0], s...)
-		if got := b.AddBytes(key, [][]byte{el}); got != changed {
-			t.Fatalf("AddBytes(%q) changed = %v, Add = %v", s, got, changed)
+		if got, err := b.AddBytes(key, [][]byte{el}); err != nil || got != changed {
+			t.Fatalf("AddBytes(%q) changed = %v (%v), Add = %v", s, got, err, changed)
 		}
 		// Scribble over the reused slices; the store must not care.
 		for j := range el {

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"exaloglog/internal/core"
+	"exaloglog/window"
+)
+
+// SketchValue is the polymorphic value a store key holds. The store's
+// machinery — sharded buckets, the per-entry lock and version counter,
+// the cached estimate, snapshot and rebalance plumbing — is shared
+// across implementations; only the value semantics differ:
+//
+//   - ellValue: a plain ExaLogLog sketch, the value PFADD / PFCOUNT /
+//     PFMERGE operate on.
+//   - windowValue: a sliding-window slice-ring of sketches
+//     (window.Counter), the value WADD / WCOUNT / WINFO operate on —
+//     the paper's port-scan/DDoS motivation served as a data-store
+//     command.
+//
+// Commands are typed: addressing a key with a verb of the other value
+// type fails with ErrWrongType rather than silently corrupting state
+// (the Redis WRONGTYPE convention). Adding a new workload means adding
+// an implementation here and registering its verbs in the command
+// registry — no dispatch or persistence changes.
+type SketchValue interface {
+	// Tag identifies the value type in snapshot v3 records.
+	Tag() byte
+	// Estimate is the value's headline distinct-count estimate (plain:
+	// the sketch estimate; windowed: the full-span estimate at the
+	// newest observed timestamp).
+	Estimate() float64
+	// MarshalBinary serializes the value. Plain sketches keep the raw
+	// core format, so pre-existing DUMP consumers are unaffected;
+	// window rings use the self-describing "ELW1" slot-wise format.
+	MarshalBinary() ([]byte, error)
+	// Info renders the INFO reply body.
+	Info() string
+	// empty reports whether the value carries no observed state yet (a
+	// just-created value a replication blob of any type may overwrite).
+	empty() bool
+}
+
+// Value type tags, as written in snapshot v3 records.
+const (
+	valueTagEll    = byte('E')
+	valueTagWindow = byte('W')
+)
+
+// ellValue adapts *core.Sketch to SketchValue.
+type ellValue struct {
+	sk *core.Sketch
+}
+
+func (v *ellValue) Tag() byte                      { return valueTagEll }
+func (v *ellValue) Estimate() float64              { return v.sk.Estimate() }
+func (v *ellValue) MarshalBinary() ([]byte, error) { return v.sk.MarshalBinary() }
+func (v *ellValue) empty() bool                    { return v.sk.IsEmpty() }
+
+func (v *ellValue) Info() string {
+	cfg := v.sk.Config()
+	return fmt.Sprintf("t=%d d=%d p=%d bytes=%d estimate=%.1f",
+		cfg.T, cfg.D, cfg.P, v.sk.SizeBytes(), v.sk.Estimate())
+}
+
+// windowValue adapts *window.Counter to SketchValue.
+type windowValue struct {
+	c *window.Counter
+}
+
+func (v *windowValue) Tag() byte                      { return valueTagWindow }
+func (v *windowValue) Estimate() float64              { return v.c.Estimate(v.c.Latest(), v.c.Span()) }
+func (v *windowValue) MarshalBinary() ([]byte, error) { return v.c.MarshalBinary() }
+func (v *windowValue) empty() bool                    { return v.c.Latest().IsZero() && v.c.Dropped() == 0 }
+
+func (v *windowValue) Info() string {
+	return "type=window " + v.c.Describe()
+}
+
+// decodeValue reconstructs a SketchValue from a serialized blob,
+// dispatching on the blob's own magic: "ELW1" is a window ring,
+// anything else is handed to the core sketch decoder. This is what
+// keeps RESTORE, ABSORB and snapshot blobs polymorphic without a wire
+// change — every value format is self-describing.
+func decodeValue(data []byte) (SketchValue, error) {
+	if window.IsSerialized(data) {
+		c, err := window.FromBinary(data)
+		if err != nil {
+			return nil, err
+		}
+		return &windowValue{c: c}, nil
+	}
+	sk, err := core.FromBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	return &ellValue{sk: sk}, nil
+}
+
+// decodeValueTagged is decodeValue for snapshot v3 records, where the
+// expected type travels beside the blob; a tag/blob mismatch is
+// corruption and must fail loudly.
+func decodeValueTagged(tag byte, data []byte) (SketchValue, error) {
+	switch tag {
+	case valueTagEll:
+		sk, err := core.FromBinary(data)
+		if err != nil {
+			return nil, err
+		}
+		return &ellValue{sk: sk}, nil
+	case valueTagWindow:
+		c, err := window.FromBinary(data)
+		if err != nil {
+			return nil, err
+		}
+		return &windowValue{c: c}, nil
+	default:
+		return nil, fmt.Errorf("unknown value type tag %q", tag)
+	}
+}
+
+// ellLocked returns the entry's plain sketch; the caller holds e.mu.
+func (e *entry) ellLocked() (*core.Sketch, error) {
+	v, ok := e.val.(*ellValue)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	return v.sk, nil
+}
+
+// windowLocked returns the entry's window counter; the caller holds e.mu.
+func (e *entry) windowLocked() (*window.Counter, error) {
+	v, ok := e.val.(*windowValue)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	return v.c, nil
+}
+
+// Window-key creation defaults: 1-second slices, 60 of them — a
+// one-minute maximum window at one-second edge granularity.
+const (
+	defaultWindowSlice  = time.Second
+	defaultWindowSlices = 60
+)

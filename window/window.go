@@ -15,6 +15,7 @@ package window
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"exaloglog/internal/core"
@@ -35,6 +36,7 @@ type Counter struct {
 	slice    time.Duration
 	slots    []slot
 	maxIndex int64 // newest slice index seen so far
+	latest   int64 // newest timestamp seen, unix nanoseconds (0 = none)
 	dropped  uint64
 }
 
@@ -73,6 +75,23 @@ func (c *Counter) SliceDuration() time.Duration { return c.slice }
 // timestamp was older than the ring span.
 func (c *Counter) Dropped() uint64 { return c.dropped }
 
+// Config returns the sketch configuration the counter's slices use.
+func (c *Counter) Config() core.Config { return c.cfg }
+
+// NumSlices returns the number of slices in the ring.
+func (c *Counter) NumSlices() int { return len(c.slots) }
+
+// Latest returns the newest timestamp any insertion carried (the
+// counter's logical "now" — useful as the default query time for
+// deterministic, clockless callers). The zero time means no insertion
+// has been seen.
+func (c *Counter) Latest() time.Time {
+	if c.latest == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, c.latest)
+}
+
 // MemoryFootprint returns the approximate total in-memory size in bytes.
 func (c *Counter) MemoryFootprint() int {
 	per := c.slots[0].sketch.MemoryFootprint()
@@ -99,9 +118,32 @@ func (c *Counter) AddUint64(ts time.Time, element uint64) {
 	c.AddHash(ts, hashing.Wy64Uint64(element, 0))
 }
 
+// maxUnixSec bounds the timestamps a Counter can represent: UnixNano —
+// which slice indexing and Latest are built on — is only defined for
+// seconds in roughly ±292 years around 1970; beyond that the
+// conversion WRAPS, which would either panic the slot arithmetic
+// (wrap-negative) or poison the ring with a far-future maxIndex that
+// silently drops all real traffic (wrap-positive).
+const maxUnixSec = int64(math.MaxInt64 / int64(time.Second))
+
 // AddHash inserts an element by its 64-bit hash, observed at ts.
 func (c *Counter) AddHash(ts time.Time, h uint64) {
+	if sec := ts.Unix(); sec <= -maxUnixSec || sec >= maxUnixSec {
+		// Outside UnixNano's defined range: unrepresentable. Timestamps
+		// arrive from the wire, so this is load-bearing, not defensive.
+		c.dropped++
+		return
+	}
 	idx := c.sliceIndex(ts)
+	if idx < 0 {
+		// Pre-epoch: representable as a time, not as a ring slice (a
+		// negative modulus would index out of range).
+		c.dropped++
+		return
+	}
+	if ns := ts.UnixNano(); ns > c.latest {
+		c.latest = ns
+	}
 	if idx > c.maxIndex {
 		c.maxIndex = idx
 	} else if c.maxIndex-idx >= int64(len(c.slots)) {
@@ -120,6 +162,70 @@ func (c *Counter) AddHash(ts time.Time, h uint64) {
 		s.index = idx
 	}
 	s.sketch.AddHash(h)
+}
+
+// Merge folds other into c slot-wise: slices with the same index merge
+// their sketches losslessly and newer slices advance the ring. Slices
+// already older than the merged ring's span are skipped silently —
+// they are expired data no queryable window could see, not dropped
+// inserts. Dropped resolves to the MAX of the two counters, not the
+// sum: replicas of one stream drop the same inserts, and taking the
+// max is what keeps the whole merge idempotent — re-merging the same
+// ring (a replication retry, an anti-entropy re-send) changes nothing,
+// the property cluster rebalance relies on. (The cost: merging rings
+// of genuinely disjoint streams under-reports their combined drops;
+// Dropped is a diagnostic, idempotency is an invariant.) Both counters
+// must share the sketch configuration, slice duration and slice count.
+// Merging is commutative and idempotent at the slice level, which is
+// what lets distributed collectors ship whole windows instead of raw
+// events.
+func (c *Counter) Merge(other *Counter) error {
+	if c.cfg != other.cfg {
+		return fmt.Errorf("window: merge of different sketch configurations %+v and %+v", c.cfg, other.cfg)
+	}
+	if c.slice != other.slice || len(c.slots) != len(other.slots) {
+		return fmt.Errorf("window: merge of different ring geometries %v×%d and %v×%d",
+			c.slice, len(c.slots), other.slice, len(other.slots))
+	}
+	for i := range other.slots {
+		s := &other.slots[i]
+		if s.index < 0 {
+			continue
+		}
+		c.mergeSlice(s.index, s.sketch)
+	}
+	if other.latest > c.latest {
+		c.latest = other.latest
+	}
+	if other.dropped > c.dropped {
+		c.dropped = other.dropped
+	}
+	return nil
+}
+
+// mergeSlice folds one slice sketch into the ring at slice index idx,
+// with the same advance rules as AddHash; expired slices are skipped
+// without touching Dropped (see Merge).
+func (c *Counter) mergeSlice(idx int64, sk *core.Sketch) {
+	if idx < 0 {
+		return // in-memory rings and the decoder only hold idx >= 0; defensive
+	}
+	if idx > c.maxIndex {
+		c.maxIndex = idx
+	} else if c.maxIndex-idx >= int64(len(c.slots)) {
+		return // already expired in the merged ring
+	}
+	s := &c.slots[int(idx%int64(len(c.slots)))]
+	if s.index != idx {
+		if s.index > idx {
+			return // the slot holds a newer slice (defensive; see AddHash)
+		}
+		s.sketch.Reset()
+		s.index = idx
+	}
+	if err := s.sketch.Merge(sk); err != nil {
+		panic(err) // unreachable: configurations checked by Merge
+	}
 }
 
 // Estimate returns the approximate number of distinct elements observed in

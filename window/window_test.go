@@ -110,6 +110,161 @@ func TestLateArrivals(t *testing.T) {
 	}
 }
 
+// TestRingSpanBoundary pins the out-of-order acceptance boundary: with
+// the newest slice at index N in an S-slice ring, an element at slice
+// N-(S-1) is the oldest representable one and must land in its slot,
+// while an element exactly one slice older — distance S, precisely the
+// ring span — must be dropped and counted, never wrap around into a
+// live slot and pollute a fresh slice.
+func TestRingSpanBoundary(t *testing.T) {
+	const slices = 4
+	c := newCounter(t, 8, time.Second, slices)
+	now := t0.Add(100 * time.Second)
+	c.AddUint64(now, 1)
+
+	// Distance slices-1: the oldest in-span slice. Accepted.
+	oldest := now.Add(-(slices - 1) * time.Second)
+	c.AddUint64(oldest, 2)
+	if c.Dropped() != 0 {
+		t.Fatalf("element at ring-span edge (distance %d slices) dropped", slices-1)
+	}
+	if got := c.Estimate(now, slices*time.Second); math.Abs(got-2) > 0.5 {
+		t.Errorf("full-span estimate %.2f after edge insert, want ≈2", got)
+	}
+
+	// Distance slices: exactly the ring span. Dropped, and the slot it
+	// would wrap onto (now's own slot) must be untouched.
+	atSpan := now.Add(-slices * time.Second)
+	c.AddUint64(atSpan, 3)
+	if c.Dropped() != 1 {
+		t.Fatalf("Dropped = %d after an exactly-span-old insert, want 1", c.Dropped())
+	}
+	if got := c.Estimate(now, time.Second); math.Abs(got-1) > 0.5 {
+		t.Errorf("newest-slice estimate %.2f — the dropped element wrapped into a live slot", got)
+	}
+
+	// The boundary moves with the ring: once the newest slice advances,
+	// the previously-oldest representable slice falls exactly at the
+	// span and is dropped on arrival.
+	c.AddUint64(now.Add(time.Second), 4)
+	c.AddUint64(oldest, 5) // distance is now exactly `slices` again
+	if c.Dropped() != 2 {
+		t.Errorf("Dropped = %d after the boundary advanced, want 2", c.Dropped())
+	}
+}
+
+// TestPreEpochTimestampIsDroppedNotPanic: timestamps before the unix
+// epoch (or so large the nanosecond conversion overflows negative)
+// yield a negative slice index; they must be counted as dropped, never
+// reach the slot arithmetic (a negative modulus would index out of
+// range), and never move Latest. Timestamps arrive from the wire, so
+// this is reachable by any client.
+func TestPreEpochTimestampIsDroppedNotPanic(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	hostile := []time.Time{
+		time.Unix(-5, 0),                       // pre-epoch
+		time.Unix(0, -5_000_000_000),           // negative nanoseconds
+		time.UnixMilli(-9_000_000_000_000),     // far pre-epoch
+		time.UnixMilli(9_000_000_000_000_000),  // UnixNano overflow
+		time.UnixMilli(-9_000_000_000_000_000), // overflow that wraps POSITIVE — must not poison maxIndex
+	}
+	for _, ts := range hostile {
+		c.AddUint64(ts, 1)
+	}
+	if got := c.Dropped(); got != uint64(len(hostile)) {
+		t.Errorf("Dropped = %d for %d unrepresentable timestamps, want all dropped", got, len(hostile))
+	}
+	if !c.Latest().IsZero() {
+		t.Errorf("unrepresentable timestamps moved Latest to %v", c.Latest())
+	}
+	c.AddUint64(t0, 2) // the counter still works normally afterwards
+	if got := c.Estimate(t0, time.Second); math.Abs(got-1) > 0.5 {
+		t.Errorf("estimate %.2f after recovery, want ≈1", got)
+	}
+}
+
+// TestLatestTracksNewestTimestamp: Latest is the counter's logical
+// "now" — it advances with the newest insert, ignores older ones, and
+// starts at the zero time.
+func TestLatestTracksNewestTimestamp(t *testing.T) {
+	c := newCounter(t, 8, time.Second, 4)
+	if !c.Latest().IsZero() {
+		t.Fatalf("fresh counter Latest = %v, want zero", c.Latest())
+	}
+	c.AddUint64(t0, 1)
+	c.AddUint64(t0.Add(-time.Second), 2) // older: must not move Latest back
+	if got := c.Latest(); !got.Equal(t0) {
+		t.Errorf("Latest = %v, want %v", got, t0)
+	}
+	later := t0.Add(3 * time.Second)
+	c.AddUint64(later, 3)
+	if got := c.Latest(); !got.Equal(later) {
+		t.Errorf("Latest = %v, want %v", got, later)
+	}
+}
+
+// TestMergeCounters: merging one counter into another is exactly
+// replaying its insertions — same estimates per window, max Latest,
+// idempotent Dropped — and geometry or configuration mismatches are
+// errors.
+func TestMergeCounters(t *testing.T) {
+	a := newCounter(t, 10, time.Second, 6)
+	b := newCounter(t, 10, time.Second, 6)
+	ref := newCounter(t, 10, time.Second, 6)
+	state := uint64(42)
+	for s := 0; s < 6; s++ {
+		ts := t0.Add(time.Duration(s) * time.Second)
+		for i := 0; i < 300; i++ {
+			h := hashing.SplitMix64(&state)
+			ref.AddHash(ts, h)
+			if (s+i)%2 == 0 {
+				a.AddHash(ts, h)
+			} else {
+				b.AddHash(ts, h)
+			}
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(5 * time.Second)
+	for w := 1; w <= 6; w++ {
+		win := time.Duration(w) * time.Second
+		if got, want := a.Estimate(now, win), ref.Estimate(now, win); got != want {
+			t.Errorf("window %v: merged estimate %.2f != replayed %.2f (merge must be lossless)", win, got, want)
+		}
+	}
+	if !a.Latest().Equal(ref.Latest()) {
+		t.Errorf("merged Latest %v, want %v", a.Latest(), ref.Latest())
+	}
+
+	// Merge is idempotent, Dropped included: re-merging the same ring
+	// (a replication retry) must change nothing.
+	b.AddHash(t0.Add(-time.Hour), 99) // one genuine drop in b
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	wantDropped, wantEst := a.Dropped(), a.Estimate(now, a.Span())
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Dropped() != wantDropped {
+		t.Errorf("re-merge inflated Dropped %d → %d (must be idempotent)", wantDropped, a.Dropped())
+	}
+	if got := a.Estimate(now, a.Span()); got != wantEst {
+		t.Errorf("re-merge moved the estimate %v → %v", wantEst, got)
+	}
+
+	other, _ := New(core.Config{T: 2, D: 20, P: 8}, time.Second, 6)
+	if err := a.Merge(other); err == nil {
+		t.Error("merge across sketch configurations accepted")
+	}
+	geom := newCounter(t, 10, 2*time.Second, 6)
+	if err := a.Merge(geom); err == nil {
+		t.Error("merge across slice durations accepted")
+	}
+}
+
 // TestDuplicatesWithinWindow: re-inserting the same element in the same
 // slice never inflates the count.
 func TestDuplicatesWithinWindow(t *testing.T) {
