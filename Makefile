@@ -3,9 +3,9 @@
 GO ?= go
 
 # The serving-path benchmarks whose trajectory BENCH_serving.json tracks.
-SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFCount|BenchmarkDispatchWAdd|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount|BenchmarkClusterRoutedWAdd|BenchmarkClusterWindowCount|BenchmarkWindowInsert|BenchmarkWindowEstimate
+SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFAddInstrumented|BenchmarkDispatchPFCount|BenchmarkDispatchWAdd|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount|BenchmarkClusterRoutedWAdd|BenchmarkClusterWindowCount|BenchmarkWindowInsert|BenchmarkWindowEstimate
 
-.PHONY: build vet test race bench bench-smoke fuzz
+.PHONY: build vet test race bench bench-smoke loadtest fuzz
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,18 @@ bench:
 # does-it-still-run check, not a measurement. CI runs this non-blocking.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/ ./window/
+
+# loadtest is the cluster-level smoke: ell-loader boots 3 in-process
+# nodes, drives a mixed zipf workload for 30s, and the JSON result is
+# folded into BENCH_serving.json as a pkg "cluster-load" row (replacing
+# the previous row of the same shape). CI runs this non-blocking.
+loadtest:
+	$(GO) run ./cmd/ell-loader -self 3 -replicas 2 -conns 4 -depth 32 \
+		-duration 30s -warmup 2s -keys 1000 -dist zipf -out load.json
+	$(GO) run ./cmd/ell-benchjson -in BENCH_serving.json -load load.json </dev/null > BENCH_serving.json.tmp
+	mv BENCH_serving.json.tmp BENCH_serving.json
+	rm -f load.json
+	@echo folded cluster load row into BENCH_serving.json
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapDecode -fuzztime 30s ./cluster/

@@ -70,6 +70,11 @@ type gossipState struct {
 	cursor   int  // round-robin position for fanout target selection
 	needSync bool // a digest revealed a newer map triple; Sync next round
 
+	// suspectsRaised counts alive→suspect transitions in this node's
+	// own judgment (re-asserting an existing suspicion does not count)
+	// — the CLUSTER STATS suspects_raised counter.
+	suspectsRaised uint64
+
 	// evictedAt records auto-evictions (id → epoch of the eviction
 	// map), so a JOIN that brings the node back can tell it what
 	// happened. Records are seeded on the evicting coordinator and
@@ -203,8 +208,9 @@ func (n *Node) Gossip() []string {
 	// Timeout: a peer whose evidence stalled for SuspectAfter rounds is
 	// suspect in this node's own judgment.
 	for _, st := range g.peers {
-		if g.round-st.lastAlive >= uint64(g.cfg.SuspectAfter) {
+		if g.round-st.lastAlive >= uint64(g.cfg.SuspectAfter) && !st.suspectedBy[n.id] {
 			st.suspectedBy[n.id] = true
+			g.suspectsRaised++
 		}
 	}
 	digest := n.buildDigestLocked(m)
@@ -259,6 +265,7 @@ func (n *Node) Gossip() []string {
 			g.mu.Lock()
 			g.recordEvictionLocked(id, epoch)
 			g.mu.Unlock()
+			n.autoLeaves.Add(1)
 			evicted = append(evicted, id)
 		}
 	}

@@ -58,7 +58,8 @@ type Node struct {
 	srv   *server.Server
 	peers *pool
 
-	pushes atomic.Uint64 // cumulative rebalance ABSORB messages sent
+	pushes     atomic.Uint64 // cumulative rebalance ABSORB messages sent
+	autoLeaves atomic.Uint64 // quorum-backed evictions this node coordinated
 
 	// mutateMu serializes membership mutations coordinated BY THIS
 	// node (claim → mint → install → broadcast), so two JOINs arriving
@@ -1236,6 +1237,8 @@ func (n *Node) handleCluster(args []string) string {
 		return n.handleGossip(rest)
 	case "HEALTH":
 		return n.handleHealth()
+	case "STATS":
+		return n.handleClusterStats(rest)
 	case "REBALANCE":
 		if err := n.repair(); err != nil {
 			return "-ERR rebalance: " + err.Error()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"exaloglog/server"
 )
@@ -43,6 +44,13 @@ type pool struct {
 
 	bmu     sync.Mutex
 	batches map[string]*peerBatch
+
+	// mlGroups/mlBatches count the group-commit coalescing: how many
+	// per-key add groups went out, in how many MLPFADD flushes — the
+	// CLUSTER STATS mlpfadd_* counters (groups/batches is the average
+	// coalescing factor).
+	mlGroups  atomic.Uint64
+	mlBatches atomic.Uint64
 }
 
 func newPool() *pool {
@@ -208,6 +216,8 @@ func (p *pool) batchAdd(addr, key string, elements []string) (bool, error) {
 // outcome (the only per-group failure: a WRONGTYPE key) fails that
 // caller alone; the neighbors coalesced into the batch are unaffected.
 func (p *pool) flushAdds(addr string, batch []*addReq) {
+	p.mlBatches.Add(1)
+	p.mlGroups.Add(uint64(len(batch)))
 	size := 3
 	for _, r := range batch {
 		size += 2 + len(r.elements)

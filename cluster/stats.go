@@ -1,0 +1,115 @@
+package cluster
+
+// Cluster-level observability: the CLUSTER STATS verb and the
+// Prometheus rendering of the counters the cluster layer keeps on top
+// of the per-verb server stats — gossip rounds, suspicions raised,
+// auto-LEAVE evictions, MLPFADD group-commit coalescing, and rebalance
+// pushes. CLUSTER STATS ALL fans the same question out to every member
+// through the peer pool, which doubles as liveness evidence: a
+// metrics-polling operator keeps the failure detector fed (see
+// pool.alive).
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"exaloglog/server"
+)
+
+// ClusterStats is a snapshot of the cluster-layer counters of one node.
+// The server-level per-verb stats live in Node.Server().Stats().
+type ClusterStats struct {
+	GossipRounds   uint64 // detector rounds this node has run
+	SuspectsRaised uint64 // alive→suspect transitions in this node's own judgment
+	AutoLeaves     uint64 // quorum-backed evictions this node coordinated
+	MLPFAddGroups  uint64 // per-key add groups coalesced into MLPFADD batches
+	MLPFAddBatches uint64 // MLPFADD batches flushed
+	RebalPushes    uint64 // cumulative rebalance ABSORB messages sent
+}
+
+// StatsCounters returns a snapshot of this node's cluster-layer
+// counters.
+func (n *Node) StatsCounters() ClusterStats {
+	g := &n.gsp
+	g.mu.Lock()
+	rounds, raised := g.round, g.suspectsRaised
+	g.mu.Unlock()
+	return ClusterStats{
+		GossipRounds:   rounds,
+		SuspectsRaised: raised,
+		AutoLeaves:     n.autoLeaves.Load(),
+		MLPFAddGroups:  n.peers.mlGroups.Load(),
+		MLPFAddBatches: n.peers.mlBatches.Load(),
+		RebalPushes:    n.pushes.Load(),
+	}
+}
+
+// statsBody renders this node's CLUSTER STATS reply body (no type
+// sigil): a cluster-counter row, then the server's STATS rows. The rows
+// are newline-joined here and folded to "; " by the server's one-line
+// reply rule, so split on "; " to get them back.
+func (n *Node) statsBody() string {
+	c := n.StatsCounters()
+	return fmt.Sprintf(
+		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d\n%s",
+		n.id, c.GossipRounds, c.SuspectsRaised, c.AutoLeaves,
+		c.MLPFAddGroups, c.MLPFAddBatches, c.RebalPushes,
+		n.srv.StatsText())
+}
+
+// handleClusterStats serves CLUSTER STATS [ALL]: this node's cluster
+// counters plus its per-verb server stats, or — with ALL — every
+// member's, fetched through the peer pool (so the polls themselves feed
+// the failure detector) and newline-joined in member order. An
+// unreachable member contributes an err= row instead of failing the
+// whole reply: an operator polling stats mid-partition still wants the
+// reachable side.
+func (n *Node) handleClusterStats(rest []string) string {
+	switch {
+	case len(rest) == 0:
+		return "+" + n.statsBody()
+	case len(rest) == 1 && strings.EqualFold(rest[0], "ALL"):
+		members := n.currentMap().Members()
+		rows := make([]string, len(members))
+		var wg sync.WaitGroup
+		for i, mem := range members {
+			if mem.ID == n.id {
+				rows[i] = n.statsBody()
+				continue
+			}
+			wg.Add(1)
+			go func(i int, mem Member) {
+				defer wg.Done()
+				reply, err := n.peers.do(mem.Addr, "CLUSTER", "STATS")
+				if err != nil {
+					rows[i] = fmt.Sprintf("node=%s err=%q", mem.ID, err.Error())
+					return
+				}
+				rows[i] = reply
+			}(i, mem)
+		}
+		wg.Wait()
+		return "+" + strings.Join(rows, "\n")
+	default:
+		return "-ERR CLUSTER STATS takes at most one argument: ALL"
+	}
+}
+
+// WriteMetrics writes the node's cluster-layer counters in Prometheus
+// text exposition format. elld's /metrics listener emits this after the
+// server's per-verb metrics, so one scrape covers both layers.
+func (n *Node) WriteMetrics(w io.Writer) {
+	c := n.StatsCounters()
+	fmt.Fprintf(w, "# TYPE ell_cluster_gossip_rounds_total counter\nell_cluster_gossip_rounds_total %d\n", c.GossipRounds)
+	fmt.Fprintf(w, "# TYPE ell_cluster_suspects_raised_total counter\nell_cluster_suspects_raised_total %d\n", c.SuspectsRaised)
+	fmt.Fprintf(w, "# TYPE ell_cluster_auto_leaves_total counter\nell_cluster_auto_leaves_total %d\n", c.AutoLeaves)
+	fmt.Fprintf(w, "# TYPE ell_cluster_mlpfadd_groups_total counter\nell_cluster_mlpfadd_groups_total %d\n", c.MLPFAddGroups)
+	fmt.Fprintf(w, "# TYPE ell_cluster_mlpfadd_batches_total counter\nell_cluster_mlpfadd_batches_total %d\n", c.MLPFAddBatches)
+	fmt.Fprintf(w, "# TYPE ell_cluster_rebalance_pushes_total counter\nell_cluster_rebalance_pushes_total %d\n", c.RebalPushes)
+}
+
+// Server exposes the node's embedded server, e.g. for its Stats core
+// or the Prometheus writer.
+func (n *Node) Server() *server.Server { return n.srv }

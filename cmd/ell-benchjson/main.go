@@ -7,16 +7,29 @@
 //	jq -r '.raw[]' BENCH_serving.json | benchstat old.txt /dev/stdin
 //
 // tracks the serving-path perf trajectory across PRs with stock tools.
+//
+// Beyond stdin it can fold in cluster-level load results and update an
+// existing report in place:
+//
+//	-in BENCH_serving.json   start from an existing report (its rows are kept;
+//	                         fresh rows with the same name+pkg replace them)
+//	-load load.json          append an ell-loader result as a row tagged
+//	                         pkg "cluster-load", with a synthetic
+//	                         benchstat-comparable raw line
+//	-note "..."              attach a free-form note (e.g. the run's caveats)
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+
+	"exaloglog/internal/loadreport"
 )
 
 // Benchmark is one parsed result line.
@@ -34,15 +47,35 @@ type Report struct {
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
 	CPU        string      `json:"cpu,omitempty"`
+	Note       string      `json:"note,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Raw        []string    `json:"raw"` // verbatim lines, benchstat-consumable
 }
 
 func main() {
+	inPath := flag.String("in", "", "existing report to start from (rows merged, same name+pkg replaced)")
+	loadPath := flag.String("load", "", "ell-loader JSON result to append as a cluster-load row")
+	note := flag.String("note", "", "free-form note to record in the report")
+	flag.Parse()
+
 	report := Report{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+	}
+	if *inPath != "" {
+		data, err := os.ReadFile(*inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ell-benchjson:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "ell-benchjson: parse %s: %v\n", *inPath, err)
+			os.Exit(1)
+		}
+	}
+	if *note != "" {
+		report.Note = *note
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -67,12 +100,21 @@ func main() {
 		report.Raw = append(report.Raw, line)
 		if b, ok := parseBenchLine(trimmed); ok {
 			b.Pkg = pkg
-			report.Benchmarks = append(report.Benchmarks, b)
+			report.upsert(b)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "ell-benchjson:", err)
 		os.Exit(1)
+	}
+	if *loadPath != "" {
+		b, raw, err := loadRow(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ell-benchjson:", err)
+			os.Exit(1)
+		}
+		report.upsert(b)
+		report.Raw = append(report.Raw, raw)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -80,6 +122,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ell-benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// upsert adds b to the report, replacing an existing row with the same
+// name and pkg — what keeps a -in merge from accumulating duplicates
+// when a benchmark is re-run.
+func (r *Report) upsert(b Benchmark) {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == b.Name && r.Benchmarks[i].Pkg == b.Pkg {
+			r.Benchmarks[i] = b
+			return
+		}
+	}
+	r.Benchmarks = append(r.Benchmarks, b)
+}
+
+// loadRow converts an ell-loader JSON result into a Benchmark row
+// tagged pkg "cluster-load" plus a synthetic benchstat-comparable raw
+// line (ns/op is the inverse of achieved throughput).
+func loadRow(path string) (Benchmark, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Benchmark{}, "", err
+	}
+	var res loadreport.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return Benchmark{}, "", fmt.Errorf("parse %s: %w", path, err)
+	}
+	name := fmt.Sprintf("BenchmarkClusterLoad/dist=%s/conns=%d/depth=%d/mix=%s",
+		res.Dist, res.Conns, res.Depth, res.Mix)
+	var nsPerOp float64
+	if res.AchievedQPS > 0 {
+		nsPerOp = 1e9 / res.AchievedQPS
+	}
+	b := Benchmark{
+		Name:       name,
+		Pkg:        loadreport.Pkg,
+		Iterations: int64(res.Ops),
+		NsPerOp:    nsPerOp,
+		Metrics: map[string]float64{
+			"qps":    res.AchievedQPS,
+			"p50-us": float64(res.LatencyUS.P50),
+			"p90-us": float64(res.LatencyUS.P90),
+			"p99-us": float64(res.LatencyUS.P99),
+			"max-us": float64(res.LatencyUS.Max),
+			"errors": float64(res.Errors),
+		},
+	}
+	raw := fmt.Sprintf("%s \t%d\t%.1f ns/op\t%.0f qps\t%d p50-us\t%d p99-us",
+		name, res.Ops, nsPerOp, res.AchievedQPS, res.LatencyUS.P50, res.LatencyUS.P99)
+	return b, raw, nil
 }
 
 // parseBenchLine parses "BenchmarkX-8  1000  123 ns/op  0 B/op ..."

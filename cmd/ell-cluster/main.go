@@ -9,7 +9,10 @@
 //
 //	info                  show the contacted node's view of the cluster
 //	map                   print the cluster map (epoch, version, coordinator, replicas, members)
-//	health                show the contacted node's failure-detector view (alive/suspect per member)
+//	health                show the contacted node's failure-detector view (alive/suspect per
+//	                      member) plus every member's cluster-layer counters
+//	stats [all]           per-verb serving stats (calls, errors, bytes, p50/p99 latency) and
+//	                      cluster counters of the contacted node — or of every member with "all"
 //	join <id> <addr>      add node <id> at <addr> to the cluster (epoch-fenced)
 //	leave <id>            remove node <id> (survivors re-replicate its keys)
 //	sync                  one anti-entropy round: pull peer maps, adopt/spread the newest
@@ -42,7 +45,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|health|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|wadd <key> <ts> <el>...|wcount <key> <window> [ts]|winfo <key>|keys|ping")
+	fmt.Fprintln(os.Stderr, "usage: ell-cluster [-addr host:port] info|map|health|stats [all]|join <id> <addr>|leave <id>|sync|rebalance|add <key> <el>...|count <key>...|wadd <key> <ts> <el>...|wcount <key> <window> [ts]|winfo <key>|keys|ping")
 	os.Exit(2)
 }
 
@@ -92,6 +95,32 @@ func main() {
 				continue
 			}
 			fmt.Printf("%-12s %s\n", id, strings.ReplaceAll(fields, ",", " "))
+		}
+		// Append every member's cluster-layer counters (best-effort: an
+		// unreachable member shows an err= row, the detector rows above
+		// still stand). These polls run through each node's peer pool,
+		// so watching health is itself liveness evidence.
+		if reply, err := c.Do("CLUSTER", "STATS", "ALL"); err == nil {
+			fmt.Println()
+			fmt.Println("per-node stats:")
+			for _, row := range strings.Split(reply, "; ") {
+				if strings.HasPrefix(row, "node=") {
+					fmt.Println(row)
+				}
+			}
+		}
+	case "stats":
+		parts := []string{"CLUSTER", "STATS"}
+		switch {
+		case len(rest) == 1 && strings.EqualFold(rest[0], "all"):
+			parts = append(parts, "ALL")
+		case len(rest) != 0:
+			usage()
+		}
+		// The wire reply is one folded line (newlines → "; ", the
+		// protocol's one-reply-one-line rule); unfold for humans.
+		for _, row := range strings.Split(mustDo(c, parts...), "; ") {
+			fmt.Println(row)
 		}
 	case "join":
 		if len(rest) != 2 {

@@ -1,0 +1,374 @@
+// Command ell-loader drives a configurable load mix against a sketch
+// cluster (or a single elld) and reports achieved throughput and
+// client-observed latency percentiles as JSON — the cluster-level
+// counterpart to the single-process Go benchmarks, feeding
+// BENCH_serving.json through ell-benchjson's -load flag.
+//
+// Target selection: -addrs takes a comma-separated list of running
+// nodes (connections round-robin across them), or -self N spins up an
+// N-node in-process cluster first — the self-contained mode the
+// Makefile loadtest smoke uses.
+//
+// Workload shape: -conns pipelined connections, each sending batches of
+// -depth commands drawn from the -mix weights (pfadd/pfcount/wadd/
+// wcount) over -keys keys picked by -dist (zipf or uniform). -qps caps
+// total throughput (0 = max). The first -warmup of the run is driven
+// but not measured.
+//
+//	ell-loader -self 3 -conns 4 -depth 32 -duration 10s -mix pfadd=8,pfcount=1,wadd=1 -dist zipf
+//	ell-loader -addrs 127.0.0.1:7700,127.0.0.1:7701 -qps 5000 -out load.json
+//
+// Latency is observed per pipeline batch round trip and attributed to
+// every command in the batch — what a caller awaiting its own reply
+// experiences. Errors never abort the run; they are counted per verb.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"exaloglog/cluster"
+	"exaloglog/internal/core"
+	"exaloglog/internal/loadreport"
+	"exaloglog/server"
+)
+
+func main() {
+	addrs := flag.String("addrs", "", "comma-separated node addresses to load (alternative to -self)")
+	self := flag.Int("self", 0, "spin up an in-process cluster of this many nodes instead of -addrs")
+	replicas := flag.Int("replicas", 2, "replica factor of the -self cluster")
+	p := flag.Int("p", 12, "sketch precision of the -self cluster")
+	conns := flag.Int("conns", 4, "concurrent pipelined connections")
+	depth := flag.Int("depth", 32, "commands per pipeline batch")
+	duration := flag.Duration("duration", 10*time.Second, "measured load duration")
+	warmup := flag.Duration("warmup", time.Second, "unmeasured warmup before the clock starts")
+	keys := flag.Int("keys", 1000, "size of the key space")
+	keyPrefix := flag.String("key-prefix", "lk", "key name prefix")
+	dist := flag.String("dist", "zipf", "key distribution: zipf or uniform")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf s parameter (>1; larger = more skew)")
+	zipfV := flag.Float64("zipf-v", 1, "zipf v parameter (>=1)")
+	mix := flag.String("mix", "pfadd=8,pfcount=1,wadd=1", "verb mix as verb=weight[,verb=weight...]; verbs: pfadd, pfcount, wadd, wcount")
+	qps := flag.Float64("qps", 0, "target total commands/second (0 = max throughput)")
+	elements := flag.Int("elements", 2, "elements per pfadd/wadd command")
+	seed := flag.Int64("seed", 1, "base RNG seed (per-connection streams derive from it)")
+	out := flag.String("out", "", "write the JSON result here instead of stdout")
+	flag.Parse()
+
+	specs, err := parseMix(*mix)
+	if err != nil {
+		log.Fatal("ell-loader: ", err)
+	}
+	if *conns < 1 || *depth < 1 || *keys < 1 || *elements < 1 {
+		log.Fatal("ell-loader: -conns, -depth, -keys and -elements must be >= 1")
+	}
+	if *dist != "zipf" && *dist != "uniform" {
+		log.Fatalf("ell-loader: unknown -dist %q (want zipf or uniform)", *dist)
+	}
+
+	var targets []string
+	if *self > 0 {
+		nodes, stop, err := startSelfCluster(*self, *replicas, *p)
+		if err != nil {
+			log.Fatal("ell-loader: ", err)
+		}
+		defer stop()
+		targets = nodes
+	} else {
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				targets = append(targets, a)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		log.Fatal("ell-loader: no targets: set -addrs or -self")
+	}
+
+	cfg := workerConfig{
+		specs: specs, depth: *depth, keys: *keys, keyPrefix: *keyPrefix,
+		dist: *dist, zipfS: *zipfS, zipfV: *zipfV, elements: *elements,
+	}
+	if *qps > 0 {
+		// Per-connection pacing: each connection owns an equal share of
+		// the target and spaces its batches accordingly.
+		cfg.batchEvery = time.Duration(float64(*depth) / (*qps / float64(*conns)) * float64(time.Second))
+	}
+
+	warmupEnd := time.Now().Add(*warmup)
+	end := warmupEnd.Add(*duration)
+	stats := make([]*workerStats, *conns)
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i] = runWorker(targets[i%len(targets)], *seed+int64(i)*104729, cfg, warmupEnd, end)
+		}(i)
+	}
+	wg.Wait()
+
+	res := aggregate(stats, specs)
+	res.Addrs, res.Conns, res.Depth = targets, *conns, *depth
+	res.Dist, res.Keys, res.Mix, res.Seed = *dist, *keys, *mix, *seed
+	res.TargetQPS, res.DurationSec, res.WarmupSec = *qps, duration.Seconds(), warmup.Seconds()
+	if duration.Seconds() > 0 {
+		res.AchievedQPS = float64(res.Ops) / duration.Seconds()
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal("ell-loader: ", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal("ell-loader: ", err)
+	}
+	fmt.Fprintf(os.Stderr, "ell-loader: %d ops in %v: %.0f cmd/s, p50=%dµs p99=%dµs max=%dµs, %d errors\n",
+		res.Ops, *duration, res.AchievedQPS, res.LatencyUS.P50, res.LatencyUS.P99, res.LatencyUS.Max, res.Errors)
+}
+
+// verbSpec is one weighted entry of the -mix.
+type verbSpec struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "pfadd=8,pfcount=1" into weighted verb specs.
+func parseMix(s string) ([]verbSpec, error) {
+	var specs []verbSpec
+	for _, part := range strings.Split(s, ",") {
+		name, ws, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want verb=weight)", part)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		name = strings.ToLower(name)
+		switch name {
+		case "pfadd", "pfcount", "wadd", "wcount":
+		default:
+			return nil, fmt.Errorf("unknown -mix verb %q", name)
+		}
+		specs = append(specs, verbSpec{name, w})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty -mix")
+	}
+	return specs, nil
+}
+
+// workerConfig is the per-connection slice of the workload shape.
+type workerConfig struct {
+	specs        []verbSpec
+	depth        int
+	keys         int
+	keyPrefix    string
+	dist         string
+	zipfS, zipfV float64
+	elements     int
+	batchEvery   time.Duration // 0: no pacing (max throughput)
+}
+
+// workerStats is one connection's measured outcome. The histogram is
+// the server package's LatencyHist, reused client-side.
+type workerStats struct {
+	hist     server.LatencyHist
+	ops      uint64
+	errs     uint64
+	verbOps  []uint64 // indexed like cfg.specs
+	verbErrs []uint64
+}
+
+// runWorker drives one pipelined connection until end, recording only
+// after warmupEnd. Transport errors redial and keep going — the run
+// measures the cluster, it must not die with it.
+func runWorker(addr string, seed int64, cfg workerConfig, warmupEnd, end time.Time) *workerStats {
+	st := &workerStats{
+		verbOps:  make([]uint64, len(cfg.specs)),
+		verbErrs: make([]uint64, len(cfg.specs)),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if cfg.dist == "zipf" {
+		zipf = rand.NewZipf(rng, cfg.zipfS, cfg.zipfV, uint64(cfg.keys-1))
+	}
+	totalWeight := 0
+	for _, sp := range cfg.specs {
+		totalWeight += sp.weight
+	}
+	pickVerb := func() int {
+		r := rng.Intn(totalWeight)
+		for i, sp := range cfg.specs {
+			if r -= sp.weight; r < 0 {
+				return i
+			}
+		}
+		return len(cfg.specs) - 1
+	}
+	pickKey := func() string {
+		if zipf != nil {
+			return cfg.keyPrefix + strconv.FormatUint(zipf.Uint64(), 10)
+		}
+		return cfg.keyPrefix + strconv.Itoa(rng.Intn(cfg.keys))
+	}
+	elems := make([]string, cfg.elements)
+	elemSeq := 0
+	fillElems := func() {
+		for i := range elems {
+			elemSeq++
+			elems[i] = "e" + strconv.FormatInt(seed, 36) + "-" + strconv.Itoa(elemSeq)
+		}
+	}
+
+	var c *server.Client
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	slots := make([]int, cfg.depth)
+	next := time.Now()
+	for time.Now().Before(end) {
+		if c == nil {
+			var err error
+			if c, err = server.Dial(addr); err != nil {
+				st.errs++
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		if cfg.batchEvery > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(cfg.batchEvery)
+		}
+		pl := c.Pipeline()
+		for j := 0; j < cfg.depth; j++ {
+			vi := pickVerb()
+			slots[j] = vi
+			key := pickKey()
+			switch cfg.specs[vi].name {
+			case "pfadd":
+				fillElems()
+				pl.PFAdd(key, elems...)
+			case "pfcount":
+				pl.PFCount(key)
+			case "wadd":
+				fillElems()
+				pl.WAdd("w"+key, time.Now().UnixMilli(), elems...)
+			case "wcount":
+				pl.WCount("w"+key, 30*time.Second)
+			}
+		}
+		t0 := time.Now()
+		results, err := pl.Exec()
+		lat := time.Since(t0)
+		measured := t0.After(warmupEnd)
+		if err != nil {
+			// Transport failure: the whole batch is lost; redial.
+			if measured {
+				st.errs++
+			}
+			c.Close()
+			c = nil
+			continue
+		}
+		if !measured {
+			continue
+		}
+		for j, r := range results {
+			st.hist.Observe(lat)
+			st.ops++
+			st.verbOps[slots[j]]++
+			if r.Err != nil {
+				st.errs++
+				st.verbErrs[slots[j]]++
+			}
+		}
+	}
+	return st
+}
+
+// aggregate folds the per-connection stats into one Result.
+func aggregate(stats []*workerStats, specs []verbSpec) *loadreport.Result {
+	var hist server.LatencyHist
+	res := &loadreport.Result{Tool: "ell-loader", PerVerb: make(map[string]loadreport.VerbResult)}
+	for _, st := range stats {
+		if st == nil {
+			continue
+		}
+		hist.Merge(&st.hist)
+		res.Ops += st.ops
+		res.Errors += st.errs
+		for i, sp := range specs {
+			v := res.PerVerb[sp.name]
+			v.Ops += st.verbOps[i]
+			v.Errors += st.verbErrs[i]
+			res.PerVerb[sp.name] = v
+		}
+	}
+	res.LatencyUS = loadreport.Latency{
+		P50: hist.Quantile(0.50).Microseconds(),
+		P90: hist.Quantile(0.90).Microseconds(),
+		P99: hist.Quantile(0.99).Microseconds(),
+		Max: hist.Max().Microseconds(),
+	}
+	return res
+}
+
+// startSelfCluster boots an n-node in-process cluster and returns its
+// addresses plus a shutdown func — the zero-setup mode for smoke tests.
+func startSelfCluster(n, replicas, p int) ([]string, func(), error) {
+	cfg := core.RecommendedML(p)
+	if replicas > n {
+		replicas = n
+	}
+	var nodes []*cluster.Node
+	stop := func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		nd, err := cluster.NewNode("ld"+strconv.Itoa(i), cfg, replicas)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := nd.Start("127.0.0.1:0"); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		nodes = append(nodes, nd)
+		if i > 0 {
+			if err := nd.Join(nodes[0].Addr()); err != nil {
+				stop()
+				return nil, nil, err
+			}
+		}
+	}
+	addrs := make([]string, len(nodes))
+	for i, nd := range nodes {
+		addrs[i] = nd.Addr()
+	}
+	fmt.Fprintf(os.Stderr, "ell-loader: self-cluster of %d nodes (replicas=%d) at %s\n",
+		n, replicas, strings.Join(addrs, " "))
+	return addrs, stop, nil
+}

@@ -8,9 +8,14 @@
 // Usage:
 //
 //	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file] \
-//	     [-window-slice 1s] [-window-slices 60]
+//	     [-window-slice 1s] [-window-slices 60] [-metrics-addr 127.0.0.1:9100]
 //	elld -node-id n1 [-replicas 2] [-join host:port] \
 //	     [-gossip-interval 1s] [-suspect-after 5]    # cluster mode
+//
+// -metrics-addr serves Prometheus-text metrics at /metrics: per-verb
+// call counts, error counts, bytes and latency histograms (see the
+// STATS verb), plus — in cluster mode — the gossip/eviction/batching/
+// rebalance counters of CLUSTER STATS.
 //
 // -window-slice and -window-slices set the ring geometry of keys
 // created by WADD: windows are answerable up to slice·slices back, at
@@ -48,7 +53,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -70,6 +78,7 @@ func main() {
 	suspectAfter := flag.Int("suspect-after", 5, "gossip intervals a silent member survives before suspicion (cluster mode)")
 	windowSlice := flag.Duration("window-slice", time.Second, "slice duration of WADD-created sliding-window keys")
 	windowSlices := flag.Int("window-slices", 60, "number of slices in WADD-created rings (max window = slice x slices)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics on this address (empty disables)")
 	flag.Parse()
 
 	cfg := core.RecommendedML(*p)
@@ -77,7 +86,7 @@ func main() {
 	defer stop()
 
 	if *nodeID != "" {
-		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices)
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr)
 		return
 	}
 
@@ -94,6 +103,9 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
+	if closeMetrics := startMetrics(*metricsAddr, srv.WriteMetrics); closeMetrics != nil {
+		defer closeMetrics()
+	}
 	fmt.Printf("elld listening on %s (ELL t=2 d=20 p=%d, %d bytes per sketch)\n",
 		srv.Addr(), *p, cfg.SizeBytes())
 
@@ -107,7 +119,7 @@ func main() {
 	saveSnapshot(store, *snapshot)
 }
 
-func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int) {
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string) {
 	node, err := cluster.NewNode(nodeID, cfg, replicas)
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +132,14 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 	node.SetSnapshotPath(snapshot)
 	if err := node.Start(addr); err != nil {
 		log.Fatal(err)
+	}
+	if closeMetrics := startMetrics(metricsAddr, func(w io.Writer) {
+		// One scrape covers both layers: per-verb server stats, then
+		// the cluster counters (gossip, evictions, batching, rebalance).
+		node.Server().WriteMetrics(w)
+		node.WriteMetrics(w)
+	}); closeMetrics != nil {
+		defer closeMetrics()
 	}
 	fmt.Printf("elld node %s listening on %s (cluster mode, replicas=%d, p=%d)\n",
 		nodeID, node.Addr(), replicas, cfg.P)
@@ -187,6 +207,29 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 		log.Print(err)
 	}
 	saveSnapshot(node.Store(), snapshot)
+}
+
+// startMetrics serves Prometheus-text metrics at http://addr/metrics,
+// rendered by write on every scrape. It returns a shutdown func, or nil
+// when addr is empty (metrics disabled). A bind failure is fatal — an
+// operator who asked for metrics should not silently fly blind.
+func startMetrics(addr string, write func(io.Writer)) func() {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("metrics listener: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		write(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
+	return func() { srv.Close() }
 }
 
 // loadSnapshot restores store from path if it exists; a missing file is

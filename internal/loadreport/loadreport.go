@@ -1,0 +1,50 @@
+// Package loadreport defines the JSON document ell-loader emits and
+// ell-benchjson folds into BENCH_serving.json as cluster-level rows —
+// the shared contract that keeps the two tools decoupled.
+package loadreport
+
+// Pkg is the pseudo-package tag loader rows carry inside
+// BENCH_serving.json, distinguishing cluster-level load results from
+// single-process Go benchmark rows.
+const Pkg = "cluster-load"
+
+// Latency is a set of client-observed latency percentiles in
+// microseconds. For pipelined workloads the unit observed is one
+// pipeline batch round trip, attributed to every command in the batch
+// — what a caller awaiting its own reply actually experiences.
+type Latency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// VerbResult is the per-verb slice of the load outcome.
+type VerbResult struct {
+	Ops    uint64 `json:"ops"`
+	Errors uint64 `json:"errors,omitempty"`
+}
+
+// Result is one complete loader run: the configuration that produced
+// it (so a row in BENCH_serving.json stays self-describing) and the
+// measured outcome.
+type Result struct {
+	Tool  string   `json:"tool"` // "ell-loader"
+	Addrs []string `json:"addrs"`
+	Conns int      `json:"conns"`
+	Depth int      `json:"depth"` // pipeline depth per connection
+	Dist  string   `json:"dist"`  // "zipf" or "uniform"
+	Keys  int      `json:"keys"`
+	Mix   string   `json:"mix"` // e.g. "pfadd=8,pfcount=1,wadd=1"
+	Seed  int64    `json:"seed"`
+
+	TargetQPS   float64 `json:"target_qps,omitempty"` // 0: max throughput
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+
+	Ops         uint64                `json:"ops"`
+	Errors      uint64                `json:"errors"`
+	AchievedQPS float64               `json:"achieved_qps"`
+	LatencyUS   Latency               `json:"latency_us"`
+	PerVerb     map[string]VerbResult `json:"per_verb,omitempty"`
+}

@@ -173,6 +173,30 @@ func BenchmarkDispatchPFAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchPFAddInstrumented is BenchmarkDispatchPFAdd with the
+// per-verb stats accounting explicitly verified: after the loop, the
+// PFADD counter must equal b.N (every dispatch was measured) and the
+// loop must still report 0 allocs/op — the acceptance bar for hooking
+// metrics into the fast path.
+func BenchmarkDispatchPFAddInstrumented(b *testing.B) {
+	store := newBenchStore(b)
+	srv := NewServer(store)
+	cc := &connCtx{s: srv, w: bufio.NewWriterSize(io.Discard, 64*1024)}
+	lines := make([][]byte, 512)
+	for i := range lines {
+		lines[i] = []byte(fmt.Sprintf("PFADD key el-%d\n", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.exec(lines[i%len(lines)])
+	}
+	b.StopTimer()
+	if calls := srv.Stats().Verb("PFADD").Calls(); calls != uint64(b.N) {
+		b.Fatalf("stats recorded %d PFADD calls for %d dispatches", calls, b.N)
+	}
+}
+
 // BenchmarkDispatchWAdd isolates the WADD dispatch fast path — the
 // windowed workload's write hot path. Like PFADD it must stay at
 // 0 allocs/op once the key exists: tokens stay []byte, the timestamp

@@ -51,6 +51,7 @@ type Server struct {
 	store        *Store
 	snapshotPath string
 	commands     map[string]*command
+	stats        *Stats
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -74,20 +75,36 @@ type command struct {
 	usage    string
 	run      func(s *Server, args []string) (reply string, quit bool)
 	fast     func(c *connCtx, args [][]byte)
+	stats    *VerbStats // the verb's counter block, cached at register time
 }
 
 // register installs cmd under the (upper-case) verb name, replacing any
-// existing entry.
+// existing entry. The verb's stats block is resolved here, once, so
+// dispatch records metrics through a cached pointer — no map lookup, no
+// lock, no allocation on the hot path. A re-registered verb (Handle
+// overriding a builtin) keeps accumulating into the same block.
 func (s *Server) register(verb string, cmd *command) {
-	s.commands[strings.ToUpper(verb)] = cmd
+	verb = strings.ToUpper(verb)
+	cmd.stats = s.stats.verbFor(verb)
+	s.commands[verb] = cmd
 }
 
 // NewServer returns a server wrapping the given store.
 func NewServer(store *Store) *Server {
-	s := &Server{store: store, conns: make(map[net.Conn]struct{}), commands: make(map[string]*command)}
+	s := &Server{store: store, conns: make(map[net.Conn]struct{}), commands: make(map[string]*command), stats: newStats()}
 	s.registerBuiltins()
 	return s
 }
+
+// Stats returns the server's runtime statistics core.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// StatsText renders the STATS reply body (see Stats.Text).
+func (s *Server) StatsText() string { return s.stats.Text(s.store) }
+
+// WriteMetrics writes the server's statistics in Prometheus text
+// exposition format — the payload behind elld's -metrics-addr listener.
+func (s *Server) WriteMetrics(w io.Writer) { s.stats.WriteMetrics(w, s.store) }
 
 // SetSnapshotPath enables the SAVE command, writing snapshots to path.
 // Call before Listen.
@@ -260,6 +277,20 @@ func (s *Server) registerBuiltins() {
 			return "+OK", false
 		},
 	})
+	s.register("STATS", &command{
+		max:   1,
+		usage: "-ERR STATS takes at most one argument: RESET",
+		run: func(s *Server, args []string) (string, bool) {
+			if len(args) == 1 {
+				if !strings.EqualFold(args[0], "RESET") {
+					return "-ERR STATS takes at most one argument: RESET", false
+				}
+				s.stats.Reset()
+				return "+OK", false
+			}
+			return "+" + s.stats.Text(s.store), false
+		},
+	})
 	s.register("PING", &command{
 		max: -1,
 		run: func(s *Server, args []string) (string, bool) { return "+PONG", false },
@@ -341,6 +372,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.stats.connsCur.Add(1)
+		s.stats.connsTotal.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -357,6 +390,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.stats.connsCur.Add(-1)
 	}()
 	r := bufio.NewReaderSize(conn, 64*1024)
 	cc := &connCtx{s: s, w: bufio.NewWriterSize(conn, 64*1024)}
@@ -398,6 +432,12 @@ type connCtx struct {
 	w    *bufio.Writer
 	args [][]byte
 	num  []byte
+
+	// Per-command reply accounting, reset by exec before dispatch and
+	// read back into the verb's stats block afterwards: writeRaw and
+	// writeInt bump outBytes, and writeRaw flags an "-ERR ..." reply.
+	outBytes int
+	wroteErr bool
 }
 
 func isLineSpace(b byte) bool {
@@ -443,12 +483,17 @@ func (c *connCtx) writeRaw(reply string) {
 	if strings.ContainsAny(reply, "\r\n") {
 		reply = strings.NewReplacer("\r\n", "; ", "\n", "; ", "\r", "; ").Replace(reply)
 	}
+	if len(reply) > 0 && reply[0] == '-' {
+		c.wroteErr = true
+	}
+	c.outBytes += len(reply) + 1
 	c.w.WriteString(reply)
 	c.w.WriteByte('\n')
 }
 
 func (c *connCtx) writeInt(v int64) {
 	c.num = strconv.AppendInt(append(c.num[:0], ':'), v, 10)
+	c.outBytes += len(c.num) + 1
 	c.w.Write(c.num)
 	c.w.WriteByte('\n')
 }
@@ -504,24 +549,30 @@ func (c *connCtx) exec(line []byte) (quit bool) {
 	if len(args) == 0 {
 		return false // blank line: ignored, no reply
 	}
+	start := time.Now()
+	c.outBytes, c.wroteErr = 0, false
 	verb := args[0]
 	upperInPlace(verb)
 	cmd, ok := c.s.commands[string(verb)] // compiles without allocating the string
 	if !ok {
 		c.writeRaw("-ERR unknown command " + string(verb))
+		c.s.stats.unknown.record(len(line), c.outBytes, c.wroteErr, time.Since(start))
 		return false
 	}
 	n := len(args) - 1
 	if n < cmd.min || (cmd.max >= 0 && n > cmd.max) {
 		c.writeRaw(cmd.usage)
+		cmd.stats.record(len(line), c.outBytes, c.wroteErr, time.Since(start))
 		return false
 	}
 	if cmd.fast != nil {
 		cmd.fast(c, args[1:])
+		cmd.stats.record(len(line), c.outBytes, c.wroteErr, time.Since(start))
 		return false
 	}
 	reply, quit := cmd.run(c.s, stringArgs(args[1:]))
 	c.writeRaw(reply)
+	cmd.stats.record(len(line), c.outBytes, c.wroteErr, time.Since(start))
 	return quit
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exaloglog/internal/core"
@@ -64,9 +65,9 @@ type entry struct {
 // its lock, serving repeated counts of an unchanged sketch from the
 // per-entry cache. The cache needs no explicit invalidation hook:
 // every mutation path already bumps ver, and a ver mismatch is
-// staleness. ok is false for a dead entry; a non-plain value is
-// ErrWrongType.
-func (e *entry) estimateEll() (v float64, ok bool, err error) {
+// staleness. Hits and misses land in the store's cache counters. ok is
+// false for a dead entry; a non-plain value is ErrWrongType.
+func (s *Store) estimateEll(e *entry) (v float64, ok bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.dead {
@@ -79,8 +80,32 @@ func (e *entry) estimateEll() (v float64, ok bool, err error) {
 		e.est = e.val.Estimate()
 		e.estVer = e.ver
 		e.estValid = true
+		s.cacheMisses.Add(1)
+	} else {
+		s.cacheHits.Add(1)
 	}
 	return e.est, true, nil
+}
+
+// CacheStats returns how many single-key estimates were served from the
+// per-entry estimate cache (hits) versus recomputed (misses).
+func (s *Store) CacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+// ShardsUsed returns how many of the store's hash shards hold at least
+// one key — a cheap skew indicator for the STATS reply.
+func (s *Store) ShardsUsed() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		if len(sh.m) > 0 {
+			n++
+		}
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 type shard struct {
@@ -112,6 +137,12 @@ type Store struct {
 
 	metaMu sync.RWMutex
 	meta   []byte
+
+	// cacheHits/cacheMisses count single-key estimate lookups served
+	// from (or filling) the per-entry estimate cache — the STATS
+	// cache_hits/cache_misses gauges.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // NewStore returns an empty store whose sketches use configuration cfg.
@@ -463,7 +494,7 @@ func (s *Store) Count(keys ...string) (float64, error) {
 		// Hot-key fast path: a single-key count needs no union at all,
 		// and the per-entry cache makes a repeated count O(1).
 		if e := s.lookup(keys[0]); e != nil {
-			v, ok, err := e.estimateEll()
+			v, ok, err := s.estimateEll(e)
 			if err != nil {
 				return 0, fmt.Errorf("server: count %q: %w", keys[0], err)
 			}
@@ -499,7 +530,7 @@ func (s *Store) Count(keys ...string) (float64, error) {
 func (s *Store) CountBytes(keys [][]byte) (float64, error) {
 	if len(keys) == 1 {
 		if e := s.lookupBytes(keys[0]); e != nil {
-			v, ok, err := e.estimateEll()
+			v, ok, err := s.estimateEll(e)
 			if err != nil {
 				return 0, fmt.Errorf("server: count %q: %w", keys[0], err)
 			}
