@@ -33,16 +33,23 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/ ./window/
 
 # loadtest is the cluster-level smoke: ell-loader boots 3 in-process
-# nodes, drives a mixed zipf workload for 30s, and the JSON result is
-# folded into BENCH_serving.json as a pkg "cluster-load" row (replacing
-# the previous row of the same shape). CI runs this non-blocking.
+# nodes and drives a mixed zipf workload for 30s — once through a
+# coordinator node that forwards to owners, once single-hop through the
+# smart client against strict-routing nodes. Each JSON result is folded
+# into BENCH_serving.json as a pkg "cluster-load" row keyed by its
+# route (replacing the previous row of the same shape), so the two
+# routes stay comparable across runs. CI runs this non-blocking.
 loadtest:
 	$(GO) run ./cmd/ell-loader -self 3 -replicas 2 -conns 4 -depth 32 \
 		-duration 30s -warmup 2s -keys 1000 -dist zipf -out load.json
 	$(GO) run ./cmd/ell-benchjson -in BENCH_serving.json -load load.json </dev/null > BENCH_serving.json.tmp
 	mv BENCH_serving.json.tmp BENCH_serving.json
+	$(GO) run ./cmd/ell-loader -self 3 -replicas 2 -conns 4 -depth 32 \
+		-duration 30s -warmup 2s -keys 1000 -dist zipf -single-hop -out load.json
+	$(GO) run ./cmd/ell-benchjson -in BENCH_serving.json -load load.json </dev/null > BENCH_serving.json.tmp
+	mv BENCH_serving.json.tmp BENCH_serving.json
 	rm -f load.json
-	@echo folded cluster load row into BENCH_serving.json
+	@echo folded coordinator and single-hop cluster load rows into BENCH_serving.json
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapDecode -fuzztime 30s ./cluster/

@@ -1,0 +1,479 @@
+package cluster
+
+// ClusterClient is the smart, single-hop client for a sketch cluster:
+// it fetches the cluster map once (CLUSTER MAP), hashes keys against
+// the consistent-hash ring locally, and sends each data command
+// straight to an owner over a pooled, pipelined per-node connection —
+// no coordinator hop, so a routed op costs one RTT instead of two and
+// no single node carries everyone's forwarding load.
+//
+// Staleness is self-healing, Redis-Cluster style: nodes running strict
+// routing (Node.SetStrictRouting) answer a misrouted single-key verb
+// with
+//
+//	-MOVED e=<epoch> <id>=<addr>
+//
+// and the client follows the redirect, refetches the map when the
+// redirect's epoch is ahead of its own (rate-limited and single-flight,
+// so a thundering herd of stale clients issues one fetch), and fails
+// over to the next replica on a transport error. Every op carries a
+// bounded redirect budget, so a flapping rebalance degrades into an
+// error instead of a livelock. Maps only ever move forward in the
+// (Epoch, Version, Coordinator) order — a delayed old map can never
+// regress the client's view.
+//
+// A ClusterClient is safe for concurrent use. Compare server.Client +
+// a coordinator node: that path still works against any node (and is
+// the only option for multi-key scatter-gathers through one
+// connection), but pays the extra hop; see the README's "Smart
+// clients" section for when to prefer which.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exaloglog/server"
+)
+
+const (
+	// defaultRedirectBudget bounds how many redirect-or-failover hops
+	// one op may take before it fails. Two map transitions plus a
+	// replica failover fit comfortably; a livelocked rebalance does not.
+	defaultRedirectBudget = 6
+	// defaultMinRefetch rate-limits map refetches: within this window
+	// after a fetch, further -MOVED replies follow their hint without
+	// hitting the cluster for a new map again.
+	defaultMinRefetch = 25 * time.Millisecond
+)
+
+// ClusterClient routes data commands straight to owner nodes. Create
+// one with DialCluster, share it between goroutines, Close when done.
+type ClusterClient struct {
+	peers *pool
+	seeds []string
+
+	mu   sync.RWMutex
+	cmap *Map
+
+	// fetchMu single-flights map refetches; lastFetch (guarded by it)
+	// rate-limits them to one per minRefetch window.
+	fetchMu    sync.Mutex
+	lastFetch  time.Time
+	minRefetch time.Duration
+
+	redirectBudget int
+
+	moved     atomic.Uint64 // -MOVED redirects followed
+	refetches atomic.Uint64 // map refetches performed
+	failovers atomic.Uint64 // transport-error replica failovers
+}
+
+// ClientStats is a snapshot of a ClusterClient's routing counters —
+// the client-side mirror of the node's moved_replies / map_refetches.
+type ClientStats struct {
+	Moved        uint64 // -MOVED redirects followed
+	MapRefetches uint64 // map refetches performed
+	Failovers    uint64 // transport-error replica failovers
+}
+
+// DialCluster connects to a cluster through any reachable seed node
+// and fetches the initial map. The seeds are also the fallback for map
+// refetches when every known member is unreachable.
+func DialCluster(seeds ...string) (*ClusterClient, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("cluster: DialCluster needs at least one seed address")
+	}
+	cc := &ClusterClient{
+		peers:          newPool(),
+		seeds:          append([]string(nil), seeds...),
+		minRefetch:     defaultMinRefetch,
+		redirectBudget: defaultRedirectBudget,
+	}
+	m, err := cc.fetchMapFrom(cc.seeds)
+	if err != nil {
+		cc.peers.closeAll()
+		return nil, fmt.Errorf("cluster: initial map fetch: %w", err)
+	}
+	cc.cmap = m
+	return cc, nil
+}
+
+// Close closes every pooled connection.
+func (cc *ClusterClient) Close() {
+	cc.peers.closeAll()
+}
+
+// Map returns the client's current view of the cluster map.
+func (cc *ClusterClient) Map() *Map {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return cc.cmap
+}
+
+// Stats returns a snapshot of the client's routing counters.
+func (cc *ClusterClient) Stats() ClientStats {
+	return ClientStats{
+		Moved:        cc.moved.Load(),
+		MapRefetches: cc.refetches.Load(),
+		Failovers:    cc.failovers.Load(),
+	}
+}
+
+// install swaps in m if it supersedes the current map — forward-only,
+// so a delayed fetch result can never regress the view.
+func (cc *ClusterClient) install(m *Map) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if m.Newer(cc.cmap) {
+		cc.cmap = m
+	}
+}
+
+// fetchMapFrom asks each address in turn for CLUSTER MAP and returns
+// the first successfully decoded map.
+func (cc *ClusterClient) fetchMapFrom(addrs []string) (*Map, error) {
+	var errs []error
+	for _, addr := range addrs {
+		reply, err := cc.peers.do(addr, "CLUSTER", "MAP")
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		m, err := DecodeMap(strings.Fields(reply))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		return m, nil
+	}
+	return nil, errors.Join(errs...)
+}
+
+// refetchMap refreshes the map because an op saw evidence (a -MOVED at
+// epoch beyond, or a dead owner) that the view at epoch seen is stale.
+// Single-flight: concurrent callers serialize on fetchMu and all but
+// the first find the work already done. Rate-limited: within
+// minRefetch of the last fetch it is a no-op — redirect hints still
+// route ops correctly in the meantime. Best-effort: a failed fetch
+// leaves the current map in place.
+func (cc *ClusterClient) refetchMap(seen uint64) {
+	cc.fetchMu.Lock()
+	defer cc.fetchMu.Unlock()
+	if cc.Map().Epoch > seen {
+		return // another caller already advanced past the stale view
+	}
+	if time.Since(cc.lastFetch) < cc.minRefetch {
+		return
+	}
+	cc.lastFetch = time.Now()
+	// Prefer current members (they hold the freshest map), fall back to
+	// the dial seeds for the case where every known member is gone.
+	members := cc.Map().Members()
+	addrs := make([]string, 0, len(members)+len(cc.seeds))
+	tried := make(map[string]bool, len(members)+len(cc.seeds))
+	for _, mem := range members {
+		if !tried[mem.Addr] {
+			tried[mem.Addr] = true
+			addrs = append(addrs, mem.Addr)
+		}
+	}
+	for _, s := range cc.seeds {
+		if !tried[s] {
+			tried[s] = true
+			addrs = append(addrs, s)
+		}
+	}
+	m, err := cc.fetchMapFrom(addrs)
+	if err != nil {
+		return
+	}
+	cc.refetches.Add(1)
+	cc.install(m)
+}
+
+// cop is one client op in flight: its wire command, routing key, and
+// redirect state. res carries the final outcome.
+type cop struct {
+	parts    []string
+	key      string
+	res      server.Result
+	done     bool
+	tries    int    // redirect + failover hops consumed (budgeted)
+	failover int    // replica index offset after transport errors
+	hint     string // one-shot target address from a -MOVED reply
+}
+
+func (op *cop) fail(err error) {
+	op.res = server.Result{Err: err}
+	op.done = true
+}
+
+// run drives ops to completion in rounds: group the pending ops by
+// target address, send each group as one pipelined batch (groups go
+// out concurrently), then settle each reply — an answer (OK or any
+// non-MOVED error reply) finishes the op, a -MOVED re-aims it at the
+// named owner, a transport error fails it over to the next replica.
+// Every hop consumes budget, so the loop is bounded: each round every
+// pending op either finishes or spends one try, and an op out of tries
+// fails.
+func (cc *ClusterClient) run(ops []*cop) {
+	for {
+		m := cc.Map()
+		groups := make(map[string][]*cop)
+		for _, op := range ops {
+			if op.done {
+				continue
+			}
+			addr := op.hint
+			op.hint = ""
+			if addr == "" {
+				owners := m.Owners(op.key)
+				if len(owners) == 0 {
+					op.fail(errors.New("cluster: empty cluster map"))
+					continue
+				}
+				addr = owners[op.failover%len(owners)].Addr
+			}
+			groups[addr] = append(groups[addr], op)
+		}
+		if len(groups) == 0 {
+			return
+		}
+		var wg sync.WaitGroup
+		for addr, group := range groups {
+			wg.Add(1)
+			go func(addr string, group []*cop) {
+				defer wg.Done()
+				cmds := make([][]string, len(group))
+				for i, op := range group {
+					cmds[i] = op.parts
+				}
+				results, err := cc.peers.pipeline(addr, cmds)
+				if err != nil {
+					cc.failovers.Add(1)
+					for _, op := range group {
+						cc.spend(op, fmt.Errorf("cluster: %s unreachable: %w", addr, err))
+						op.failover++
+					}
+					// The owner is likely gone for everyone; a fresh map
+					// stops future ops from aiming at it at all.
+					cc.refetchMap(m.Epoch)
+					return
+				}
+				for i, op := range group {
+					cc.settle(op, results[i], m)
+				}
+			}(addr, group)
+		}
+		wg.Wait()
+	}
+}
+
+// settle records one reply for op. m is the map the round routed by.
+func (cc *ClusterClient) settle(op *cop, res server.Result, m *Map) {
+	mv, isMoved := server.AsMoved(res.Err)
+	if !isMoved {
+		// Any direct answer — success or an ordinary error reply — is
+		// the op's final outcome.
+		op.res = res
+		op.done = true
+		return
+	}
+	cc.moved.Add(1)
+	cc.spend(op, fmt.Errorf("cluster: redirect budget exhausted: %w", mv))
+	if op.done {
+		return
+	}
+	op.hint = mv.Addr
+	if mv.Epoch >= m.Epoch {
+		// The redirecting node's map is at least as new as ours, yet we
+		// misrouted — our view is stale. (A redirect at an OLDER epoch
+		// is the node lagging behind us; following its one-shot hint is
+		// harmless and the next round re-routes by our newer map.)
+		cc.refetchMap(m.Epoch)
+	}
+}
+
+// spend consumes one try of op's budget, failing it with err when the
+// budget is exhausted.
+func (cc *ClusterClient) spend(op *cop, err error) {
+	op.tries++
+	if op.tries > cc.redirectBudget {
+		op.fail(err)
+	}
+}
+
+// doOne runs a single-command batch and returns its reply.
+func (cc *ClusterClient) doOne(key string, parts []string) (string, error) {
+	op := &cop{parts: parts, key: key}
+	cc.run([]*cop{op})
+	return op.res.Value, op.res.Err
+}
+
+// Add inserts elements into key, routed directly to an owner; it
+// reports whether the owner's sketch changed.
+func (cc *ClusterClient) Add(key string, elements ...string) (bool, error) {
+	if err := validAddArgs(key, elements); err != nil {
+		return false, err
+	}
+	reply, err := cc.doOne(key, append(append(make([]string, 0, 2+len(elements)), "PFADD", key), elements...))
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// Count returns the estimated distinct count of key, routed directly
+// to an owner (which scatter-gathers the replica union server-side).
+func (cc *ClusterClient) Count(key string) (int64, error) {
+	if err := validToken("key", key); err != nil {
+		return 0, err
+	}
+	reply, err := cc.doOne(key, []string{"PFCOUNT", key})
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// WAdd inserts elements observed at the unix-millisecond timestamp ts
+// into the windowed key, routed directly to an owner; it returns how
+// many elements were accepted.
+func (cc *ClusterClient) WAdd(key string, tsMillis int64, elements ...string) (int, error) {
+	if err := validAddArgs(key, elements); err != nil {
+		return 0, err
+	}
+	parts := make([]string, 0, 3+len(elements))
+	parts = append(parts, "WADD", key, strconv.FormatInt(tsMillis, 10))
+	reply, err := cc.doOne(key, append(parts, elements...))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(reply)
+}
+
+// WCount returns the estimated distinct count the windowed key
+// observed over the window ending at its newest timestamp.
+func (cc *ClusterClient) WCount(key string, win time.Duration) (int64, error) {
+	if err := validToken("key", key); err != nil {
+		return 0, err
+	}
+	reply, err := cc.doOne(key, []string{"WCOUNT", key, win.String()})
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// Del removes key from the cluster; it reports whether it existed.
+func (cc *ClusterClient) Del(key string) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	reply, err := cc.doOne(key, []string{"DEL", key})
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+func validAddArgs(key string, elements []string) error {
+	if err := validToken("key", key); err != nil {
+		return err
+	}
+	if len(elements) == 0 {
+		return errors.New("cluster: add needs at least one element")
+	}
+	for _, e := range elements {
+		if err := validToken("element", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClientBatch queues many single-key commands and executes them with
+// one pipelined round trip per owner node — the smart-client analogue
+// of server.Pipeline, except the batch fans out across the cluster by
+// key instead of down one connection. Obtain one from Batch, queue
+// with PFAdd/PFCount/WAdd/WCount/Del, then Exec. Not safe for
+// concurrent use (the executing client is).
+type ClientBatch struct {
+	cc  *ClusterClient
+	ops []*cop
+	err error // first queueing error; reported by Exec
+}
+
+// Batch returns an empty command batch on this client.
+func (cc *ClusterClient) Batch() *ClientBatch { return &ClientBatch{cc: cc} }
+
+func (b *ClientBatch) add(key string, parts []string) {
+	if b.err != nil {
+		return
+	}
+	for _, p := range parts {
+		if p == "" || strings.ContainsAny(p, " \t\r\n") {
+			b.err = fmt.Errorf("cluster: token %q must be non-empty and free of whitespace", p)
+			return
+		}
+	}
+	b.ops = append(b.ops, &cop{parts: parts, key: key})
+}
+
+// PFAdd queues a PFADD key element... command.
+func (b *ClientBatch) PFAdd(key string, elements ...string) {
+	b.add(key, append(append(make([]string, 0, 2+len(elements)), "PFADD", key), elements...))
+}
+
+// PFCount queues a single-key PFCOUNT command.
+func (b *ClientBatch) PFCount(key string) {
+	b.add(key, []string{"PFCOUNT", key})
+}
+
+// WAdd queues a WADD key ts element... command (ts in unix
+// milliseconds).
+func (b *ClientBatch) WAdd(key string, tsMillis int64, elements ...string) {
+	parts := make([]string, 0, 3+len(elements))
+	parts = append(parts, "WADD", key, strconv.FormatInt(tsMillis, 10))
+	b.add(key, append(parts, elements...))
+}
+
+// WCount queues a WCOUNT key window command.
+func (b *ClientBatch) WCount(key string, win time.Duration) {
+	b.add(key, []string{"WCOUNT", key, win.String()})
+}
+
+// Del queues a DEL key command.
+func (b *ClientBatch) Del(key string) {
+	b.add(key, []string{"DEL", key})
+}
+
+// Len returns the number of queued commands.
+func (b *ClientBatch) Len() int { return len(b.ops) }
+
+// Exec routes and executes every queued command and returns one Result
+// per command, in queue order. Per-command failures (including a
+// redirect budget exhausted mid-rebalance) land in the individual
+// Results; the returned error is non-nil only for a queueing error, in
+// which case nothing was sent. Exec resets the batch for reuse.
+func (b *ClientBatch) Exec() ([]server.Result, error) {
+	ops, err := b.ops, b.err
+	b.ops, b.err = nil, nil
+	if err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	b.cc.run(ops)
+	results := make([]server.Result, len(ops))
+	for i, op := range ops {
+		results[i] = op.res
+	}
+	return results, nil
+}

@@ -61,6 +61,14 @@ type Node struct {
 	pushes     atomic.Uint64 // cumulative rebalance ABSORB messages sent
 	autoLeaves atomic.Uint64 // quorum-backed evictions this node coordinated
 
+	// strict gates the -MOVED answer path: when set, public single-key
+	// data verbs for keys this node does not own are redirected instead
+	// of forwarded (see SetStrictRouting). Off by default — coordinator
+	// mode, where any node answers any command, stays the default.
+	strict       atomic.Bool
+	movedReplies atomic.Uint64 // -MOVED redirects sent to misrouted clients
+	mapRefetches atomic.Uint64 // CLUSTER MAP replies served (client refetches + syncs)
+
 	// mutateMu serializes membership mutations coordinated BY THIS
 	// node (claim → mint → install → broadcast), so two JOINs arriving
 	// at the same coordinator cannot claim successive epochs and then
@@ -322,6 +330,44 @@ func (n *Node) Store() *server.Store { return n.store }
 
 // Map returns the node's current cluster map. Treat it as read-only.
 func (n *Node) Map() *Map { return n.currentMap() }
+
+// SetStrictRouting toggles the smart-client answer path: when enabled,
+// a public single-key data verb (PFADD, WADD, WCOUNT, WINFO, DEL, and
+// single-key PFCOUNT) whose key this node does not own is answered with
+//
+//	-MOVED e=<epoch> <id>=<addr>
+//
+// naming the primary owner under this node's current map, instead of
+// being forwarded on the client's behalf. ClusterClient follows the
+// redirect; dumb clients see it as an error. Multi-key reads (PFCOUNT
+// with several keys, PFMERGE, KEYS) are always served — they are
+// scatter-gathers with no single owner to point at. Internal forwards
+// (the CLUSTER L*/MLPFADD/ABSORB verbs) are exempt by construction:
+// they bypass the public handlers entirely, so a replica can never
+// bounce a replication write into a redirect loop. Off by default;
+// safe to toggle at runtime.
+func (n *Node) SetStrictRouting(on bool) { n.strict.Store(on) }
+
+// moved returns the -MOVED redirect line for key when strict routing is
+// on and this node is not among the key's owners. The epoch tag lets
+// clients ignore redirects older than the map they already hold.
+func (n *Node) moved(key string) (string, bool) {
+	if !n.strict.Load() {
+		return "", false
+	}
+	m := n.currentMap()
+	owners := m.Owners(key)
+	if len(owners) == 0 {
+		return "", false
+	}
+	for _, o := range owners {
+		if o.ID == n.id {
+			return "", false
+		}
+	}
+	n.movedReplies.Add(1)
+	return fmt.Sprintf("-MOVED e=%d %s=%s", m.Epoch, owners[0].ID, owners[0].Addr), true
+}
 
 func (n *Node) currentMap() *Map {
 	n.mu.RLock()
@@ -625,6 +671,26 @@ func validKeys(keys []string) error {
 	return nil
 }
 
+// withStaleMapRetry runs op against the current map and, when it fails
+// while a strictly newer map was installed concurrently, re-resolves
+// once against the fresh map. This is the server-side mirror of the
+// smart client's redirect budget: a forward that lands on a just-
+// evicted owner mid-rebalance gets one second chance against the map
+// that evicted it, instead of surfacing a transport error the caller
+// would have to retry anyway. Bounded at one re-resolve — a second
+// concurrent map change surfaces its error as before.
+func (n *Node) withStaleMapRetry(op func(m *Map) error) error {
+	m := n.currentMap()
+	err := op(m)
+	if err == nil {
+		return nil
+	}
+	if cur := n.currentMap(); cur != m && cur.Newer(m) {
+		return op(cur)
+	}
+	return err
+}
+
 // Add inserts elements into key on every owner node; it reports whether
 // any owner's sketch changed. All owners receive the same elements, so
 // replicas stay byte-identical (insertion order does not matter — the
@@ -644,7 +710,20 @@ func (n *Node) Add(key string, elements ...string) (bool, error) {
 			return false, err
 		}
 	}
-	owners := n.currentMap().Owners(key)
+	var changed bool
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		changed, err = n.addWith(m, key, elements)
+		return err
+	})
+	return changed, err
+}
+
+// addWith is Add's fan-out against one specific map; re-sending to an
+// owner that already applied the elements is harmless (sketch inserts
+// are idempotent), which is what makes the stale-map retry safe.
+func (n *Node) addWith(m *Map, key string, elements []string) (bool, error) {
+	owners := m.Owners(key)
 	if len(owners) == 0 {
 		return false, errors.New("cluster: empty cluster map (node not started?)")
 	}
@@ -685,7 +764,12 @@ func (n *Node) Count(keys ...string) (float64, error) {
 	if err := validKeys(keys); err != nil {
 		return 0, err
 	}
-	acc, err := n.gather(n.currentMap(), keys)
+	var acc *core.Sketch
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		acc, err = n.gather(m, keys)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -840,7 +924,20 @@ func (n *Node) WindowAdd(key string, tsMillis int64, elements ...string) (int, e
 			return 0, err
 		}
 	}
-	owners := n.currentMap().Owners(key)
+	var accepted int
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		accepted, err = n.windowAddWith(m, key, tsMillis, elements)
+		return err
+	})
+	return accepted, err
+}
+
+// windowAddWith is WindowAdd's fan-out against one specific map;
+// re-sending is harmless (slice merges are idempotent, slice assignment
+// is a pure function of the timestamp), making the stale-map retry safe.
+func (n *Node) windowAddWith(m *Map, key string, tsMillis int64, elements []string) (int, error) {
+	owners := m.Owners(key)
 	if len(owners) == 0 {
 		return 0, errors.New("cluster: empty cluster map (node not started?)")
 	}
@@ -887,7 +984,12 @@ func (n *Node) WindowCount(key string, win time.Duration, tsMillis int64) (float
 	if err := validToken("key", key); err != nil {
 		return 0, err
 	}
-	acc, err := n.gatherWindows(n.currentMap(), []string{key})
+	var acc *window.Counter
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		acc, err = n.gatherWindows(m, []string{key})
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -911,7 +1013,12 @@ func (n *Node) WindowInfo(key string) (string, error) {
 	if err := validToken("key", key); err != nil {
 		return "", err
 	}
-	acc, err := n.gatherWindows(n.currentMap(), []string{key})
+	var acc *window.Counter
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		acc, err = n.gatherWindows(m, []string{key})
+		return err
+	})
 	if err != nil {
 		return "", err
 	}
@@ -998,7 +1105,19 @@ func (n *Node) Del(key string) (bool, error) {
 	if err := validToken("key", key); err != nil {
 		return false, err
 	}
-	owners := n.currentMap().Owners(key)
+	var existed bool
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		existed, err = n.delWith(m, key)
+		return err
+	})
+	return existed, err
+}
+
+// delWith is Del's fan-out against one specific map; deleting an
+// already-deleted key is a no-op, so the stale-map retry is safe.
+func (n *Node) delWith(m *Map, key string) (bool, error) {
+	owners := m.Owners(key)
 	existed := make([]bool, len(owners))
 	errs := make([]error, len(owners))
 	var wg sync.WaitGroup
@@ -1074,6 +1193,9 @@ func (n *Node) handlePFAdd(args []string) string {
 	if len(args) < 2 {
 		return "-ERR PFADD needs a key and at least one element"
 	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
+	}
 	changed, err := n.Add(args[0], args[1:]...)
 	if err != nil {
 		return "-ERR " + err.Error()
@@ -1087,6 +1209,13 @@ func (n *Node) handlePFAdd(args []string) string {
 func (n *Node) handlePFCount(args []string) string {
 	if len(args) < 1 {
 		return "-ERR PFCOUNT needs at least one key"
+	}
+	// Only the single-key form is redirectable: a multi-key count is a
+	// scatter-gather with no single owner to point the client at.
+	if len(args) == 1 {
+		if reply, ok := n.moved(args[0]); ok {
+			return reply
+		}
 	}
 	v, err := n.Count(args...)
 	if err != nil {
@@ -1113,6 +1242,9 @@ func (n *Node) handleWAdd(args []string) string {
 	if err != nil {
 		return "-ERR WADD timestamp must be an integer (unix milliseconds)"
 	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
+	}
 	accepted, err := n.WindowAdd(args[0], ts, args[2:]...)
 	if err != nil {
 		return "-ERR " + err.Error()
@@ -1134,6 +1266,9 @@ func (n *Node) handleWCount(args []string) string {
 			return "-ERR WCOUNT timestamp must be an integer (unix milliseconds)"
 		}
 	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
+	}
 	v, err := n.WindowCount(args[0], win, ts)
 	if err != nil {
 		return "-ERR " + err.Error()
@@ -1144,6 +1279,9 @@ func (n *Node) handleWCount(args []string) string {
 func (n *Node) handleWInfo(args []string) string {
 	if len(args) != 1 {
 		return "-ERR WINFO needs exactly one key"
+	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
 	}
 	info, err := n.WindowInfo(args[0])
 	if errors.Is(err, server.ErrNoSuchKey) {
@@ -1159,6 +1297,9 @@ func (n *Node) handleWInfo(args []string) string {
 func (n *Node) handleDel(args []string) string {
 	if len(args) != 1 {
 		return "-ERR DEL needs exactly one key"
+	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
 	}
 	existed, err := n.Del(args[0])
 	if err != nil {
@@ -1190,6 +1331,10 @@ func (n *Node) handleCluster(args []string) string {
 		return fmt.Sprintf("+id=%s addr=%s e=%d v=%d replicas=%d nodes=%d keys=%d rebal=%d",
 			n.id, n.Addr(), m.Epoch, m.Version, m.Replicas, m.Len(), n.store.Len(), n.pushes.Load())
 	case "MAP":
+		// Counted as a refetch: under strict routing this is the verb
+		// stale smart clients issue after a -MOVED, so moved_replies vs
+		// map_refetches shows whether redirects are converging.
+		n.mapRefetches.Add(1)
 		return "+" + n.currentMap().Encode()
 	case "JOIN":
 		if len(rest) != 2 {

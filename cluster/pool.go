@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -90,11 +89,18 @@ func (p *pool) drop(addr string, c *server.Client) {
 	c.Close()
 }
 
-// do runs one command against addr. The routine typed-keyspace replies
-// — a missing key, a WRONGTYPE value — are answers, not failures: they
-// keep the pooled connection and count as liveness evidence. Any other
-// error discards the cached connection so the next call redials —
-// protocol errors don't require it, but redialing is always safe.
+// do runs one command against addr, classifying the outcome by
+// TRANSPORT, not by error kind: any parsed reply line — OK, a missing
+// key, a WRONGTYPE value, an arity error, a -MOVED redirect — means
+// the peer read the command and answered, so the pooled connection is
+// healthy (the protocol is strictly one-reply-one-line, no desync
+// possible) and the answer is liveness evidence for the failure
+// detector. Only dial/read/write failures drop the cached connection
+// for a redial on next use. Enumerating "benign" error replies here
+// would be wrong twice over: a novel error reply would needlessly
+// tear down a healthy connection, and — worse — feed the missing
+// alive() into the detector as spurious suspicion of a peer that just
+// answered.
 func (p *pool) do(addr string, parts ...string) (string, error) {
 	if p.hook != nil {
 		if err := p.hook(addr, parts); err != nil {
@@ -106,7 +112,7 @@ func (p *pool) do(addr string, parts ...string) (string, error) {
 		return "", err
 	}
 	reply, err := c.Do(parts...)
-	answered := err == nil || errors.Is(err, server.ErrNoSuchKey) || errors.Is(err, server.ErrWrongType)
+	answered := err == nil || server.IsReplyErr(err)
 	if !answered {
 		p.drop(addr, c)
 	} else if p.alive != nil {

@@ -27,6 +27,8 @@ type ClusterStats struct {
 	MLPFAddGroups  uint64 // per-key add groups coalesced into MLPFADD batches
 	MLPFAddBatches uint64 // MLPFADD batches flushed
 	RebalPushes    uint64 // cumulative rebalance ABSORB messages sent
+	MovedReplies   uint64 // -MOVED redirects sent to misrouted clients (strict routing)
+	MapRefetches   uint64 // CLUSTER MAP replies served (client refetches + syncs)
 }
 
 // StatsCounters returns a snapshot of this node's cluster-layer
@@ -43,6 +45,8 @@ func (n *Node) StatsCounters() ClusterStats {
 		MLPFAddGroups:  n.peers.mlGroups.Load(),
 		MLPFAddBatches: n.peers.mlBatches.Load(),
 		RebalPushes:    n.pushes.Load(),
+		MovedReplies:   n.movedReplies.Load(),
+		MapRefetches:   n.mapRefetches.Load(),
 	}
 }
 
@@ -53,9 +57,10 @@ func (n *Node) StatsCounters() ClusterStats {
 func (n *Node) statsBody() string {
 	c := n.StatsCounters()
 	return fmt.Sprintf(
-		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d\n%s",
+		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d moved_replies=%d map_refetches=%d\n%s",
 		n.id, c.GossipRounds, c.SuspectsRaised, c.AutoLeaves,
 		c.MLPFAddGroups, c.MLPFAddBatches, c.RebalPushes,
+		c.MovedReplies, c.MapRefetches,
 		n.srv.StatsText())
 }
 
@@ -108,6 +113,8 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE ell_cluster_mlpfadd_groups_total counter\nell_cluster_mlpfadd_groups_total %d\n", c.MLPFAddGroups)
 	fmt.Fprintf(w, "# TYPE ell_cluster_mlpfadd_batches_total counter\nell_cluster_mlpfadd_batches_total %d\n", c.MLPFAddBatches)
 	fmt.Fprintf(w, "# TYPE ell_cluster_rebalance_pushes_total counter\nell_cluster_rebalance_pushes_total %d\n", c.RebalPushes)
+	fmt.Fprintf(w, "# TYPE ell_cluster_moved_replies_total counter\nell_cluster_moved_replies_total %d\n", c.MovedReplies)
+	fmt.Fprintf(w, "# TYPE ell_cluster_map_refetches_total counter\nell_cluster_map_refetches_total %d\n", c.MapRefetches)
 }
 
 // Server exposes the node's embedded server, e.g. for its Stats core

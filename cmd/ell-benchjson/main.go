@@ -151,6 +151,9 @@ func loadRow(path string) (Benchmark, string, error) {
 	}
 	name := fmt.Sprintf("BenchmarkClusterLoad/dist=%s/conns=%d/depth=%d/mix=%s",
 		res.Dist, res.Conns, res.Depth, res.Mix)
+	if res.Route != "" {
+		name += "/route=" + res.Route
+	}
 	var nsPerOp float64
 	if res.AchievedQPS > 0 {
 		nsPerOp = 1e9 / res.AchievedQPS

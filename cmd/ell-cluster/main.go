@@ -141,6 +141,10 @@ func main() {
 			usage()
 		}
 		changed, err := c.PFAdd(rest[0], rest[1:]...)
+		if c2 := redialMoved(err); c2 != nil {
+			changed, err = c2.PFAdd(rest[0], rest[1:]...)
+			c2.Close()
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -150,6 +154,10 @@ func main() {
 			usage()
 		}
 		n, err := c.PFCount(rest...)
+		if c2 := redialMoved(err); c2 != nil {
+			n, err = c2.PFCount(rest...)
+			c2.Close()
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -205,8 +213,30 @@ func printMutation(reply string) {
 
 func mustDo(c *server.Client, parts ...string) string {
 	reply, err := c.Do(parts...)
+	if c2 := redialMoved(err); c2 != nil {
+		reply, err = c2.Do(parts...)
+		c2.Close()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	return reply
+}
+
+// redialMoved dials the owner a -MOVED redirect names, or returns nil
+// for any other outcome. Strict-routing nodes (elld -strict-routing)
+// bounce misrouted single-key data commands instead of forwarding, so
+// the CLI follows one redirect — enough against a stable map; a second
+// bounce surfaces as the error it is.
+func redialMoved(err error) *server.Client {
+	mv, ok := server.AsMoved(err)
+	if !ok {
+		return nil
+	}
+	c2, derr := server.Dial(mv.Addr)
+	if derr != nil {
+		log.Fatalf("following MOVED to %s (%s): %v", mv.NodeID, mv.Addr, derr)
+	}
+	fmt.Fprintf(os.Stderr, "ell-cluster: redirected to owner %s at %s\n", mv.NodeID, mv.Addr)
+	return c2
 }

@@ -15,7 +15,18 @@
 // total throughput (0 = max). The first -warmup of the run is driven
 // but not measured.
 //
+// Routing: by default each connection talks to one node, which
+// forwards on the client's behalf (coordinator mode). -single-hop
+// instead drives cluster.ClusterClient batches — keys are hashed
+// locally and every command goes straight to an owner, the smart-
+// client path. With -self the nodes then run strict routing, so the
+// measured path is honest single-hop (a misroute would bounce, not
+// silently forward). The JSON result records the route, and the
+// Makefile loadtest emits one row per route so the latency win is
+// recorded, not asserted.
+//
 //	ell-loader -self 3 -conns 4 -depth 32 -duration 10s -mix pfadd=8,pfcount=1,wadd=1 -dist zipf
+//	ell-loader -self 3 -single-hop -conns 4 -depth 32 -duration 10s
 //	ell-loader -addrs 127.0.0.1:7700,127.0.0.1:7701 -qps 5000 -out load.json
 //
 // Latency is observed per pipeline batch round trip and attributed to
@@ -59,6 +70,7 @@ func main() {
 	qps := flag.Float64("qps", 0, "target total commands/second (0 = max throughput)")
 	elements := flag.Int("elements", 2, "elements per pfadd/wadd command")
 	seed := flag.Int64("seed", 1, "base RNG seed (per-connection streams derive from it)")
+	singleHop := flag.Bool("single-hop", false, "route each command straight to an owner via the smart client (with -self, nodes run strict routing)")
 	out := flag.String("out", "", "write the JSON result here instead of stdout")
 	flag.Parse()
 
@@ -75,7 +87,7 @@ func main() {
 
 	var targets []string
 	if *self > 0 {
-		nodes, stop, err := startSelfCluster(*self, *replicas, *p)
+		nodes, stop, err := startSelfCluster(*self, *replicas, *p, *singleHop)
 		if err != nil {
 			log.Fatal("ell-loader: ", err)
 		}
@@ -95,6 +107,7 @@ func main() {
 	cfg := workerConfig{
 		specs: specs, depth: *depth, keys: *keys, keyPrefix: *keyPrefix,
 		dist: *dist, zipfS: *zipfS, zipfV: *zipfV, elements: *elements,
+		singleHop: *singleHop,
 	}
 	if *qps > 0 {
 		// Per-connection pacing: each connection owns an equal share of
@@ -110,7 +123,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			stats[i] = runWorker(targets[i%len(targets)], *seed+int64(i)*104729, cfg, warmupEnd, end)
+			stats[i] = runWorker(targets, i, *seed+int64(i)*104729, cfg, warmupEnd, end)
 		}(i)
 	}
 	wg.Wait()
@@ -118,6 +131,10 @@ func main() {
 	res := aggregate(stats, specs)
 	res.Addrs, res.Conns, res.Depth = targets, *conns, *depth
 	res.Dist, res.Keys, res.Mix, res.Seed = *dist, *keys, *mix, *seed
+	res.Route = "coordinator"
+	if *singleHop {
+		res.Route = "single-hop"
+	}
 	res.TargetQPS, res.DurationSec, res.WarmupSec = *qps, duration.Seconds(), warmup.Seconds()
 	if duration.Seconds() > 0 {
 		res.AchievedQPS = float64(res.Ops) / duration.Seconds()
@@ -137,8 +154,8 @@ func main() {
 	if err := enc.Encode(res); err != nil {
 		log.Fatal("ell-loader: ", err)
 	}
-	fmt.Fprintf(os.Stderr, "ell-loader: %d ops in %v: %.0f cmd/s, p50=%dµs p99=%dµs max=%dµs, %d errors\n",
-		res.Ops, *duration, res.AchievedQPS, res.LatencyUS.P50, res.LatencyUS.P99, res.LatencyUS.Max, res.Errors)
+	fmt.Fprintf(os.Stderr, "ell-loader: %s route: %d ops in %v: %.0f cmd/s, p50=%dµs p99=%dµs max=%dµs, %d errors\n",
+		res.Route, res.Ops, *duration, res.AchievedQPS, res.LatencyUS.P50, res.LatencyUS.P99, res.LatencyUS.Max, res.Errors)
 }
 
 // verbSpec is one weighted entry of the -mix.
@@ -182,7 +199,86 @@ type workerConfig struct {
 	dist         string
 	zipfS, zipfV float64
 	elements     int
+	singleHop    bool          // route via cluster.ClusterClient instead of one coordinator
 	batchEvery   time.Duration // 0: no pacing (max throughput)
+}
+
+// opBatch is the slice of batching API the workload needs, satisfied by
+// both a coordinator pipeline and a smart-client batch so runWorker is
+// route-agnostic.
+type opBatch interface {
+	PFAdd(key string, elements ...string)
+	PFCount(key string)
+	WAdd(key string, tsMillis int64, elements ...string)
+	WCount(key string, win time.Duration)
+	Exec() ([]server.Result, error)
+}
+
+// pipeBatch adapts server.Pipeline to opBatch: the pipeline's PFCount
+// is variadic (the server verb takes several keys), the workload always
+// counts one.
+type pipeBatch struct{ *server.Pipeline }
+
+func (p pipeBatch) PFCount(key string) { p.Pipeline.PFCount(key) }
+
+// driver owns one worker's connection state: hand out batches, drop the
+// connection after a transport failure so the next batch() redials.
+type driver interface {
+	batch() (opBatch, error)
+	fail()
+	close()
+}
+
+// coordDriver is the classic route: one pipelined connection to one
+// node, which forwards to owners on the client's behalf.
+type coordDriver struct {
+	addr string
+	c    *server.Client
+}
+
+func (d *coordDriver) batch() (opBatch, error) {
+	if d.c == nil {
+		c, err := server.Dial(d.addr)
+		if err != nil {
+			return nil, err
+		}
+		d.c = c
+	}
+	return pipeBatch{d.c.Pipeline()}, nil
+}
+
+func (d *coordDriver) fail() { d.close(); d.c = nil }
+
+func (d *coordDriver) close() {
+	if d.c != nil {
+		d.c.Close()
+	}
+}
+
+// singleHopDriver is the smart-client route: keys hashed locally,
+// commands sent straight to an owner over per-node connections.
+type singleHopDriver struct {
+	targets []string
+	cc      *cluster.ClusterClient
+}
+
+func (d *singleHopDriver) batch() (opBatch, error) {
+	if d.cc == nil {
+		cc, err := cluster.DialCluster(d.targets...)
+		if err != nil {
+			return nil, err
+		}
+		d.cc = cc
+	}
+	return d.cc.Batch(), nil
+}
+
+func (d *singleHopDriver) fail() { d.close(); d.cc = nil }
+
+func (d *singleHopDriver) close() {
+	if d.cc != nil {
+		d.cc.Close()
+	}
 }
 
 // workerStats is one connection's measured outcome. The histogram is
@@ -195,10 +291,12 @@ type workerStats struct {
 	verbErrs []uint64
 }
 
-// runWorker drives one pipelined connection until end, recording only
-// after warmupEnd. Transport errors redial and keep going — the run
-// measures the cluster, it must not die with it.
-func runWorker(addr string, seed int64, cfg workerConfig, warmupEnd, end time.Time) *workerStats {
+// runWorker drives one connection's worth of load until end, recording
+// only after warmupEnd. Transport errors redial and keep going — the
+// run measures the cluster, it must not die with it. Coordinator mode
+// pins the worker to targets[idx%len]; single-hop mode routes every
+// command itself from the full target list.
+func runWorker(targets []string, idx int, seed int64, cfg workerConfig, warmupEnd, end time.Time) *workerStats {
 	st := &workerStats{
 		verbOps:  make([]uint64, len(cfg.specs)),
 		verbErrs: make([]uint64, len(cfg.specs)),
@@ -236,22 +334,21 @@ func runWorker(addr string, seed int64, cfg workerConfig, warmupEnd, end time.Ti
 		}
 	}
 
-	var c *server.Client
-	defer func() {
-		if c != nil {
-			c.Close()
-		}
-	}()
+	var d driver
+	if cfg.singleHop {
+		d = &singleHopDriver{targets: targets}
+	} else {
+		d = &coordDriver{addr: targets[idx%len(targets)]}
+	}
+	defer d.close()
 	slots := make([]int, cfg.depth)
 	next := time.Now()
 	for time.Now().Before(end) {
-		if c == nil {
-			var err error
-			if c, err = server.Dial(addr); err != nil {
-				st.errs++
-				time.Sleep(10 * time.Millisecond)
-				continue
-			}
+		pl, err := d.batch()
+		if err != nil {
+			st.errs++
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		if cfg.batchEvery > 0 {
 			if d := time.Until(next); d > 0 {
@@ -259,7 +356,6 @@ func runWorker(addr string, seed int64, cfg workerConfig, warmupEnd, end time.Ti
 			}
 			next = next.Add(cfg.batchEvery)
 		}
-		pl := c.Pipeline()
 		for j := 0; j < cfg.depth; j++ {
 			vi := pickVerb()
 			slots[j] = vi
@@ -286,8 +382,7 @@ func runWorker(addr string, seed int64, cfg workerConfig, warmupEnd, end time.Ti
 			if measured {
 				st.errs++
 			}
-			c.Close()
-			c = nil
+			d.fail()
 			continue
 		}
 		if !measured {
@@ -335,7 +430,9 @@ func aggregate(stats []*workerStats, specs []verbSpec) *loadreport.Result {
 
 // startSelfCluster boots an n-node in-process cluster and returns its
 // addresses plus a shutdown func — the zero-setup mode for smoke tests.
-func startSelfCluster(n, replicas, p int) ([]string, func(), error) {
+// With strict set, nodes bounce misrouted data commands with -MOVED so
+// a single-hop run measures genuine owner-direct latency.
+func startSelfCluster(n, replicas, p int, strict bool) ([]string, func(), error) {
 	cfg := core.RecommendedML(p)
 	if replicas > n {
 		replicas = n
@@ -352,6 +449,7 @@ func startSelfCluster(n, replicas, p int) ([]string, func(), error) {
 			stop()
 			return nil, nil, err
 		}
+		nd.SetStrictRouting(strict)
 		if err := nd.Start("127.0.0.1:0"); err != nil {
 			stop()
 			return nil, nil, err

@@ -10,7 +10,8 @@
 //	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file] \
 //	     [-window-slice 1s] [-window-slices 60] [-metrics-addr 127.0.0.1:9100]
 //	elld -node-id n1 [-replicas 2] [-join host:port] \
-//	     [-gossip-interval 1s] [-suspect-after 5]    # cluster mode
+//	     [-gossip-interval 1s] [-suspect-after 5] \
+//	     [-strict-routing]                           # cluster mode
 //
 // -metrics-addr serves Prometheus-text metrics at /metrics: per-verb
 // call counts, error counts, bytes and latency histograms (see the
@@ -34,6 +35,13 @@
 // a dead node leaves the map without operator action. -gossip-interval
 // 0 disables the detector (membership then changes only by operator
 // command and anti-entropy sync).
+//
+// -strict-routing makes the node answer misrouted single-key data
+// commands with a -MOVED redirect instead of forwarding to the owners
+// — the serving mode for smart clients (cluster.ClusterClient,
+// ell-loader -single-hop) that hash keys locally and expect one-hop
+// latency. Coordinator-style clients can keep using non-strict nodes
+// of the same cluster; the flag is per node.
 //
 // On SIGINT/SIGTERM elld takes a final snapshot (when -snapshot is set)
 // before closing the listener, so a restarted node loses nothing. The
@@ -76,6 +84,7 @@ func main() {
 	replicas := flag.Int("replicas", 2, "number of nodes holding each key (cluster mode)")
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "failure-detector gossip period, 0 disables (cluster mode)")
 	suspectAfter := flag.Int("suspect-after", 5, "gossip intervals a silent member survives before suspicion (cluster mode)")
+	strictRouting := flag.Bool("strict-routing", false, "answer misrouted single-key data commands with -MOVED instead of forwarding (cluster mode, for smart clients)")
 	windowSlice := flag.Duration("window-slice", time.Second, "slice duration of WADD-created sliding-window keys")
 	windowSlices := flag.Int("window-slices", 60, "number of slices in WADD-created rings (max window = slice x slices)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics on this address (empty disables)")
@@ -86,8 +95,11 @@ func main() {
 	defer stop()
 
 	if *nodeID != "" {
-		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr)
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr, *strictRouting)
 		return
+	}
+	if *strictRouting {
+		log.Fatal("-strict-routing requires cluster mode (-node-id)")
 	}
 
 	store, err := server.NewStore(cfg)
@@ -119,7 +131,7 @@ func main() {
 	saveSnapshot(store, *snapshot)
 }
 
-func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string) {
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string, strictRouting bool) {
 	node, err := cluster.NewNode(nodeID, cfg, replicas)
 	if err != nil {
 		log.Fatal(err)
@@ -128,6 +140,7 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 		log.Fatal(err)
 	}
 	node.SetGossipConfig(cluster.GossipConfig{SuspectAfter: suspectAfter})
+	node.SetStrictRouting(strictRouting)
 	loadSnapshot(node.Store(), snapshot)
 	node.SetSnapshotPath(snapshot)
 	if err := node.Start(addr); err != nil {

@@ -37,6 +37,7 @@ type Result struct {
 	Keys  int      `json:"keys"`
 	Mix   string   `json:"mix"` // e.g. "pfadd=8,pfcount=1,wadd=1"
 	Seed  int64    `json:"seed"`
+	Route string   `json:"route,omitempty"` // "coordinator" or "single-hop"
 
 	TargetQPS   float64 `json:"target_qps,omitempty"` // 0: max throughput
 	DurationSec float64 `json:"duration_sec"`
