@@ -167,7 +167,11 @@ func BenchmarkRebalance(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(sumPushes(append(nodes, n4)...))/float64(b.N), "pushes/op")
+	all := append(nodes, n4)
+	b.ReportMetric(float64(sumPushes(all...))/float64(b.N), "pushes/op")
+	// The pushes travel framed: frames/op stays O(keys/batch), far under
+	// the one-message-per-push cost of the per-key path.
+	b.ReportMetric(float64(sumTransferStats(all).FramesSent)/float64(b.N), "frames/op")
 }
 
 func sumPushes(nodes ...*Node) uint64 {

@@ -15,6 +15,8 @@ package cluster
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"slices"
 	"sort"
@@ -31,6 +33,7 @@ type harness struct {
 	t        *testing.T
 	replicas int
 	dir      string
+	xfer     *TransferConfig // non-nil: applied to every started node
 
 	mu          sync.Mutex
 	nodes       map[string]*Node         // running nodes by ID
@@ -39,16 +42,27 @@ type harness struct {
 	partitioned map[string]bool          // node IDs currently cut off
 	delays      map[string]time.Duration // CLUSTER subcommand → outbound delay
 	gates       map[string]chan struct{} // "<id> <VERB>" → outbound blocks until closed
+	intercept   func(id, addr string, parts []string) error
 }
 
 // newHarness boots n nodes (n1..nN, n1 the seed) with the given
 // replica factor, each with a snapshot path and a fault hook.
 func newHarness(t *testing.T, n, replicas int) *harness {
 	t.Helper()
+	return newHarnessCfg(t, n, replicas, nil)
+}
+
+// newHarnessCfg is newHarness with a TransferConfig applied to every
+// node it starts — how the transfer chaos tests pin small frames,
+// narrow windows and short timeouts without changing the defaults the
+// other tests exercise.
+func newHarnessCfg(t *testing.T, n, replicas int, xfer *TransferConfig) *harness {
+	t.Helper()
 	h := &harness{
 		t:           t,
 		replicas:    replicas,
 		dir:         t.TempDir(),
+		xfer:        xfer,
 		nodes:       make(map[string]*Node),
 		addrs:       make(map[string]string),
 		idByAddr:    make(map[string]string),
@@ -76,6 +90,7 @@ func (h *harness) hookFor(id string) func(addr string, parts []string) error {
 	return func(addr string, parts []string) error {
 		h.mu.Lock()
 		blocked := h.partitioned[id] || h.partitioned[h.idByAddr[addr]]
+		intercept := h.intercept
 		var delay time.Duration
 		var gate chan struct{}
 		if len(parts) >= 2 && strings.EqualFold(parts[0], "CLUSTER") {
@@ -92,8 +107,59 @@ func (h *harness) hookFor(id string) func(addr string, parts []string) error {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
+		if intercept != nil {
+			return intercept(id, addr, parts)
+		}
 		return nil
 	}
+}
+
+// setIntercept installs a per-message interceptor consulted (after the
+// partition/gate/delay faults) with every outbound command of every
+// node — the surgical fault: a test can fail or park exactly the Nth
+// transfer frame, something the verb-granular faults cannot express.
+// nil clears it.
+func (h *harness) setIntercept(f func(id, addr string, parts []string) error) {
+	h.mu.Lock()
+	h.intercept = f
+	h.mu.Unlock()
+}
+
+// stall replaces node id with a black hole: the node is crashed and its
+// address re-bound to a listener that accepts connections and reads
+// forever without ever replying — the pathological peer that, before
+// I/O deadlines, hung every forward and rebalance touching it. Returns
+// the stalled address.
+func (h *harness) stall(id string) string {
+	h.t.Helper()
+	h.crash(id)
+	addr := h.addr(id)
+	var ln net.Listener
+	var err error
+	// The just-closed listener's port can take a moment to rebind.
+	for attempt := 0; attempt < 50; attempt++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(io.Discard, c) // consume everything, answer nothing
+			}(c)
+		}
+	}()
+	h.t.Cleanup(func() { ln.Close() })
+	return addr
 }
 
 // gate parks every outbound CLUSTER <verb> from node id until the
@@ -148,6 +214,9 @@ func (h *harness) start(id, listen string) *Node {
 	n.SetSnapshotPath(snap)
 	n.setFaultHook(h.hookFor(id))
 	n.SetGossipConfig(GossipConfig{Fanout: 2, SuspectAfter: testSuspectAfter})
+	if h.xfer != nil {
+		n.SetTransferConfig(*h.xfer)
+	}
 	// A just-crashed listener's port can take a moment to rebind.
 	startErr := n.Start(listen)
 	for attempt := 0; startErr != nil && attempt < 50; attempt++ {
@@ -453,7 +522,10 @@ func TestCrashRestartSelfHeals(t *testing.T) {
 	// A join starts; its rebalance traffic is slowed so n3 dies while
 	// the membership change is still propagating.
 	h.start("x1", "127.0.0.1:0")
+	// Slow both rebalance transports — the streams and the per-key path
+	// they degrade to — so n3 dies while data is still moving.
 	h.delay("ABSORB", 5*time.Millisecond)
+	h.delay("XFER", 5*time.Millisecond)
 	joinDone := make(chan struct{})
 	go func() {
 		defer close(joinDone)
@@ -464,6 +536,7 @@ func TestCrashRestartSelfHeals(t *testing.T) {
 	h.crash("n3")
 	<-joinDone
 	h.delay("ABSORB", 0)
+	h.delay("XFER", 0)
 
 	// The survivors carry on and converge without n3.
 	h.converge(15 * time.Second)
@@ -701,6 +774,7 @@ func TestDeltaRebalanceMessageCount(t *testing.T) {
 	for _, n := range nodes {
 		before += n.RebalancePushes()
 	}
+	xferBefore := sumTransferStats(nodes)
 
 	joiner, err := NewNode("n4", testConfig(), 2)
 	if err != nil {
@@ -743,6 +817,22 @@ func TestDeltaRebalanceMessageCount(t *testing.T) {
 	}
 	if pushes >= total*2 {
 		t.Errorf("join re-pushed the whole store (%d pushes for %d keys)", pushes, total)
+	}
+	// The framed path: those pushes must have traveled as O(keys/batch)
+	// frames, not one message per (key, owner) pair, with nothing
+	// degrading to the per-key fallback on a healthy cluster.
+	xferAfter := sumTransferStats(append(slices.Clone(nodes), joiner))
+	frames := int(xferAfter.FramesSent - xferBefore.FramesSent)
+	fallbacks := int(xferAfter.FallbackKeys - xferBefore.FallbackKeys)
+	t.Logf("the %d pushes traveled as %d frames (%d fallback keys)", pushes, frames, fallbacks)
+	if frames == 0 {
+		t.Error("join rebalance sent no transfer frames — the streaming path is not in use")
+	}
+	if frames*8 > pushes {
+		t.Errorf("join cost %d frames for %d pushes — frames are not batching O(keys/batch)", frames, pushes)
+	}
+	if fallbacks != 0 {
+		t.Errorf("%d keys degraded to per-key ABSORB on a healthy cluster", fallbacks)
 	}
 	// The delta still replicated everything: spot-check counts.
 	for k := 0; k < total; k += 101 {
@@ -1107,10 +1197,13 @@ func TestSupersededJoinReportsWinner(t *testing.T) {
 	}
 	h.start("x1", "127.0.0.1:0")
 
-	// Park n1's outbound ABSORB: its JOIN will claim, install,
+	// Park n1's outbound rebalance pushes (both the transfer stream and
+	// the per-key path small pushes take): its JOIN will claim, install,
 	// broadcast (the other nodes rebalance freely) and then hang in its
 	// own rebalance — handler still open, outcome not yet reported.
-	release := h.gate("n1", "ABSORB")
+	releaseXfer := h.gate("n1", "XFER")
+	releaseAbsorb := h.gate("n1", "ABSORB")
+	release := func() { releaseXfer(); releaseAbsorb() }
 	defer release()
 	joinReply := make(chan string, 1)
 	go func() {
@@ -1156,6 +1249,21 @@ func TestSupersededJoinReportsWinner(t *testing.T) {
 	if strings.Contains(enc, "x1=") {
 		t.Errorf("converged map %s still lists x1 after the LEAVE won", enc)
 	}
+}
+
+// sumTransferStats adds up the bulk-transfer counters across nodes.
+func sumTransferStats(nodes []*Node) TransferStats {
+	var sum TransferStats
+	for _, n := range nodes {
+		s := n.TransferStats()
+		sum.StreamsOpened += s.StreamsOpened
+		sum.StreamsResumed += s.StreamsResumed
+		sum.FramesSent += s.FramesSent
+		sum.FrameRetries += s.FrameRetries
+		sum.BytesMoved += s.BytesMoved
+		sum.FallbackKeys += s.FallbackKeys
+	}
+	return sum
 }
 
 func mustCount(t *testing.T, n *Node, keys ...string) float64 {

@@ -39,6 +39,7 @@ import (
 //	CLUSTER LDEL <key>                 → :1/:0 (local delete; internal)
 //	CLUSTER LKEYS                      → +<keys> (local keys; internal)
 //	CLUSTER ABSORB <key> <base64>      → +OK (merge a sketch blob into key; internal)
+//	CLUSTER XFER BEGIN|FRAME|END ...   → streaming bulk-transfer transport (internal; see transfer.go)
 //
 // Any node answers any command: writes are forwarded to all of the key's
 // owners (chosen by the consistent-hash ring), and counts scatter DUMP
@@ -85,6 +86,10 @@ type Node struct {
 	// ordered strictly after mu and mutateMu: detector code may read
 	// the map, map code never touches detector state.
 	gsp gossipState
+
+	// xfer is the streaming bulk-transfer transport state (see
+	// transfer.go): sender counters and the receiver session table.
+	xfer transferState
 }
 
 // ErrSuperseded is returned (wrapped) by Join when the mutation was
@@ -116,6 +121,12 @@ func NewNode(id string, cfg core.Config, replicas int) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{id: id, store: store, peers: newPool()}
+	n.xfer.sess = make(map[string]*xferSession)
+	// Every pooled peer command runs under a deadline, so a black-holed
+	// peer surfaces as a transport error (suspicion fuel) instead of
+	// hanging a forward forever. SetPeerTimeout tunes it (elld
+	// -peer-timeout).
+	n.peers.setTimeout(defaultPeerTimeout)
 	n.gsp.cfg = GossipConfig{Fanout: defaultFanout, SuspectAfter: defaultSuspectAfter}
 	n.gsp.peers = make(map[string]*peerState)
 	n.gsp.evictedAt = make(map[string]uint64)
@@ -1438,6 +1449,8 @@ func (n *Node) handleCluster(args []string) string {
 			return "-ERR " + err.Error()
 		}
 		return "+OK"
+	case "XFER":
+		return n.handleXfer(rest)
 	default:
 		return "-ERR unknown CLUSTER subcommand " + sub
 	}
@@ -1606,10 +1619,22 @@ func (n *Node) handleLeave(id string) string {
 	return "+SUPERSEDED " + n.currentMap().Triple()
 }
 
-// RebalancePushes returns the cumulative number of CLUSTER ABSORB
-// messages this node's rebalances have sent — the cost observable that
-// shows a membership change moving only its delta, not every key.
+// RebalancePushes returns the cumulative number of per-(key, owner)
+// pushes this node's rebalances have planned — the cost observable that
+// shows a membership change moving only its delta, not every key. (The
+// pushes themselves travel framed over the transfer stream; see
+// TransferStats for the resulting message counts.)
 func (n *Node) RebalancePushes() uint64 { return n.pushes.Load() }
+
+// SetPeerTimeout bounds every pooled peer command (forwards,
+// scatter-gather, gossip, map broadcasts) with one I/O deadline per
+// command: dials, writes and reply reads past d fail as TRANSPORT
+// errors, dropping the cached connection and feeding the failure
+// detector — a black-holed peer can no longer hang an operation
+// forever. It applies to connections dialed after the call (elld sets
+// it before Start); d ≤ 0 disables deadlines. The transfer stream has
+// its own deadline, TransferConfig.Timeout.
+func (n *Node) SetPeerTimeout(d time.Duration) { n.peers.setTimeout(d) }
 
 // setFaultHook installs f as this node's outbound fault hook (nil
 // disables). Every outgoing peer command — pool traffic and the

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"exaloglog/server"
 )
@@ -50,6 +51,14 @@ type pool struct {
 	// coalescing factor).
 	mlGroups  atomic.Uint64
 	mlBatches atomic.Uint64
+
+	// timeoutNS is the per-command I/O deadline (nanoseconds; 0 = no
+	// deadline) applied to every dialed connection: each Do/pipeline
+	// write-read runs under it, so a black-holed peer fails as a
+	// TRANSPORT error instead of hanging the caller. Atomic so
+	// SetPeerTimeout can tune it at runtime; connections pick it up
+	// when dialed.
+	timeoutNS atomic.Int64
 }
 
 func newPool() *pool {
@@ -59,6 +68,21 @@ func newPool() *pool {
 	}
 }
 
+// defaultPeerTimeout is the pool's out-of-the-box per-command I/O
+// deadline — generous, because it only needs to beat "forever": elld
+// tightens it via -peer-timeout.
+const defaultPeerTimeout = 10 * time.Second
+
+func (p *pool) setTimeout(d time.Duration) { p.timeoutNS.Store(int64(d)) }
+
+func (p *pool) timeout() time.Duration {
+	d := time.Duration(p.timeoutNS.Load())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 func (p *pool) get(addr string) (*server.Client, error) {
 	p.mu.Lock()
 	if c, ok := p.conns[addr]; ok {
@@ -66,10 +90,12 @@ func (p *pool) get(addr string) (*server.Client, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	c, err := server.Dial(addr)
+	t := p.timeout()
+	c, err := server.DialTimeout(addr, t)
 	if err != nil {
 		return nil, err
 	}
+	c.SetOpTimeout(t)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if prev, ok := p.conns[addr]; ok { // lost the dial race; keep the first

@@ -4,8 +4,17 @@ import (
 	"encoding/base64"
 	"errors"
 	"slices"
+	"strings"
 	"sync"
+
+	"exaloglog/server"
 )
+
+// rebalanceReplans bounds how often one rebalance re-plans against a
+// fresher map after a receiver's -STALE refusal before surfacing the
+// error (each iteration adopts a strictly newer epoch, so the loop
+// cannot cycle — the bound only caps churn during a membership storm).
+const rebalanceReplans = 3
 
 // rebalance reconciles this node's local sketches with the membership
 // transition old→cur. It is delta-aware: a key is pushed only to
@@ -21,25 +30,46 @@ import (
 //     a drain that previously failed half-way) — cur's owners may
 //     never have seen it.
 //
-// Pushes use CLUSTER ABSORB (merge-not-replace): re-sending a blob an
-// owner already holds is a no-op merge, so rebalance stays idempotent
-// — it can be rerun after any partial failure, and concurrent
-// rebalances of different nodes cannot corrupt each other (the paper's
-// commutative, idempotent merge is what makes this protocol trivially
-// safe).
+// Pushes travel over the streaming bulk-transfer transport (see
+// transfer.go): one framed, resumable stream per gaining peer, with
+// per-key CLUSTER ABSORB both as the small-push fast path and as the
+// degraded path once a stream's retry budget is spent. Either way the
+// receiver merges rather than replaces, so re-sending a blob an owner
+// already holds is a no-op merge and rebalance stays idempotent — it
+// can be rerun after any partial failure, and concurrent rebalances of
+// different nodes cannot corrupt each other (the paper's commutative,
+// idempotent merge is what makes the whole protocol trivially safe).
+//
+// Receivers are epoch-fenced: a peer whose map has already moved past
+// cur refuses the stream with -STALE, and rebalance then adopts the
+// newest map its peers hold and re-plans the SAME old→ transition
+// against it (bounded by rebalanceReplans) — keys bound for a dead
+// epoch are re-routed instead of lost or misdelivered.
 //
 // A node absent from cur (it is leaving) owns nothing, so rebalance
 // drains it: every local sketch is pushed to its new owners and
 // dropped locally once every push for that key succeeded.
 func (n *Node) rebalance(old, cur *Map) error {
-	blobs := n.store.DumpAllTagged()
-	type push struct {
-		key  string
-		addr string
-		b64  string
+	err := n.rebalanceOnce(old, cur)
+	for replan := 0; replan < rebalanceReplans && errors.Is(err, errXferStale); replan++ {
+		newest := n.newestPeerMap(cur)
+		if newest == nil || !newest.Newer(cur) {
+			break // fence tripped but no newer map visible yet; surface the error
+		}
+		n.swapMap(newest)
+		cur = n.currentMap()
+		err = n.rebalanceOnce(old, cur)
 	}
-	var pushes []push
+	return err
+}
+
+// rebalanceOnce is one planning+push pass of rebalance against a fixed
+// transition; see rebalance for the protocol it is part of.
+func (n *Node) rebalanceOnce(old, cur *Map) error {
+	blobs := n.store.DumpAllTagged()
+	byAddr := make(map[string][]server.KeyBlob)
 	keep := make(map[string]bool, len(blobs))
+	pushes := 0
 	for key, tagged := range blobs {
 		owners := cur.Owners(key)
 		if len(owners) == 0 {
@@ -54,7 +84,6 @@ func (n *Node) rebalance(old, cur *Map) error {
 				oldOwners = ids
 			}
 		}
-		b64 := ""
 		for _, o := range owners {
 			if o.ID == n.id {
 				keep[key] = true
@@ -63,37 +92,50 @@ func (n *Node) rebalance(old, cur *Map) error {
 			if oldOwners != nil && slices.Contains(oldOwners, o.ID) {
 				continue // delta: this owner held the key before the transition
 			}
-			if b64 == "" {
-				b64 = base64.StdEncoding.EncodeToString(tagged.Blob)
-			}
-			pushes = append(pushes, push{key, o.Addr, b64})
+			byAddr[o.Addr] = append(byAddr[o.Addr], server.KeyBlob{Key: key, Blob: tagged.Blob})
+			pushes++
 		}
 	}
-	n.pushes.Add(uint64(len(pushes)))
+	n.pushes.Add(uint64(pushes))
+	cfg := n.transferConfig()
 	errsByKey := make(map[string]error, len(blobs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, 16) // bound concurrent pushes
-	for _, p := range pushes {
+	for addr, items := range byAddr {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(p push) {
+		go func(addr string, items []server.KeyBlob) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			if _, err := n.peers.do(p.addr, "CLUSTER", "ABSORB", p.key, p.b64); err != nil {
-				mu.Lock()
-				if errsByKey[p.key] == nil {
-					errsByKey[p.key] = err
-				}
-				mu.Unlock()
+			var failed map[string]error
+			if len(items) >= cfg.MinStreamKeys {
+				failed = n.streamTo(addr, cur.Epoch, items)
+			} else {
+				failed = n.absorbEach(addr, items)
 			}
-		}(p)
+			if len(failed) == 0 {
+				return
+			}
+			mu.Lock()
+			for key, err := range failed {
+				if errsByKey[key] == nil {
+					errsByKey[key] = err
+				}
+			}
+			mu.Unlock()
+		}(addr, items)
 	}
 	wg.Wait()
 	var errs []error
+	stale := false
 	for key, tagged := range blobs {
 		if err := errsByKey[key]; err != nil {
-			errs = append(errs, err)
+			// Collapse the fan-out of a -STALE refusal (every key of the
+			// refused stream carries it) into one marker error for the
+			// re-plan loop; other failures surface per key.
+			if errors.Is(err, errXferStale) {
+				stale = true
+			} else {
+				errs = append(errs, err)
+			}
 			continue // don't drop a key we failed to hand off
 		}
 		if !keep[key] {
@@ -103,7 +145,60 @@ func (n *Node) rebalance(old, cur *Map) error {
 			n.store.DeleteIfUnchanged(key, tagged)
 		}
 	}
+	if stale {
+		errs = append(errs, errXferStale)
+	}
 	return errors.Join(errs...)
+}
+
+// absorbEach pushes items to addr one CLUSTER ABSORB per key — the
+// path for pushes too small to amortize a stream's handshake, and the
+// building block streamTo degrades to. It returns the keys that failed.
+func (n *Node) absorbEach(addr string, items []server.KeyBlob) map[string]error {
+	var failed map[string]error
+	for _, it := range items {
+		b64 := base64.StdEncoding.EncodeToString(it.Blob)
+		if _, err := n.peers.do(addr, "CLUSTER", "ABSORB", it.Key, b64); err != nil {
+			if failed == nil {
+				failed = make(map[string]error)
+			}
+			failed[it.Key] = err
+		}
+	}
+	return failed
+}
+
+// newestPeerMap fetches the map of every member of m and returns the
+// newest one seen (nil if no peer answered) — how a sender whose
+// stream was -STALE-refused finds the map that superseded its own.
+func (n *Node) newestPeerMap(m *Map) *Map {
+	members := m.Members()
+	maps := make([]*Map, len(members))
+	var wg sync.WaitGroup
+	for i, mem := range members {
+		if mem.ID == n.id {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			reply, err := n.peers.do(addr, "CLUSTER", "MAP")
+			if err != nil {
+				return
+			}
+			if got, err := DecodeMap(strings.Fields(reply)); err == nil {
+				maps[i] = got
+			}
+		}(i, mem.Addr)
+	}
+	wg.Wait()
+	var best *Map
+	for _, got := range maps {
+		if got != nil && got.Newer(best) {
+			best = got
+		}
+	}
+	return best
 }
 
 // repair re-pushes every local sketch to all of its current owners —

@@ -26,9 +26,17 @@ type ClusterStats struct {
 	AutoLeaves     uint64 // quorum-backed evictions this node coordinated
 	MLPFAddGroups  uint64 // per-key add groups coalesced into MLPFADD batches
 	MLPFAddBatches uint64 // MLPFADD batches flushed
-	RebalPushes    uint64 // cumulative rebalance ABSORB messages sent
+	RebalPushes    uint64 // cumulative rebalance per-(key,owner) pushes planned
 	MovedReplies   uint64 // -MOVED redirects sent to misrouted clients (strict routing)
 	MapRefetches   uint64 // CLUSTER MAP replies served (client refetches + syncs)
+
+	// Bulk-transfer transport counters (see transfer.go).
+	XferStreams      uint64 // XFER streams opened
+	XferResumed      uint64 // streams resumed after a timeout/drop
+	XferFrames       uint64 // frames sent (re-sends included)
+	XferFrameRetries uint64 // frames re-sent on resumed streams
+	XferBytes        uint64 // payload bytes framed
+	XferFallbacks    uint64 // keys degraded to per-key ABSORB
 }
 
 // StatsCounters returns a snapshot of this node's cluster-layer
@@ -47,6 +55,13 @@ func (n *Node) StatsCounters() ClusterStats {
 		RebalPushes:    n.pushes.Load(),
 		MovedReplies:   n.movedReplies.Load(),
 		MapRefetches:   n.mapRefetches.Load(),
+
+		XferStreams:      n.xfer.streams.Load(),
+		XferResumed:      n.xfer.resumed.Load(),
+		XferFrames:       n.xfer.frames.Load(),
+		XferFrameRetries: n.xfer.retries.Load(),
+		XferBytes:        n.xfer.bytes.Load(),
+		XferFallbacks:    n.xfer.fallbacks.Load(),
 	}
 }
 
@@ -56,11 +71,16 @@ func (n *Node) StatsCounters() ClusterStats {
 // reply rule, so split on "; " to get them back.
 func (n *Node) statsBody() string {
 	c := n.StatsCounters()
+	// New counters are appended at the end of the row: consumers parse
+	// k=v pairs by name, but prefix-matching tests and scripts stay
+	// stable that way.
 	return fmt.Sprintf(
-		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d moved_replies=%d map_refetches=%d\n%s",
+		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d moved_replies=%d map_refetches=%d xfer_streams=%d xfer_resumed=%d xfer_frames=%d xfer_frame_retries=%d xfer_bytes=%d xfer_fallbacks=%d\n%s",
 		n.id, c.GossipRounds, c.SuspectsRaised, c.AutoLeaves,
 		c.MLPFAddGroups, c.MLPFAddBatches, c.RebalPushes,
 		c.MovedReplies, c.MapRefetches,
+		c.XferStreams, c.XferResumed, c.XferFrames,
+		c.XferFrameRetries, c.XferBytes, c.XferFallbacks,
 		n.srv.StatsText())
 }
 
@@ -115,6 +135,12 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE ell_cluster_rebalance_pushes_total counter\nell_cluster_rebalance_pushes_total %d\n", c.RebalPushes)
 	fmt.Fprintf(w, "# TYPE ell_cluster_moved_replies_total counter\nell_cluster_moved_replies_total %d\n", c.MovedReplies)
 	fmt.Fprintf(w, "# TYPE ell_cluster_map_refetches_total counter\nell_cluster_map_refetches_total %d\n", c.MapRefetches)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_streams_total counter\nell_cluster_xfer_streams_total %d\n", c.XferStreams)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_resumed_total counter\nell_cluster_xfer_resumed_total %d\n", c.XferResumed)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_frames_total counter\nell_cluster_xfer_frames_total %d\n", c.XferFrames)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_frame_retries_total counter\nell_cluster_xfer_frame_retries_total %d\n", c.XferFrameRetries)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_bytes_total counter\nell_cluster_xfer_bytes_total %d\n", c.XferBytes)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_fallback_keys_total counter\nell_cluster_xfer_fallback_keys_total %d\n", c.XferFallbacks)
 }
 
 // Server exposes the node's embedded server, e.g. for its Stats core

@@ -11,7 +11,8 @@
 //	     [-window-slice 1s] [-window-slices 60] [-metrics-addr 127.0.0.1:9100]
 //	elld -node-id n1 [-replicas 2] [-join host:port] \
 //	     [-gossip-interval 1s] [-suspect-after 5] \
-//	     [-strict-routing]                           # cluster mode
+//	     [-strict-routing] [-peer-timeout 5s] \
+//	     [-xfer-batch 64] [-xfer-window 8]           # cluster mode
 //
 // -metrics-addr serves Prometheus-text metrics at /metrics: per-verb
 // call counts, error counts, bytes and latency histograms (see the
@@ -35,6 +36,14 @@
 // a dead node leaves the map without operator action. -gossip-interval
 // 0 disables the detector (membership then changes only by operator
 // command and anti-entropy sync).
+//
+// -peer-timeout bounds every node-to-node command (forwards,
+// scatter-gather, gossip, bulk transfer) with an I/O deadline: a
+// black-holed peer fails fast as a transport error and feeds the
+// failure detector instead of hanging an operation forever.
+// -xfer-batch and -xfer-window tune the streaming bulk-transfer
+// transport that rebalance and sync move sketches over (keys per
+// frame, unacked frames in flight; see the cluster package).
 //
 // -strict-routing makes the node answer misrouted single-key data
 // commands with a -MOVED redirect instead of forwarding to the owners
@@ -85,6 +94,9 @@ func main() {
 	gossipInterval := flag.Duration("gossip-interval", time.Second, "failure-detector gossip period, 0 disables (cluster mode)")
 	suspectAfter := flag.Int("suspect-after", 5, "gossip intervals a silent member survives before suspicion (cluster mode)")
 	strictRouting := flag.Bool("strict-routing", false, "answer misrouted single-key data commands with -MOVED instead of forwarding (cluster mode, for smart clients)")
+	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "I/O deadline per node-to-node command and transfer frame, 0 disables (cluster mode)")
+	xferBatch := flag.Int("xfer-batch", 64, "keys per bulk-transfer frame (cluster mode)")
+	xferWindow := flag.Int("xfer-window", 8, "unacked bulk-transfer frames in flight (cluster mode)")
 	windowSlice := flag.Duration("window-slice", time.Second, "slice duration of WADD-created sliding-window keys")
 	windowSlices := flag.Int("window-slices", 60, "number of slices in WADD-created rings (max window = slice x slices)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics on this address (empty disables)")
@@ -95,7 +107,7 @@ func main() {
 	defer stop()
 
 	if *nodeID != "" {
-		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr, *strictRouting)
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr, *strictRouting, *peerTimeout, *xferBatch, *xferWindow)
 		return
 	}
 	if *strictRouting {
@@ -131,7 +143,7 @@ func main() {
 	saveSnapshot(store, *snapshot)
 }
 
-func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string, strictRouting bool) {
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string, strictRouting bool, peerTimeout time.Duration, xferBatch, xferWindow int) {
 	node, err := cluster.NewNode(nodeID, cfg, replicas)
 	if err != nil {
 		log.Fatal(err)
@@ -141,6 +153,12 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 	}
 	node.SetGossipConfig(cluster.GossipConfig{SuspectAfter: suspectAfter})
 	node.SetStrictRouting(strictRouting)
+	node.SetPeerTimeout(peerTimeout)
+	node.SetTransferConfig(cluster.TransferConfig{
+		BatchKeys: xferBatch,
+		Window:    xferWindow,
+		Timeout:   peerTimeout,
+	})
 	loadSnapshot(node.Store(), snapshot)
 	node.SetSnapshotPath(snapshot)
 	if err := node.Start(addr); err != nil {

@@ -99,20 +99,57 @@ func parseMoved(rest string) (*MovedError, bool) {
 // to batch many commands into one round trip, or open multiple clients
 // for connection-level parallelism.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	wbuf []byte // reusable request-line build buffer (guarded by mu)
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	wbuf    []byte        // reusable request-line build buffer (guarded by mu)
+	timeout time.Duration // per-operation I/O deadline; 0 = none (guarded by mu)
 }
 
 // Dial connects to a sketch server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout is Dial with a connect deadline (0 = none). The deadline
+// covers only the dial; call SetOpTimeout to bound the I/O of each
+// subsequent operation.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	r := bufio.NewReaderSize(conn, 64*1024)
 	return &Client{conn: conn, r: r}, nil
+}
+
+// SetOpTimeout bounds every subsequent operation's network I/O: each Do
+// gets one deadline for its write+read, and each Pipeline.Exec refreshes
+// the deadline before the write and before every reply read (a batch is
+// allowed timeout per reply, not timeout total). 0 disables. A deadline
+// that trips surfaces as a net timeout error — NOT a ReplyError — so
+// connection-pooling callers classify it as a transport failure and drop
+// the connection, exactly like a peer that vanished.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// armDeadline pushes the connection deadline timeout into the future
+// (no-op when no timeout is set); callers hold c.mu.
+func (c *Client) armDeadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// clearDeadline removes any armed deadline so an idle pooled connection
+// cannot time out between operations; callers hold c.mu.
+func (c *Client) clearDeadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
 }
 
 // Close terminates the connection.
@@ -190,6 +227,8 @@ func (c *Client) Do(parts ...string) (string, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.armDeadline()
+	defer c.clearDeadline()
 	c.wbuf = appendLine(c.wbuf[:0], parts)
 	if _, err := c.conn.Write(c.wbuf); err != nil {
 		return "", err
@@ -288,11 +327,14 @@ func (p *Pipeline) Exec() ([]Result, error) {
 	c := p.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.armDeadline()
+	defer c.clearDeadline()
 	if _, err := c.conn.Write(buf); err != nil {
 		return nil, err
 	}
 	results := make([]Result, n)
 	for i := range results {
+		c.armDeadline() // per-reply budget: a long batch is not one deadline
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, fmt.Errorf("server: pipeline reply %d/%d: %w", i+1, n, err)

@@ -723,6 +723,32 @@ func (s *Store) MergeBlob(key string, data []byte) error {
 	}
 }
 
+// KeyBlob is one (key, serialized value) pair of a bulk absorb — the
+// unit the cluster's streaming transfer frames carry.
+type KeyBlob struct {
+	Key  string
+	Blob []byte
+}
+
+// AbsorbBatch merges every pair's blob into its key with MergeBlob's
+// idempotent merge-not-replace semantics, reporting how many pairs and
+// payload bytes were applied. It stops at the first failing pair (its
+// error is returned with the counts so far): pairs arrive framed in
+// order, and the streaming sender treats a failed frame as
+// all-or-nothing — it re-delivers per key through the fallback path,
+// where the failing key surfaces its own error without blocking its
+// frame-mates. Re-applying an already-merged prefix is a no-op.
+func (s *Store) AbsorbBatch(pairs []KeyBlob) (keys, bytes int, err error) {
+	for _, p := range pairs {
+		if err := s.MergeBlob(p.Key, p.Blob); err != nil {
+			return keys, bytes, err
+		}
+		keys++
+		bytes += len(p.Blob)
+	}
+	return keys, bytes, nil
+}
+
 // mergeValueLocked folds the decoded value in into e's value; e.mu held.
 func (s *Store) mergeValueLocked(e *entry, in SketchValue) error {
 	if e.val.empty() {
