@@ -57,3 +57,5 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTransferDecode -fuzztime 30s ./cluster/
 	$(GO) test -run '^$$' -fuzz FuzzWindowDecode -fuzztime 30s ./window/
 	$(GO) test -run '^$$' -fuzz FuzzWindowVerbFraming -fuzztime 30s ./server/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotV4Decode -fuzztime 30s ./server/
+	$(GO) test -run '^$$' -fuzz FuzzLifecycleVerbFraming -fuzztime 30s ./server/

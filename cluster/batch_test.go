@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"exaloglog/server"
 )
@@ -68,6 +69,77 @@ func TestMLPFAddWire(t *testing.T) {
 	// The malformed lines must not have taken the server down.
 	if _, err := c.Do("PING"); err != nil {
 		t.Fatalf("server unusable after malformed MLPFADD: %v", err)
+	}
+}
+
+// TestMLAddWire drives the mixed group-commit verb over the wire: plain
+// ("p") and windowed ("w") groups interleave in one batch, the reply
+// carries one token per group in order, a WRONGTYPE group answers 'E'
+// without poisoning its neighbors, and framing corruption is -ERR.
+func TestMLAddWire(t *testing.T) {
+	nodes := startCluster(t, 1, 1)
+	c, err := server.Dial(nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reply, err := c.Do("CLUSTER", "MLADD", "3",
+		"p", "pk", "2", "a", "b",
+		"w", "wk", "1700000000000", "2", "x", "y",
+		"p", "pk", "1", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks := strings.Fields(reply); len(toks) != 3 || toks[0] != "1" || toks[1] != "2" || toks[2] != "1" {
+		t.Fatalf("MLADD reply %q, want tokens [1 2 1]", reply)
+	}
+	if n, err := nodes[0].Count("pk"); err != nil || math.Abs(n-3) > 0.5 {
+		t.Errorf("pk count = %f, %v; want ≈3", n, err)
+	}
+	// Idempotent re-send: plain bit 0, windowed re-accepts (window
+	// semantics count accepted inserts, not changed state).
+	reply, err = c.Do("CLUSTER", "MLADD", "1", "p", "pk", "2", "a", "b")
+	if err != nil || reply != "0" {
+		t.Fatalf("idempotent plain re-send reply %q, %v; want 0", reply, err)
+	}
+
+	// A windowed group aimed at the plain key (and vice versa) answers
+	// 'E' in place; the unrelated groups in the batch still land.
+	reply, err = c.Do("CLUSTER", "MLADD", "3",
+		"w", "pk", "1700000000000", "1", "z",
+		"p", "iso", "1", "q",
+		"p", "wk", "1", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks := strings.Fields(reply); len(toks) != 3 || toks[0] != "E" || toks[1] != "1" || toks[2] != "E" {
+		t.Fatalf("wrong-type isolation reply %q, want tokens [E 1 E]", reply)
+	}
+	if n, err := nodes[0].Count("iso"); err != nil || n < 0.5 {
+		t.Errorf("group coalesced next to a WRONGTYPE neighbor was lost (count %f, %v)", n, err)
+	}
+
+	for _, bad := range [][]string{
+		{"CLUSTER", "MLADD"},                                             // no group count
+		{"CLUSTER", "MLADD", "x"},                                        // bad group count
+		{"CLUSTER", "MLADD", "0"},                                        // zero groups
+		{"CLUSTER", "MLADD", "9000000000000000000"},                      // absurd count: must not allocate by it
+		{"CLUSTER", "MLADD", "2", "p", "k", "1", "a"},                    // count beyond what tokens can satisfy
+		{"CLUSTER", "MLADD", "1", "q", "k", "1", "a"},                    // unknown group type
+		{"CLUSTER", "MLADD", "1", "p", "k"},                              // missing element count
+		{"CLUSTER", "MLADD", "1", "p", "k", "2", "a"},                    // truncated elements
+		{"CLUSTER", "MLADD", "1", "p", "k", "q", "a"},                    // bad element count
+		{"CLUSTER", "MLADD", "1", "w", "k", "nope", "1", "a"},            // bad timestamp
+		{"CLUSTER", "MLADD", "1", "w", "k", "1700000000000", "2", "a"},   // truncated windowed elements
+		{"CLUSTER", "MLADD", "1", "p", "k", "1", "a", "extra", "extra2"}, // trailing tokens
+	} {
+		if _, err := c.Do(bad...); err == nil {
+			t.Errorf("malformed %v accepted", bad)
+		}
+	}
+	if _, err := c.Do("PING"); err != nil {
+		t.Fatalf("server unusable after malformed MLADD: %v", err)
 	}
 }
 
@@ -144,5 +216,83 @@ func TestBatchedAddConvergence(t *testing.T) {
 	want := float64(workers * perW)
 	if rel := math.Abs(total-want) / want; rel > 0.10 {
 		t.Errorf("union count = %.0f, want ≈%.0f", total, want)
+	}
+}
+
+// TestMixedBatchedAddConvergence fires concurrent plain Adds AND
+// windowed WindowAdds through one coordinator: both kinds coalesce into
+// the same per-peer MLADD batches (no second serialized batch stream),
+// every write lands exactly once, and both plain counts and window
+// estimates agree across all replicas.
+func TestMixedBatchedAddConvergence(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	const (
+		workers = 8
+		perW    = 200
+		baseTS  = int64(1_700_000_000_000)
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				el := fmt.Sprintf("w%d-e%d", w, i)
+				if w%2 == 0 {
+					if _, err := nodes[0].Add("mixed-plain", el); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := nodes[0].WindowAdd("mixed-win", baseTS+int64(i), el); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	refPlain, err := nodes[0].Count("mixed-plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refWin, err := nodes[0].WindowCount("mixed-win", time.Minute, baseTS+perW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refPlain < 0.9*float64(workers/2*perW) {
+		t.Errorf("plain count %f lost writes (want ≈%d)", refPlain, workers/2*perW)
+	}
+	if refWin < 0.9*float64(workers/2*perW) {
+		t.Errorf("window estimate %f lost writes (want ≈%d)", refWin, workers/2*perW)
+	}
+	for i, n := range nodes[1:] {
+		if got, err := n.Count("mixed-plain"); err != nil || got != refPlain {
+			t.Errorf("node %d plain count %f, %v != %f", i+1, got, err, refPlain)
+		}
+		if got, err := n.WindowCount("mixed-win", time.Minute, baseTS+perW); err != nil || got != refWin {
+			t.Errorf("node %d window estimate %f, %v != %f", i+1, got, err, refWin)
+		}
+	}
+	// The coalescing actually happened through the shared MLADD batcher:
+	// far fewer flushes than groups.
+	var groups, batches uint64
+	for _, n := range nodes {
+		s := n.StatsCounters()
+		groups += s.MLPFAddGroups
+		batches += s.MLPFAddBatches
+	}
+	if groups == 0 || batches == 0 {
+		t.Fatal("mixed load never exercised the group-commit batcher")
+	}
+	t.Logf("mixed batcher coalesced %d groups into %d MLADD flushes", groups, batches)
+	if batches >= groups {
+		t.Errorf("no coalescing: %d batches for %d groups", batches, groups)
 	}
 }

@@ -382,6 +382,67 @@ func (cc *ClusterClient) Del(key string) (bool, error) {
 	return reply == "1", nil
 }
 
+// Expire sets key's time-to-live (rounded up to whole seconds), routed
+// directly to an owner, which computes the absolute deadline and
+// replicates it; it reports whether the key existed.
+func (cc *ClusterClient) Expire(key string, ttl time.Duration) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	secs := int64((ttl + time.Second - 1) / time.Second)
+	if secs <= 0 {
+		return false, fmt.Errorf("cluster: TTL %v must be positive", ttl)
+	}
+	reply, err := cc.doOne(key, []string{"EXPIRE", key, strconv.FormatInt(secs, 10)})
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// PExpire is Expire at millisecond granularity.
+func (cc *ClusterClient) PExpire(key string, ttl time.Duration) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	ms := ttl.Milliseconds()
+	if ms <= 0 {
+		return false, fmt.Errorf("cluster: TTL %v must be positive", ttl)
+	}
+	reply, err := cc.doOne(key, []string{"PEXPIRE", key, strconv.FormatInt(ms, 10)})
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// TTL returns key's remaining time-to-live in whole seconds, following
+// the Redis reply convention: -2 if the key does not exist, -1 if it
+// exists but carries no deadline.
+func (cc *ClusterClient) TTL(key string) (int64, error) {
+	if err := validToken("key", key); err != nil {
+		return 0, err
+	}
+	reply, err := cc.doOne(key, []string{"TTL", key})
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// Persist removes key's expiry deadline; it reports whether one was
+// removed.
+func (cc *ClusterClient) Persist(key string) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	reply, err := cc.doOne(key, []string{"PERSIST", key})
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
 func validAddArgs(key string, elements []string) error {
 	if err := validToken("key", key); err != nil {
 		return err
@@ -401,8 +462,8 @@ func validAddArgs(key string, elements []string) error {
 // one pipelined round trip per owner node — the smart-client analogue
 // of server.Pipeline, except the batch fans out across the cluster by
 // key instead of down one connection. Obtain one from Batch, queue
-// with PFAdd/PFCount/WAdd/WCount/Del, then Exec. Not safe for
-// concurrent use (the executing client is).
+// with PFAdd/PFCount/WAdd/WCount/Del/Expire/TTL, then Exec. Not safe
+// for concurrent use (the executing client is).
 type ClientBatch struct {
 	cc  *ClusterClient
 	ops []*cop
@@ -451,6 +512,18 @@ func (b *ClientBatch) WCount(key string, win time.Duration) {
 // Del queues a DEL key command.
 func (b *ClientBatch) Del(key string) {
 	b.add(key, []string{"DEL", key})
+}
+
+// Expire queues an EXPIRE key seconds command (ttl rounded up to whole
+// seconds).
+func (b *ClientBatch) Expire(key string, ttl time.Duration) {
+	secs := int64((ttl + time.Second - 1) / time.Second)
+	b.add(key, []string{"EXPIRE", key, strconv.FormatInt(secs, 10)})
+}
+
+// TTL queues a TTL key command.
+func (b *ClientBatch) TTL(key string) {
+	b.add(key, []string{"TTL", key})
 }
 
 // Len returns the number of queued commands.

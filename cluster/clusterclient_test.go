@@ -180,6 +180,10 @@ func TestInternalForwardsExemptFromStrictRouting(t *testing.T) {
 	internal := [][]string{
 		{"CLUSTER", "LPFADD", key, "x"},
 		{"CLUSTER", "MLPFADD", "1", key, "1", "x2"},
+		{"CLUSTER", "MLADD", "1", "p", key, "1", "x3"},
+		{"CLUSTER", "LEXPIREAT", key, "99999999999999"},
+		{"CLUSTER", "LDEADLINE", key},
+		{"CLUSTER", "LPERSIST", key},
 		{"CLUSTER", "LWADD", key + "-w", "1700000000000", "x"},
 		{"CLUSTER", "LDEL", key + "-w"},
 		{"CLUSTER", "LKEYS"},
@@ -200,7 +204,7 @@ func TestInternalForwardsExemptFromStrictRouting(t *testing.T) {
 	before := movedSum()
 
 	// A write burst through coordinator-mode forwarding (Node.Add fans
-	// MLPFADD out to owners) while a join-triggered rebalance pushes
+	// MLADD out to owners) while a join-triggered rebalance pushes
 	// ABSORB blobs around — all internal traffic, none of it may bounce.
 	for i := 0; i < 32; i++ {
 		if _, err := nodes[i%3].Add(fmt.Sprintf("burst-%d", i), "el"); err != nil {
@@ -254,7 +258,7 @@ func TestForwardRetriesOnFreshMap(t *testing.T) {
 	release := make(chan struct{})
 	n1.setFaultHook(func(addr string, parts []string) error {
 		if arm.Load() && addr == victimAddr.Load().(string) &&
-			len(parts) >= 2 && parts[0] == "CLUSTER" && parts[1] == "MLPFADD" {
+			len(parts) >= 2 && parts[0] == "CLUSTER" && parts[1] == "MLADD" {
 			arrived <- struct{}{}
 			<-release
 		}
@@ -561,7 +565,7 @@ func TestClusterClientMidRebalanceChaos(t *testing.T) {
 	cc.minRefetch = time.Millisecond
 
 	const hotKeys = 64
-	key := func(i int) string { return fmt.Sprintf("hot-%d", ((i % hotKeys) + hotKeys) % hotKeys) }
+	key := func(i int) string { return fmt.Sprintf("hot-%d", ((i%hotKeys)+hotKeys)%hotKeys) }
 	var refMu sync.Mutex
 	ref := make(map[string]*core.Sketch, hotKeys)
 	for i := 0; i < hotKeys; i++ {

@@ -29,6 +29,7 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -218,15 +219,26 @@ func (n *Node) Gossip() []string {
 	g.mu.Unlock()
 
 	// Push-pull exchange. Each reply carries the target's digest, which
-	// may deliver the suspicion bits that complete a quorum below.
+	// may deliver the suspicion bits that complete a quorum below — and,
+	// when the target's map supersedes ours, the full map piggybacked as
+	// an "@map" payload, healing us in the same round trip with no Sync.
 	payload := append([]string{"CLUSTER", "GOSSIP"}, strings.Fields(digest)...)
 	for _, addr := range targets {
 		reply, err := n.peers.do(addr, payload...)
 		if err != nil {
 			continue // silent peer: the timeout above is the accounting
 		}
-		if d, err := decodeDigest(strings.Fields(reply)); err == nil {
-			n.processDigest(d)
+		d, err := decodeDigest(strings.Fields(reply))
+		if err != nil {
+			continue
+		}
+		n.installDigestMap(d)
+		n.processDigest(d, true)
+		// The reply's triple shows the replier behind our map: push the
+		// full map now, one targeted SETMAP, instead of leaving the
+		// laggard to discover it and pull a full Sync round.
+		if cur := n.currentMap(); tripleBehind(cur, d.Epoch, d.Version, d.Coordinator) {
+			n.peers.do(addr, append([]string{"CLUSTER", "SETMAP"}, strings.Fields(cur.Encode())...)...)
 		}
 	}
 
@@ -343,10 +355,17 @@ func (n *Node) pickTargetsLocked(members []Member) []string {
 
 // processDigest folds one received digest into the detector state:
 // direct contact with the sender, heartbeat advances (which refute all
-// outstanding suspicion of that peer), the sender's suspicion bits, and
-// — when the digest's map triple supersedes ours — a note to Sync on
-// the next round.
-func (n *Node) processDigest(d *digest) {
+// outstanding suspicion of that peer), and the sender's suspicion bits.
+//
+// fromReply distinguishes how a superseding map triple is handled. A
+// digest that arrived as a gossip REPLY should have piggybacked the
+// full map (installDigestMap already installed it); if it did not —
+// size-capped — the needSync fallback queues a full Sync. A digest
+// PUSHED at us never queues a Sync: our reply carries our (stale)
+// triple back, and the pusher answers it with a targeted SETMAP — the
+// delta path that keeps a single laggard from costing O(members) MAP
+// pulls.
+func (n *Node) processDigest(d *digest, fromReply bool) {
 	m := n.currentMap()
 	g := &n.gsp
 	g.mu.Lock()
@@ -397,24 +416,55 @@ func (n *Node) processDigest(d *digest) {
 			g.recordEvictionLocked(r.ID, r.Epoch)
 		}
 	}
-	if m.SupersededByTriple(d.Epoch, d.Version, d.Coordinator) {
+	if fromReply && d.MapPayload == nil && m.SupersededByTriple(d.Epoch, d.Version, d.Coordinator) {
 		g.needSync = true
 	}
 }
 
+// installDigestMap installs a full map piggybacked on a gossip digest
+// (no-op without a payload, or when the payload is not newer). It runs
+// OUTSIDE g.mu — installing triggers a rebalance — and callers invoke
+// it BEFORE processDigest so a superseding triple whose map already
+// arrived does not also queue a Sync. Best-effort: a failed rebalance
+// leaves strays for the next Sync/drain to heal, as everywhere else.
+func (n *Node) installDigestMap(d *digest) {
+	if d.MapPayload == nil || !d.MapPayload.Newer(n.currentMap()) {
+		return
+	}
+	n.installAndRebalance(d.MapPayload)
+}
+
+// tripleBehind reports whether the ordering triple (epoch, version,
+// coordinator) is strictly OLDER than m — i.e. whoever sent it needs m.
+func tripleBehind(m *Map, epoch, version uint64, coordinator string) bool {
+	if m.SupersededByTriple(epoch, version, coordinator) {
+		return false // the triple is ahead of m (or incomparable-newer)
+	}
+	return m.Epoch != epoch || m.Version != version || m.Coordinator != coordinator
+}
+
 // handleGossip is the CLUSTER GOSSIP wire handler: fold the pushed
 // digest in and reply with ours (push-pull), so one round trip moves
-// information both ways.
+// information both ways. When the pusher's map triple is strictly
+// behind this node's, the reply additionally piggybacks the full map as
+// an "@map" payload — the one-round-trip heal that replaces the old
+// "set needSync, pull every member's map next round" behavior.
 func (n *Node) handleGossip(rest []string) string {
 	d, err := decodeDigest(rest)
 	if err != nil {
 		return "-ERR " + err.Error()
 	}
-	n.processDigest(d)
+	n.installDigestMap(d)
+	n.processDigest(d, false)
 	m := n.currentMap()
 	n.gsp.mu.Lock()
 	reply := n.buildDigestLocked(m)
 	n.gsp.mu.Unlock()
+	if tripleBehind(m, d.Epoch, d.Version, d.Coordinator) {
+		if enc := m.Encode(); len(reply)+len(mapMark)+len(enc)+2 <= maxWireBytes {
+			reply += " " + mapMark + " " + enc
+		}
+	}
 	return "+" + reply
 }
 
@@ -503,6 +553,13 @@ const suspectMark = "!"
 // reads the token as an unknown member's heartbeat and skips it.
 const evictionMark = "~"
 
+// mapMark separates the digest's entry tokens from an optional
+// piggybacked full-map payload: everything after it is a Map.Encode
+// token stream. The marker contains no '=', so a pre-payload decoder
+// errors on it (rejecting the digest) rather than misreading map tokens
+// as heartbeat entries.
+const mapMark = "@map"
+
 // digestEntry is one member's row in a gossip digest.
 type digestEntry struct {
 	ID      string
@@ -519,13 +576,16 @@ type evictionRecord struct {
 
 // digest is the decoded CLUSTER GOSSIP payload:
 //
-//	g1 <sender> <epoch> <version> <coordinator|-> <id>=<hb>[!] ... ~<id>=<epoch> ...
+//	g1 <sender> <epoch> <version> <coordinator|-> <id>=<hb>[!] ... ~<id>=<epoch> ... [@map <v2 map tokens>]
 //
 // The (epoch, version, coordinator) triple is the sender's map
-// ordering, enough for the receiver to know WHETHER it is behind — the
-// map itself then travels via the existing Sync/SETMAP path, keeping
-// digests small no matter how large the key space is. The trailing
-// "~id=epoch" tokens are auto-eviction records (see gossipState).
+// ordering, enough for the receiver to know WHETHER it is behind. The
+// trailing "~id=epoch" tokens are auto-eviction records (see
+// gossipState). A gossip REPLY whose sender's map supersedes the
+// pusher's additionally piggybacks the full map after an "@map" marker
+// — the map delta rides the digest exchange itself, so a node that
+// missed a broadcast heals in one round trip instead of pulling every
+// member's map through a Sync round.
 type digest struct {
 	Sender      string
 	Epoch       uint64
@@ -533,6 +593,7 @@ type digest struct {
 	Coordinator string
 	Entries     []digestEntry
 	Evictions   []evictionRecord
+	MapPayload  *Map // piggybacked full map (nil when absent)
 }
 
 // decodeDigest parses the gossip payload strictly: like DecodeMap it
@@ -571,6 +632,11 @@ func decodeDigest(tokens []string) (*digest, error) {
 		return nil, fmt.Errorf("cluster: bad gossip coordinator %q", tokens[4])
 	}
 	entryTokens := tokens[5:]
+	var mapTokens []string
+	if i := slices.Index(entryTokens, mapMark); i >= 0 {
+		mapTokens = entryTokens[i+1:]
+		entryTokens = entryTokens[:i]
+	}
 	if len(entryTokens) > maxWireMembers {
 		return nil, fmt.Errorf("cluster: gossip digest claims %d entries (limit %d)", len(entryTokens), maxWireMembers)
 	}
@@ -618,6 +684,13 @@ func decodeDigest(tokens []string) (*digest, error) {
 		}
 		d.Entries = append(d.Entries, digestEntry{ID: id, HB: hb, Suspect: suspect})
 	}
+	if mapTokens != nil {
+		m, err := DecodeMap(mapTokens)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad gossip map payload: %w", err)
+		}
+		d.MapPayload = m
+	}
 	return d, nil
 }
 
@@ -642,6 +715,10 @@ func (d *digest) encode() string {
 	}
 	for _, r := range d.Evictions {
 		parts = append(parts, evictionMark+r.ID+"="+strconv.FormatUint(r.Epoch, 10))
+	}
+	if d.MapPayload != nil {
+		parts = append(parts, mapMark)
+		parts = append(parts, strings.Fields(d.MapPayload.Encode())...)
 	}
 	return strings.Join(parts, " ")
 }

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -33,7 +34,8 @@ type harness struct {
 	t        *testing.T
 	replicas int
 	dir      string
-	xfer     *TransferConfig // non-nil: applied to every started node
+	xfer     *TransferConfig  // non-nil: applied to every started node
+	clock    func() time.Time // non-nil: injected store clock (expiry tests)
 
 	mu          sync.Mutex
 	nodes       map[string]*Node         // running nodes by ID
@@ -58,11 +60,21 @@ func newHarness(t *testing.T, n, replicas int) *harness {
 // other tests exercise.
 func newHarnessCfg(t *testing.T, n, replicas int, xfer *TransferConfig) *harness {
 	t.Helper()
+	return newHarnessClock(t, n, replicas, xfer, nil)
+}
+
+// newHarnessClock is newHarnessCfg with an injected store clock: every
+// node it starts (including crash-restarts) judges expiry deadlines
+// against the given time source instead of the wall clock, so TTL chaos
+// tests advance time explicitly and deterministically.
+func newHarnessClock(t *testing.T, n, replicas int, xfer *TransferConfig, clock func() time.Time) *harness {
+	t.Helper()
 	h := &harness{
 		t:           t,
 		replicas:    replicas,
 		dir:         t.TempDir(),
 		xfer:        xfer,
+		clock:       clock,
 		nodes:       make(map[string]*Node),
 		addrs:       make(map[string]string),
 		idByAddr:    make(map[string]string),
@@ -204,6 +216,11 @@ func (h *harness) start(id, listen string) *Node {
 	n, err := NewNode(id, testConfig(), h.replicas)
 	if err != nil {
 		h.t.Fatal(err)
+	}
+	if h.clock != nil {
+		// Before LoadFile: a snapshot load judges expired-on-disk records
+		// against the store clock, which must already be the fake one.
+		n.Store().SetClock(h.clock)
 	}
 	snap := h.snapPath(id)
 	if _, err := os.Stat(snap); err == nil {
@@ -1248,6 +1265,264 @@ func TestSupersededJoinReportsWinner(t *testing.T) {
 	enc := h.converge(10 * time.Second)
 	if strings.Contains(enc, "x1=") {
 		t.Errorf("converged map %s still lists x1 after the LEAVE won", enc)
+	}
+}
+
+// storeClock is the fake time source TTL chaos tests inject through
+// newHarnessClock: expiry is judged everywhere against this counter, so
+// "the deadline passes" is an explicit, deterministic event.
+type storeClock struct{ ms atomic.Int64 }
+
+func newStoreClock(startMillis int64) *storeClock {
+	c := &storeClock{}
+	c.ms.Store(startMillis)
+	return c
+}
+
+func (c *storeClock) now() time.Time          { return time.UnixMilli(c.ms.Load()) }
+func (c *storeClock) advance(d time.Duration) { c.ms.Add(d.Milliseconds()) }
+
+// TestTTLChaosDeterministicExpiry: keys with a replicated absolute
+// deadline expire at the same instant on every replica — across a join
+// rebalance (deadlines ride transfer frames) and a crash-restart from
+// snapshot (deadlines ride snapshot records) — with no premature loss
+// before the deadline and no ghost resurrection after it, while
+// deadline-free keys are untouched. Entirely fake-clock driven.
+func TestTTLChaosDeterministicExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TTL chaos harness skipped in -short")
+	}
+	const base = int64(1_700_000_000_000)
+	clk := newStoreClock(base)
+	h := newHarnessClock(t, 3, 2, nil, clk.now)
+
+	const (
+		ttlKeys   = 16
+		plainKeys = 6
+		els       = 3
+	)
+	ttlName := func(k int) string { return fmt.Sprintf("ttl-%d", k) }
+	plainName := func(k int) string { return fmt.Sprintf("keep-%d", k) }
+	for k := 0; k < ttlKeys; k++ {
+		for e := 0; e < els; e++ {
+			if _, err := h.node("n1").Add(ttlName(k), fmt.Sprintf("el-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	plainRef := make([]float64, plainKeys)
+	for k := 0; k < plainKeys; k++ {
+		for e := 0; e < els; e++ {
+			if _, err := h.node("n1").Add(plainName(k), fmt.Sprintf("pl-%d-%d", k, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		plainRef[k] = mustCount(t, h.node("n1"), plainName(k))
+	}
+
+	// Arm one cluster-wide absolute deadline on every TTL key. The
+	// coordinator forwards the instant, not the duration.
+	deadline := base + (time.Minute).Milliseconds()
+	ttlRef := make([]float64, ttlKeys)
+	for k := 0; k < ttlKeys; k++ {
+		existed, err := h.node("n1").ExpireAt(ttlName(k), deadline)
+		if err != nil || !existed {
+			t.Fatalf("ExpireAt %s: existed=%v err=%v", ttlName(k), existed, err)
+		}
+		ttlRef[k] = mustCount(t, h.node("n1"), ttlName(k))
+	}
+	// Every owner replica holds the byte-identical deadline and blob.
+	assertOwnersArmed := func(when string) {
+		t.Helper()
+		m := h.node("n1").Map()
+		for k := 0; k < ttlKeys; k++ {
+			var refBlob []byte
+			for _, id := range m.ownerIDs(ttlName(k)) {
+				n := h.node(id)
+				if n == nil {
+					continue
+				}
+				dl, ok := n.Store().DeadlineOf(ttlName(k))
+				if !ok || dl != deadline {
+					t.Fatalf("%s: %s deadline on %s = (%d,%v), want %d", when, ttlName(k), id, dl, ok, deadline)
+				}
+				blob, ok := n.Store().Dump(ttlName(k))
+				if !ok {
+					t.Fatalf("%s: owner %s lost %s before the deadline", when, id, ttlName(k))
+				}
+				if refBlob == nil {
+					refBlob = blob
+				} else if string(blob) != string(refBlob) {
+					t.Errorf("%s: %s replicas diverge on %s", when, ttlName(k), id)
+				}
+			}
+		}
+	}
+	assertOwnersArmed("after EXPIREAT")
+
+	// A join moves keys: deadlines must ride the transfer frames.
+	h.start("x1", "127.0.0.1:0")
+	if _, err := h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1")); err != nil {
+		t.Fatal(err)
+	}
+	h.converge(10 * time.Second)
+	moved := 0
+	for k := 0; k < ttlKeys; k++ {
+		if slices.Contains(h.node("n1").Map().ownerIDs(ttlName(k)), "x1") {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join moved no TTL keys onto x1 — the frame-deadline path is untested")
+	}
+	t.Logf("join moved %d/%d TTL keys onto x1", moved, ttlKeys)
+	assertOwnersArmed("after join")
+
+	// Crash-restart n2 from its snapshot: deadlines ride the records.
+	h.save("n2")
+	h.crash("n2")
+	h.restart("n2")
+	h.converge(10 * time.Second)
+	assertOwnersArmed("after crash-restart")
+
+	// Still before the deadline: nothing may be lost prematurely.
+	for k := 0; k < ttlKeys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, ttlName(k)); got != ttlRef[k] {
+				t.Errorf("%s: pre-deadline count %s = %v, want %v", n.ID(), ttlName(k), got, ttlRef[k])
+			}
+		}
+	}
+
+	// The deadline passes — everywhere at once, by construction.
+	clk.advance(time.Minute + time.Second)
+	for k := 0; k < ttlKeys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, ttlName(k)); got != 0 {
+				t.Errorf("%s: expired key %s still counts %v", n.ID(), ttlName(k), got)
+			}
+		}
+	}
+	for k := 0; k < plainKeys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, plainName(k)); got != plainRef[k] {
+				t.Errorf("%s: deadline-free key %s = %v, want %v after expiry", n.ID(), plainName(k), got, plainRef[k])
+			}
+		}
+	}
+
+	// Anti-entropy must not resurrect ghosts: repair re-pushes every
+	// local sketch, but expired keys are skipped at the dump.
+	for _, n := range h.running() {
+		if err := n.repair(); err != nil {
+			t.Fatalf("%s: repair: %v", n.ID(), err)
+		}
+	}
+	h.tick(2)
+	for k := 0; k < ttlKeys; k++ {
+		for _, n := range h.running() {
+			if got := mustCount(t, n, ttlName(k)); got != 0 {
+				t.Errorf("%s: repair resurrected expired key %s (count %v)", n.ID(), ttlName(k), got)
+			}
+			if _, ok := n.Store().Dump(ttlName(k)); ok {
+				t.Errorf("%s: store still dumps expired key %s", n.ID(), ttlName(k))
+			}
+		}
+	}
+
+	// A restart from the PRE-expiry snapshot after the deadline: the
+	// loader must skip the expired-on-disk records, and the rebalance
+	// that follows must not push them back.
+	h.crash("n2")
+	n2 := h.restart("n2")
+	h.converge(10 * time.Second)
+	for k := 0; k < ttlKeys; k++ {
+		if _, ok := n2.Store().Dump(ttlName(k)); ok {
+			t.Errorf("restart loaded expired key %s from the snapshot", ttlName(k))
+		}
+		if got := mustCount(t, n2, ttlName(k)); got != 0 {
+			t.Errorf("post-restart count %s = %v, want 0", ttlName(k), got)
+		}
+	}
+	for k := 0; k < plainKeys; k++ {
+		if got := mustCount(t, n2, plainName(k)); got != plainRef[k] {
+			t.Errorf("post-restart deadline-free key %s = %v, want %v", plainName(k), got, plainRef[k])
+		}
+	}
+}
+
+// TestGossipPiggybackHealsWithoutMapPull: a node that missed a SETMAP
+// broadcast heals through the map payload piggybacked on ordinary
+// gossip digests — zero CLUSTER MAP pull rounds, and at most a handful
+// of targeted SETMAPs — instead of waiting for a full Sync. The test
+// counts every message on the wire during the heal.
+func TestGossipPiggybackHealsWithoutMapPull(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	h.tick(2) // healthy baseline
+
+	// n3 misses a join while partitioned.
+	h.partition("n3", true)
+	h.start("x1", "127.0.0.1:0")
+	h.do("n1", "CLUSTER", "JOIN", "x1", h.addr("x1")) // broadcast to n3 fails: that is the point
+	if !h.node("n1").Map().Has("x1") {
+		t.Fatal("join did not land on the majority")
+	}
+	if h.node("n3").Map().Has("x1") {
+		t.Fatal("partitioned n3 saw the broadcast — the partition hook is leaky")
+	}
+
+	// Heal, then count every message while ONLY gossip rounds run — no
+	// converge, no Sync.
+	h.partition("n3", false)
+	var msgMu sync.Mutex
+	var mapPulls, setmaps, gossips int
+	var setmapBytes, gossipBytes int
+	h.setIntercept(func(id, addr string, parts []string) error {
+		if len(parts) < 2 || !strings.EqualFold(parts[0], "CLUSTER") {
+			return nil
+		}
+		size := 0
+		for _, p := range parts {
+			size += len(p) + 1
+		}
+		msgMu.Lock()
+		defer msgMu.Unlock()
+		switch strings.ToUpper(parts[1]) {
+		case "MAP":
+			mapPulls++
+		case "SETMAP":
+			setmaps++
+			setmapBytes += size
+		case "GOSSIP":
+			gossips++
+			gossipBytes += size
+		}
+		return nil
+	})
+	h.tick(4)
+	h.setIntercept(nil)
+
+	enc := h.node("n1").Map().Encode()
+	if got := h.node("n3").Map().Encode(); got != enc {
+		t.Fatalf("gossip alone did not heal the stale map: n3 holds %s, cluster %s", got, enc)
+	}
+	if !h.node("n3").Map().Has("x1") {
+		t.Fatal("healed n3 still does not list the joined node")
+	}
+	msgMu.Lock()
+	defer msgMu.Unlock()
+	t.Logf("heal cost: %d gossip msgs (%d B), %d targeted SETMAPs (%d B), %d MAP pulls",
+		gossips, gossipBytes, setmaps, setmapBytes, mapPulls)
+	if mapPulls != 0 {
+		t.Errorf("heal fell back to %d CLUSTER MAP pull(s) — the piggyback did not carry the map", mapPulls)
+	}
+	if gossips == 0 {
+		t.Error("no gossip traffic observed during the heal rounds")
+	}
+	// The laggard is healed by the first digests it touches; SETMAPs
+	// stay targeted (no O(members) spray, no repeat after the heal).
+	if setmaps > 8 {
+		t.Errorf("heal broadcast %d SETMAPs — targeted push degraded to a spray", setmaps)
 	}
 }
 

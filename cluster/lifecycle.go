@@ -1,0 +1,266 @@
+package cluster
+
+// Cluster-wide keyspace lifecycle: the EXPIRE / PEXPIRE / TTL / PERSIST
+// verbs forwarded to every owner of a key, plus the internal CLUSTER
+// LEXPIREAT / LDEADLINE / LPERSIST replication verbs they ride on.
+//
+// The coordinator computes the absolute unix-millisecond deadline ONCE
+// (from its own store clock) and forwards that instant — never the
+// duration — so every replica arms the exact same expiry no matter how
+// long forwarding took or how skewed the arrival order was. Replicas
+// then expire independently and deterministically: nothing about expiry
+// is ever gossiped, the shared deadline is the whole protocol.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"exaloglog/server"
+)
+
+// ExpireAt sets key's absolute expiry deadline (unix milliseconds) on
+// every owner node; it reports whether any owner had the key.
+// Re-sending is harmless (arming the same deadline twice is a no-op in
+// effect), which makes the stale-map retry safe.
+func (n *Node) ExpireAt(key string, deadlineMillis int64) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	if deadlineMillis <= 0 || deadlineMillis > server.MaxDeadlineMillis {
+		return false, fmt.Errorf("cluster: deadline %d out of range", deadlineMillis)
+	}
+	var existed bool
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		existed, err = n.expireAtWith(m, key, deadlineMillis)
+		return err
+	})
+	return existed, err
+}
+
+// Expire sets key's deadline ttl from now (this coordinator's store
+// clock) on every owner; it reports whether any owner had the key.
+func (n *Node) Expire(key string, ttl time.Duration) (bool, error) {
+	if ttl <= 0 {
+		return false, fmt.Errorf("cluster: TTL %v must be positive", ttl)
+	}
+	return n.ExpireAt(key, n.store.NowMillis()+ttl.Milliseconds())
+}
+
+// expireAtWith is ExpireAt's fan-out against one specific map.
+func (n *Node) expireAtWith(m *Map, key string, deadlineMillis int64) (bool, error) {
+	owners := m.Owners(key)
+	if len(owners) == 0 {
+		return false, errors.New("cluster: empty cluster map (node not started?)")
+	}
+	dl := strconv.FormatInt(deadlineMillis, 10)
+	existed := make([]bool, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				existed[i] = n.store.ExpireAt(key, deadlineMillis)
+				return
+			}
+			reply, err := n.peers.do(o.Addr, "CLUSTER", "LEXPIREAT", key, dl)
+			errs[i] = err
+			existed[i] = reply == "1"
+		}(i, o)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return false, err
+	}
+	for _, e := range existed {
+		if e {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Deadline returns key's absolute expiry deadline in unix milliseconds
+// (0 = none) as seen cluster-wide: every owner is asked, the key exists
+// if any owner holds it, and the largest deadline wins — the same
+// max-converges rule rebalance blobs merge under, so a replica that
+// briefly lags an EXPIRE does not make TTL flap downward.
+func (n *Node) Deadline(key string) (deadlineMillis int64, ok bool, err error) {
+	if verr := validToken("key", key); verr != nil {
+		return 0, false, verr
+	}
+	err = n.withStaleMapRetry(func(m *Map) error {
+		var werr error
+		deadlineMillis, ok, werr = n.deadlineWith(m, key)
+		return werr
+	})
+	return deadlineMillis, ok, err
+}
+
+// deadlineWith is Deadline's gather against one specific map.
+func (n *Node) deadlineWith(m *Map, key string) (int64, bool, error) {
+	owners := m.Owners(key)
+	if len(owners) == 0 {
+		return 0, false, errors.New("cluster: empty cluster map (node not started?)")
+	}
+	deadlines := make([]int64, len(owners))
+	found := make([]bool, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				deadlines[i], found[i] = n.store.DeadlineOf(key)
+				return
+			}
+			reply, err := n.peers.do(o.Addr, "CLUSTER", "LDEADLINE", key)
+			if errors.Is(err, server.ErrNoSuchKey) {
+				return // this owner does not hold the key: a miss, not a failure
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			deadlines[i], errs[i] = strconv.ParseInt(reply, 10, 64)
+			found[i] = errs[i] == nil
+		}(i, o)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, false, err
+	}
+	var deadline int64
+	exists := false
+	for i := range owners {
+		if !found[i] {
+			continue
+		}
+		exists = true
+		if deadlines[i] > deadline {
+			deadline = deadlines[i]
+		}
+	}
+	return deadline, exists, nil
+}
+
+// Persist removes key's expiry deadline on every owner node; it reports
+// whether any owner removed one. Clearing an already-cleared deadline
+// is a no-op, so the stale-map retry is safe.
+func (n *Node) Persist(key string) (bool, error) {
+	if err := validToken("key", key); err != nil {
+		return false, err
+	}
+	var removed bool
+	err := n.withStaleMapRetry(func(m *Map) error {
+		var err error
+		removed, err = n.persistWith(m, key)
+		return err
+	})
+	return removed, err
+}
+
+// persistWith is Persist's fan-out against one specific map.
+func (n *Node) persistWith(m *Map, key string) (bool, error) {
+	owners := m.Owners(key)
+	if len(owners) == 0 {
+		return false, errors.New("cluster: empty cluster map (node not started?)")
+	}
+	removed := make([]bool, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o Member) {
+			defer wg.Done()
+			if o.ID == n.id {
+				removed[i] = n.store.Persist(key)
+				return
+			}
+			reply, err := n.peers.do(o.Addr, "CLUSTER", "LPERSIST", key)
+			errs[i] = err
+			removed[i] = reply == "1"
+		}(i, o)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return false, err
+	}
+	for _, r := range removed {
+		if r {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// --- protocol handlers -------------------------------------------------
+
+// handleExpireVerb implements both EXPIRE (scale 1000: seconds) and
+// PEXPIRE (scale 1: milliseconds): validate the TTL, compute the
+// absolute deadline once on this coordinator, fan it out.
+func (n *Node) handleExpireVerb(verb string, scale int64, args []string) string {
+	if len(args) != 2 {
+		return "-ERR " + verb + " needs a key and a TTL"
+	}
+	v, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil || v <= 0 || v > server.MaxTTLMillis/scale {
+		return "-ERR " + verb + " TTL must be a positive integer"
+	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
+	}
+	existed, err := n.ExpireAt(args[0], n.store.NowMillis()+v*scale)
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	if existed {
+		return ":1"
+	}
+	return ":0"
+}
+
+func (n *Node) handleExpire(args []string) string {
+	return n.handleExpireVerb("EXPIRE", 1000, args)
+}
+
+func (n *Node) handlePExpire(args []string) string {
+	return n.handleExpireVerb("PEXPIRE", 1, args)
+}
+
+func (n *Node) handleTTL(args []string) string {
+	if len(args) != 1 {
+		return "-ERR TTL needs exactly one key"
+	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
+	}
+	dl, ok, err := n.Deadline(args[0])
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	return server.TTLReply(dl, ok, n.store.NowMillis())
+}
+
+func (n *Node) handlePersist(args []string) string {
+	if len(args) != 1 {
+		return "-ERR PERSIST needs exactly one key"
+	}
+	if reply, ok := n.moved(args[0]); ok {
+		return reply
+	}
+	removed, err := n.Persist(args[0])
+	if err != nil {
+		return "-ERR " + err.Error()
+	}
+	if removed {
+		return ":1"
+	}
+	return ":0"
+}

@@ -35,11 +35,19 @@ import (
 //	CLUSTER REBALANCE                  → +OK (full re-push of local sketches to their owners)
 //	CLUSTER LPFADD <key> <el>...       → :1/:0 (local add; internal replication verb)
 //	CLUSTER MLPFADD <g> <key> <n> <el>... ×g → +<g × '0'/'1'> (batched local adds; internal)
+//	CLUSTER MLADD <g> <group>... ×g    → +<g tokens> (batched mixed plain/windowed local adds; internal)
 //	CLUSTER LWADD <key> <ts> <el>...   → :<accepted> (local windowed add; internal)
 //	CLUSTER LDEL <key>                 → :1/:0 (local delete; internal)
+//	CLUSTER LEXPIREAT <key> <ms>       → :1/:0 (local absolute-deadline arm; internal, see lifecycle.go)
+//	CLUSTER LDEADLINE <key>            → :<ms> (local deadline read; internal)
+//	CLUSTER LPERSIST <key>             → :1/:0 (local deadline clear; internal)
 //	CLUSTER LKEYS                      → +<keys> (local keys; internal)
-//	CLUSTER ABSORB <key> <base64>      → +OK (merge a sketch blob into key; internal)
+//	CLUSTER ABSORB <key> <base64> [ms] → +OK (merge a sketch blob — and expiry deadline — into key; internal)
 //	CLUSTER XFER BEGIN|FRAME|END ...   → streaming bulk-transfer transport (internal; see transfer.go)
+//
+// It also overrides EXPIRE / PEXPIRE / TTL / PERSIST with cluster-wide
+// semantics: the coordinator computes the absolute deadline once and
+// replicates that instant to every owner (see lifecycle.go).
 //
 // Any node answers any command: writes are forwarded to all of the key's
 // owners (chosen by the consistent-hash ring), and counts scatter DUMP
@@ -141,6 +149,10 @@ func NewNode(id string, cfg core.Config, replicas int) (*Node, error) {
 	n.srv.Handle("WCOUNT", n.handleWCount)
 	n.srv.Handle("WINFO", n.handleWInfo)
 	n.srv.Handle("DEL", n.handleDel)
+	n.srv.Handle("EXPIRE", n.handleExpire)
+	n.srv.Handle("PEXPIRE", n.handlePExpire)
+	n.srv.Handle("TTL", n.handleTTL)
+	n.srv.Handle("PERSIST", n.handlePersist)
 	n.srv.Handle("KEYS", n.handleKeys)
 	n.srv.Handle("CLUSTER", n.handleCluster)
 	n.cmap = NewMap(replicas) // empty until Start learns the bound address
@@ -343,8 +355,9 @@ func (n *Node) Store() *server.Store { return n.store }
 func (n *Node) Map() *Map { return n.currentMap() }
 
 // SetStrictRouting toggles the smart-client answer path: when enabled,
-// a public single-key data verb (PFADD, WADD, WCOUNT, WINFO, DEL, and
-// single-key PFCOUNT) whose key this node does not own is answered with
+// a public single-key data verb (PFADD, WADD, WCOUNT, WINFO, DEL,
+// EXPIRE, PEXPIRE, TTL, PERSIST, and single-key PFCOUNT) whose key this
+// node does not own is answered with
 //
 //	-MOVED e=<epoch> <id>=<addr>
 //
@@ -952,7 +965,6 @@ func (n *Node) windowAddWith(m *Map, key string, tsMillis int64, elements []stri
 	if len(owners) == 0 {
 		return 0, errors.New("cluster: empty cluster map (node not started?)")
 	}
-	ts := strconv.FormatInt(tsMillis, 10)
 	accepted := make([]int, len(owners))
 	errs := make([]error, len(owners))
 	var wg sync.WaitGroup
@@ -964,14 +976,11 @@ func (n *Node) windowAddWith(m *Map, key string, tsMillis int64, elements []stri
 				accepted[i], errs[i] = n.store.WindowAdd(key, time.UnixMilli(tsMillis), elements...)
 				return
 			}
-			parts := make([]string, 0, 4+len(elements))
-			parts = append(parts, "CLUSTER", "LWADD", key, ts)
-			reply, err := n.peers.do(o.Addr, append(parts, elements...)...)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			accepted[i], errs[i] = strconv.Atoi(reply)
+			// Batched forwarding: concurrent WindowAdds (and plain Adds)
+			// to the same owner coalesce into one pipelined CLUSTER MLADD
+			// round trip. The LWADD single-shot verb remains for
+			// compatibility but this path no longer uses it.
+			accepted[i], errs[i] = n.peers.batchWAdd(o.Addr, key, tsMillis, elements)
 		}(i, o)
 	}
 	wg.Wait()
@@ -1414,6 +1423,8 @@ func (n *Node) handleCluster(args []string) string {
 		return ":0"
 	case "MLPFADD":
 		return n.handleMLPFAdd(rest)
+	case "MLADD":
+		return n.handleMLAdd(rest)
 	case "LWADD":
 		if len(rest) < 3 {
 			return "-ERR CLUSTER LWADD needs a key, a timestamp and at least one element"
@@ -1435,17 +1446,59 @@ func (n *Node) handleCluster(args []string) string {
 			return ":1"
 		}
 		return ":0"
+	case "LEXPIREAT":
+		if len(rest) != 2 {
+			return "-ERR CLUSTER LEXPIREAT needs a key and a unix-millisecond deadline"
+		}
+		dl, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil || dl <= 0 || dl > server.MaxDeadlineMillis {
+			return fmt.Sprintf("-ERR bad CLUSTER LEXPIREAT deadline %q", rest[1])
+		}
+		if n.store.ExpireAt(rest[0], dl) {
+			return ":1"
+		}
+		return ":0"
+	case "LDEADLINE":
+		if len(rest) != 1 {
+			return "-ERR CLUSTER LDEADLINE needs exactly one key"
+		}
+		dl, ok := n.store.DeadlineOf(rest[0])
+		if !ok {
+			// Verbatim, so the gather path maps it back to ErrNoSuchKey.
+			return "-ERR " + server.ErrNoSuchKey.Error()
+		}
+		return ":" + strconv.FormatInt(dl, 10)
+	case "LPERSIST":
+		if len(rest) != 1 {
+			return "-ERR CLUSTER LPERSIST needs exactly one key"
+		}
+		if n.store.Persist(rest[0]) {
+			return ":1"
+		}
+		return ":0"
 	case "LKEYS":
 		return "+" + strings.Join(n.store.Keys(), " ")
 	case "ABSORB":
-		if len(rest) != 2 {
-			return "-ERR CLUSTER ABSORB needs a key and a base64 payload"
+		// The optional third argument is the source entry's expiry
+		// deadline (unix milliseconds, 0 = none): rebalance and the
+		// transfer degrade path send it so a key's lifetime travels
+		// with its registers. The 2-arg form (no deadline to impose)
+		// stays valid — PFMERGE's absorbAll uses it.
+		if len(rest) != 2 && len(rest) != 3 {
+			return "-ERR CLUSTER ABSORB needs a key, a base64 payload and an optional deadline"
 		}
 		blob, err := base64.StdEncoding.DecodeString(rest[1])
 		if err != nil {
 			return "-ERR bad base64: " + err.Error()
 		}
-		if err := n.store.MergeBlob(rest[0], blob); err != nil {
+		var deadline int64
+		if len(rest) == 3 {
+			deadline, err = strconv.ParseInt(rest[2], 10, 64)
+			if err != nil || deadline < 0 || deadline > server.MaxDeadlineMillis {
+				return fmt.Sprintf("-ERR bad CLUSTER ABSORB deadline %q", rest[2])
+			}
+		}
+		if err := n.store.MergeBlobDeadline(rest[0], blob, deadline); err != nil {
 			return "-ERR " + err.Error()
 		}
 		return "+OK"
@@ -1507,6 +1560,96 @@ func (n *Node) handleMLPFAdd(rest []string) string {
 		return "-ERR trailing tokens after CLUSTER MLPFADD groups"
 	}
 	return "+" + string(bits)
+}
+
+// handleMLAdd is handleMLPFAdd's mixed-verb successor: one batch may
+// carry plain PFADD groups and windowed WADD groups interleaved, so the
+// group-commit batcher no longer has to segregate (or serialize) the
+// two write kinds. Framing per group:
+//
+//	p <key> <count> <element>...        (plain add)
+//	w <key> <ts> <count> <element>...   (windowed add, unix-ms timestamp)
+//
+// The reply is '+' followed by one space-separated token per group, in
+// order: a plain group answers its changed-bit ('0'/'1'), a windowed
+// group its accepted count, and either kind answers 'E' when its add
+// failed (e.g. WRONGTYPE). As with MLPFADD, one bad group must not fail
+// the whole batch — the groups belong to unrelated coalesced callers —
+// and only framing corruption aborts with -ERR.
+func (n *Node) handleMLAdd(rest []string) string {
+	if len(rest) < 1 {
+		return "-ERR CLUSTER MLADD needs a group count"
+	}
+	g, err := strconv.Atoi(rest[0])
+	// Each group needs at least 4 tokens (type, key, count, one
+	// element), so a count beyond (len(rest)-1)/4 cannot be satisfied —
+	// reject before sizing any allocation by it (wire input is
+	// untrusted).
+	if err != nil || g < 1 || g > (len(rest)-1)/4 {
+		return fmt.Sprintf("-ERR bad CLUSTER MLADD group count %q", rest[0])
+	}
+	toks := make([]string, 0, g)
+	i := 1
+	for gi := 0; gi < g; gi++ {
+		if len(rest)-i < 1 {
+			return "-ERR truncated CLUSTER MLADD group"
+		}
+		switch rest[i] {
+		case "p":
+			if len(rest)-i < 3 {
+				return "-ERR truncated CLUSTER MLADD group"
+			}
+			key := rest[i+1]
+			cnt, err := strconv.Atoi(rest[i+2])
+			if err != nil || cnt < 1 {
+				return fmt.Sprintf("-ERR bad CLUSTER MLADD element count %q", rest[i+2])
+			}
+			i += 3
+			if len(rest)-i < cnt {
+				return "-ERR truncated CLUSTER MLADD group"
+			}
+			changed, err := n.store.Add(key, rest[i:i+cnt]...)
+			switch {
+			case err != nil:
+				toks = append(toks, "E")
+			case changed:
+				toks = append(toks, "1")
+			default:
+				toks = append(toks, "0")
+			}
+			i += cnt
+		case "w":
+			if len(rest)-i < 4 {
+				return "-ERR truncated CLUSTER MLADD group"
+			}
+			key := rest[i+1]
+			ts, err := strconv.ParseInt(rest[i+2], 10, 64)
+			if err != nil {
+				return fmt.Sprintf("-ERR bad CLUSTER MLADD timestamp %q", rest[i+2])
+			}
+			cnt, err := strconv.Atoi(rest[i+3])
+			if err != nil || cnt < 1 {
+				return fmt.Sprintf("-ERR bad CLUSTER MLADD element count %q", rest[i+3])
+			}
+			i += 4
+			if len(rest)-i < cnt {
+				return "-ERR truncated CLUSTER MLADD group"
+			}
+			accepted, err := n.store.WindowAdd(key, time.UnixMilli(ts), rest[i:i+cnt]...)
+			if err != nil {
+				toks = append(toks, "E")
+			} else {
+				toks = append(toks, strconv.Itoa(accepted))
+			}
+			i += cnt
+		default:
+			return fmt.Sprintf("-ERR bad CLUSTER MLADD group type %q", rest[i])
+		}
+	}
+	if i != len(rest) {
+		return "-ERR trailing tokens after CLUSTER MLADD groups"
+	}
+	return "+" + strings.Join(toks, " ")
 }
 
 // joinOutcome renders the final JOIN reply by re-reading the current

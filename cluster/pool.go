@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,18 +21,19 @@ import (
 //   - pipeline sends a slice of commands in one write and reads the
 //     replies in one batch (server.Pipeline) — used by the read
 //     scatter-gather so N keys on one owner cost one round trip.
-//   - batchAdd coalesces concurrent per-key add requests to the same
-//     peer into a single CLUSTER MLPFADD command (group commit): while
-//     one flush is on the wire, every new request queues, and the next
-//     flush carries them all.
+//   - batchAdd/batchWAdd coalesce concurrent per-key add requests —
+//     plain and windowed mixed freely — to the same peer into a single
+//     CLUSTER MLADD command (group commit): while one flush is on the
+//     wire, every new request queues, and the next flush carries them
+//     all.
 //
 // hook, when non-nil, is consulted before every outbound command; a
 // non-nil return aborts the command with that error. It exists for the
 // in-process test harness (simulated partitions and delays) and must
 // be set before the owning node starts serving. pipeline consults the
 // hook once per queued command (so per-verb partitions and delays see
-// every logical command); batchAdd consults it once per flushed batch,
-// with the combined MLPFADD command.
+// every logical command); the add batcher consults it once per flushed
+// batch, with the combined MLADD command.
 // alive, when non-nil, is invoked with the peer address after every
 // successful command or pipeline — transport-level proof the peer is
 // up, which the gossip failure detector folds in as heartbeat-grade
@@ -46,9 +48,9 @@ type pool struct {
 	batches map[string]*peerBatch
 
 	// mlGroups/mlBatches count the group-commit coalescing: how many
-	// per-key add groups went out, in how many MLPFADD flushes — the
+	// per-key add groups went out, in how many MLADD flushes — the
 	// CLUSTER STATS mlpfadd_* counters (groups/batches is the average
-	// coalescing factor).
+	// coalescing factor; the names predate the mixed batcher).
 	mlGroups  atomic.Uint64
 	mlBatches atomic.Uint64
 
@@ -179,16 +181,21 @@ func (p *pool) pipeline(addr string, cmds [][]string) ([]server.Result, error) {
 	return results, nil
 }
 
-// addReq is one queued remote add awaiting a batched flush.
+// addReq is one queued remote add awaiting a batched flush — plain
+// (PFADD-shaped) or, when windowed is set, a WADD carrying its
+// unix-millisecond observation timestamp.
 type addReq struct {
 	key      string
+	windowed bool
+	ts       int64 // unix milliseconds; windowed groups only
 	elements []string
 	done     chan addResult
 }
 
 type addResult struct {
-	changed bool
-	err     error
+	changed  bool // plain groups: the owner's changed-bit
+	accepted int  // windowed groups: how many elements the owner accepted
+	err      error
 }
 
 // peerBatch is the per-peer group-commit queue for adds.
@@ -209,21 +216,36 @@ func (p *pool) batchFor(addr string) *peerBatch {
 	return b
 }
 
-// batchAdd queues an add of elements into key on the peer at addr and
-// returns its result. Concurrent calls to the same peer coalesce: one
-// caller becomes the flusher and drains the queue in MLPFADD batches
+// batchAdd queues a plain add of elements into key on the peer at addr
+// and returns its result. Concurrent calls to the same peer coalesce:
+// one caller becomes the flusher and drains the queue in MLADD batches
 // (one write, one reply per batch) while later callers just park on
 // their result channel — the cluster-side equivalent of the server's
 // coalesced flush.
 func (p *pool) batchAdd(addr, key string, elements []string) (bool, error) {
+	res := p.enqueueAdd(addr, &addReq{key: key, elements: elements, done: make(chan addResult, 1)})
+	return res.changed, res.err
+}
+
+// batchWAdd is batchAdd's windowed sibling: the request rides the same
+// per-peer group-commit queue, so mixed PFADD/WADD load to one owner
+// still coalesces into single MLADD round trips instead of splitting
+// into two serialized batch streams.
+func (p *pool) batchWAdd(addr, key string, tsMillis int64, elements []string) (int, error) {
+	res := p.enqueueAdd(addr, &addReq{key: key, windowed: true, ts: tsMillis,
+		elements: elements, done: make(chan addResult, 1)})
+	return res.accepted, res.err
+}
+
+// enqueueAdd parks req on addr's group-commit queue and returns its
+// result, electing the caller as flusher when none is running.
+func (p *pool) enqueueAdd(addr string, req *addReq) addResult {
 	b := p.batchFor(addr)
-	req := &addReq{key: key, elements: elements, done: make(chan addResult, 1)}
 	b.mu.Lock()
 	b.pending = append(b.pending, req)
 	if b.flushing {
 		b.mu.Unlock()
-		res := <-req.done
-		return res.changed, res.err
+		return <-req.done
 	}
 	b.flushing = true
 	b.mu.Unlock()
@@ -239,41 +261,58 @@ func (p *pool) batchAdd(addr, key string, elements []string) (bool, error) {
 		b.mu.Unlock()
 		p.flushAdds(addr, batch)
 	}
-	res := <-req.done
-	return res.changed, res.err
+	return <-req.done
 }
 
-// flushAdds sends one MLPFADD carrying every queued group and fans the
-// per-group results back out to the waiting callers. A group's 'E'
-// outcome (the only per-group failure: a WRONGTYPE key) fails that
-// caller alone; the neighbors coalesced into the batch are unaffected.
+// flushAdds sends one MLADD carrying every queued group — plain and
+// windowed interleaved — and fans the per-group results back out to the
+// waiting callers. A group's 'E' outcome (the only per-group failure: a
+// WRONGTYPE key) fails that caller alone; the neighbors coalesced into
+// the batch are unaffected.
 func (p *pool) flushAdds(addr string, batch []*addReq) {
 	p.mlBatches.Add(1)
 	p.mlGroups.Add(uint64(len(batch)))
 	size := 3
 	for _, r := range batch {
-		size += 2 + len(r.elements)
+		size += 4 + len(r.elements)
 	}
 	parts := make([]string, 0, size)
-	parts = append(parts, "CLUSTER", "MLPFADD", strconv.Itoa(len(batch)))
+	parts = append(parts, "CLUSTER", "MLADD", strconv.Itoa(len(batch)))
 	for _, r := range batch {
-		parts = append(parts, r.key, strconv.Itoa(len(r.elements)))
+		if r.windowed {
+			parts = append(parts, "w", r.key, strconv.FormatInt(r.ts, 10), strconv.Itoa(len(r.elements)))
+		} else {
+			parts = append(parts, "p", r.key, strconv.Itoa(len(r.elements)))
+		}
 		parts = append(parts, r.elements...)
 	}
 	reply, err := p.do(addr, parts...)
-	if err == nil && len(reply) != len(batch) {
-		err = fmt.Errorf("cluster: MLPFADD replied %d bits for %d groups", len(reply), len(batch))
+	var toks []string
+	if err == nil {
+		toks = strings.Fields(reply)
+		if len(toks) != len(batch) {
+			err = fmt.Errorf("cluster: MLADD replied %d tokens for %d groups", len(toks), len(batch))
+		}
 	}
 	for i, r := range batch {
 		if err != nil {
 			r.done <- addResult{err: err}
 			continue
 		}
-		if reply[i] == 'E' {
+		if toks[i] == "E" {
 			r.done <- addResult{err: fmt.Errorf("cluster: add %q on %s: %w", r.key, addr, server.ErrWrongType)}
 			continue
 		}
-		r.done <- addResult{changed: reply[i] == '1'}
+		if r.windowed {
+			accepted, perr := strconv.Atoi(toks[i])
+			if perr != nil {
+				r.done <- addResult{err: fmt.Errorf("cluster: MLADD windowed group replied %q", toks[i])}
+				continue
+			}
+			r.done <- addResult{accepted: accepted}
+			continue
+		}
+		r.done <- addResult{changed: toks[i] == "1"}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 	"errors"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -92,7 +93,7 @@ func (n *Node) rebalanceOnce(old, cur *Map) error {
 			if oldOwners != nil && slices.Contains(oldOwners, o.ID) {
 				continue // delta: this owner held the key before the transition
 			}
-			byAddr[o.Addr] = append(byAddr[o.Addr], server.KeyBlob{Key: key, Blob: tagged.Blob})
+			byAddr[o.Addr] = append(byAddr[o.Addr], server.KeyBlob{Key: key, Blob: tagged.Blob, Deadline: tagged.Deadline})
 			pushes++
 		}
 	}
@@ -158,7 +159,7 @@ func (n *Node) absorbEach(addr string, items []server.KeyBlob) map[string]error 
 	var failed map[string]error
 	for _, it := range items {
 		b64 := base64.StdEncoding.EncodeToString(it.Blob)
-		if _, err := n.peers.do(addr, "CLUSTER", "ABSORB", it.Key, b64); err != nil {
+		if _, err := n.peers.do(addr, "CLUSTER", "ABSORB", it.Key, b64, strconv.FormatInt(it.Deadline, 10)); err != nil {
 			if failed == nil {
 				failed = make(map[string]error)
 			}

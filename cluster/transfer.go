@@ -50,8 +50,14 @@ import (
 // transfer can only ever be as unreliable as the pre-existing protocol,
 // never less reliable.
 
-// frameMagic tags the binary frame format ("ELX1": ExaLogLog Xfer v1).
-const frameMagic = "ELX1"
+// frameMagic tags the binary frame format ("ELX2": ExaLogLog Xfer v2,
+// which carries each record's expiry deadline so a key's lifetime rides
+// rebalance with its registers). frameMagicV1 frames — no deadline
+// field — are still decoded, with every deadline read as 0.
+const (
+	frameMagic   = "ELX2"
+	frameMagicV1 = "ELX1"
+)
 
 const (
 	// maxFrameKeys bounds the per-frame key count a config can ask for.
@@ -207,12 +213,13 @@ func (n *Node) TransferStats() TransferStats {
 // --- frame codec -------------------------------------------------------
 
 // encodeFrame serializes items as one transfer frame: the magic,
-// a uvarint record count, then per record a length-prefixed key and a
+// a uvarint record count, then per record a length-prefixed key, a
+// uvarint expiry deadline (unix milliseconds, 0 = none) and a
 // length-prefixed blob.
 func encodeFrame(items []server.KeyBlob) []byte {
 	size := len(frameMagic) + binary.MaxVarintLen64
 	for _, it := range items {
-		size += 2*binary.MaxVarintLen64 + len(it.Key) + len(it.Blob)
+		size += 3*binary.MaxVarintLen64 + len(it.Key) + len(it.Blob)
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, frameMagic...)
@@ -220,6 +227,7 @@ func encodeFrame(items []server.KeyBlob) []byte {
 	for _, it := range items {
 		buf = binary.AppendUvarint(buf, uint64(len(it.Key)))
 		buf = append(buf, it.Key...)
+		buf = binary.AppendUvarint(buf, uint64(it.Deadline))
 		buf = binary.AppendUvarint(buf, uint64(len(it.Blob)))
 		buf = append(buf, it.Blob...)
 	}
@@ -233,9 +241,14 @@ func encodeFrame(items []server.KeyBlob) []byte {
 // least three bytes), the prealloc is additionally clamped, and key and
 // blob lengths are checked against the remaining buffer.
 func decodeFrame(buf []byte) ([]server.KeyBlob, error) {
-	if len(buf) < len(frameMagic) || string(buf[:len(frameMagic)]) != frameMagic {
+	if len(buf) < len(frameMagic) {
 		return nil, errors.New("cluster: xfer frame: bad magic")
 	}
+	magic := string(buf[:len(frameMagic)])
+	if magic != frameMagic && magic != frameMagicV1 {
+		return nil, errors.New("cluster: xfer frame: bad magic")
+	}
+	withDeadline := magic == frameMagic
 	rest := buf[len(frameMagic):]
 	next := func() (uint64, bool) {
 		v, w := binary.Uvarint(rest)
@@ -260,11 +273,19 @@ func decodeFrame(buf []byte) ([]server.KeyBlob, error) {
 		}
 		key := string(rest[:klen])
 		rest = rest[klen:]
+		var deadline int64
+		if withDeadline {
+			dl, ok := next()
+			if !ok || dl > uint64(server.MaxDeadlineMillis) {
+				return nil, errors.New("cluster: xfer frame: bad deadline")
+			}
+			deadline = int64(dl)
+		}
 		blen, ok := next()
 		if !ok || blen > uint64(len(rest)) {
 			return nil, errors.New("cluster: xfer frame: bad blob length")
 		}
-		items = append(items, server.KeyBlob{Key: key, Blob: rest[:blen:blen]})
+		items = append(items, server.KeyBlob{Key: key, Blob: rest[:blen:blen], Deadline: deadline})
 		rest = rest[blen:]
 	}
 	if len(rest) != 0 {
@@ -399,7 +420,8 @@ func (n *Node) streamTo(addr string, epoch uint64, items []server.KeyBlob) map[s
 		for _, it := range frames[i].items {
 			n.xfer.fallbacks.Add(1)
 			b64 := base64.StdEncoding.EncodeToString(it.Blob)
-			if _, err := n.peers.do(addr, "CLUSTER", "ABSORB", it.Key, b64); err != nil {
+			dl := strconv.FormatInt(it.Deadline, 10)
+			if _, err := n.peers.do(addr, "CLUSTER", "ABSORB", it.Key, b64, dl); err != nil {
 				out[it.Key] = err
 			}
 		}

@@ -25,8 +25,15 @@
 // Makefile loadtest emits one row per route so the latency win is
 // recorded, not asserted.
 //
+// TTL churn: -ttl arms an expiry deadline on every key a pfadd
+// touches — the EXPIRE rides in the same pipeline batch — so a long
+// run continuously creates and expires keys, the workload that
+// exercises lazy expiry, the background sweep and the memory
+// watermark under load (pair with elld -default-ttl / -mem-high).
+//
 //	ell-loader -self 3 -conns 4 -depth 32 -duration 10s -mix pfadd=8,pfcount=1,wadd=1 -dist zipf
 //	ell-loader -self 3 -single-hop -conns 4 -depth 32 -duration 10s
+//	ell-loader -self 3 -ttl 2s -duration 30s -mix pfadd=4,pfcount=1
 //	ell-loader -addrs 127.0.0.1:7700,127.0.0.1:7701 -qps 5000 -out load.json
 //
 // Latency is observed per pipeline batch round trip and attributed to
@@ -71,6 +78,7 @@ func main() {
 	elements := flag.Int("elements", 2, "elements per pfadd/wadd command")
 	seed := flag.Int64("seed", 1, "base RNG seed (per-connection streams derive from it)")
 	singleHop := flag.Bool("single-hop", false, "route each command straight to an owner via the smart client (with -self, nodes run strict routing)")
+	ttl := flag.Duration("ttl", 0, "churn mode: arm this expiry TTL on every pfadd'd key, in the same batch (0 disables)")
 	out := flag.String("out", "", "write the JSON result here instead of stdout")
 	flag.Parse()
 
@@ -107,7 +115,7 @@ func main() {
 	cfg := workerConfig{
 		specs: specs, depth: *depth, keys: *keys, keyPrefix: *keyPrefix,
 		dist: *dist, zipfS: *zipfS, zipfV: *zipfV, elements: *elements,
-		singleHop: *singleHop,
+		singleHop: *singleHop, ttl: *ttl,
 	}
 	if *qps > 0 {
 		// Per-connection pacing: each connection owns an equal share of
@@ -200,6 +208,7 @@ type workerConfig struct {
 	zipfS, zipfV float64
 	elements     int
 	singleHop    bool          // route via cluster.ClusterClient instead of one coordinator
+	ttl          time.Duration // >0: churn mode, EXPIRE follows every pfadd in-batch
 	batchEvery   time.Duration // 0: no pacing (max throughput)
 }
 
@@ -211,6 +220,7 @@ type opBatch interface {
 	PFCount(key string)
 	WAdd(key string, tsMillis int64, elements ...string)
 	WCount(key string, win time.Duration)
+	Expire(key string, ttl time.Duration)
 	Exec() ([]server.Result, error)
 }
 
@@ -341,7 +351,9 @@ func runWorker(targets []string, idx int, seed int64, cfg workerConfig, warmupEn
 		d = &coordDriver{addr: targets[idx%len(targets)]}
 	}
 	defer d.close()
-	slots := make([]int, cfg.depth)
+	// slots maps each queued command (and so each result) back to its
+	// mix verb; churn mode appends an extra EXPIRE slot per pfadd.
+	slots := make([]int, 0, cfg.depth*2)
 	next := time.Now()
 	for time.Now().Before(end) {
 		pl, err := d.batch()
@@ -356,14 +368,21 @@ func runWorker(targets []string, idx int, seed int64, cfg workerConfig, warmupEn
 			}
 			next = next.Add(cfg.batchEvery)
 		}
+		slots = slots[:0]
 		for j := 0; j < cfg.depth; j++ {
 			vi := pickVerb()
-			slots[j] = vi
+			slots = append(slots, vi)
 			key := pickKey()
 			switch cfg.specs[vi].name {
 			case "pfadd":
 				fillElems()
 				pl.PFAdd(key, elems...)
+				if cfg.ttl > 0 {
+					// Churn: the key expires cfg.ttl after this batch
+					// lands, continuously recycling the keyspace.
+					pl.Expire(key, cfg.ttl)
+					slots = append(slots, vi)
+				}
 			case "pfcount":
 				pl.PFCount(key)
 			case "wadd":

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	elld [-addr 127.0.0.1:7700] [-p 12] [-snapshot file] \
-//	     [-window-slice 1s] [-window-slices 60] [-metrics-addr 127.0.0.1:9100]
+//	     [-window-slice 1s] [-window-slices 60] [-metrics-addr 127.0.0.1:9100] \
+//	     [-default-ttl 0] [-mem-high 0] [-mem-low 0] [-sweep-interval 10s]
 //	elld -node-id n1 [-replicas 2] [-join host:port] \
 //	     [-gossip-interval 1s] [-suspect-after 5] \
 //	     [-strict-routing] [-peer-timeout 5s] \
@@ -44,6 +45,16 @@
 // -xfer-batch and -xfer-window tune the streaming bulk-transfer
 // transport that rebalance and sync move sketches over (keys per
 // frame, unacked frames in flight; see the cluster package).
+//
+// Keyspace lifecycle: -default-ttl stamps every key created from then
+// on with an absolute expiry deadline (creation + TTL); EXPIRE/PERSIST
+// override it per key. Expired keys are collected lazily on access and
+// by a background sweep every -sweep-interval (0 disables the sweep;
+// lazy expiry still applies). -mem-high/-mem-low arm the memory
+// watermark: when approximate resident sketch bytes exceed -mem-high,
+// the sweep evicts the coldest keys until resident bytes drop to
+// -mem-low. In cluster mode deadlines are replicated as absolute
+// instants, so every replica expires a key at the same moment.
 //
 // -strict-routing makes the node answer misrouted single-key data
 // commands with a -MOVED redirect instead of forwarding to the owners
@@ -100,14 +111,22 @@ func main() {
 	windowSlice := flag.Duration("window-slice", time.Second, "slice duration of WADD-created sliding-window keys")
 	windowSlices := flag.Int("window-slices", 60, "number of slices in WADD-created rings (max window = slice x slices)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics on this address (empty disables)")
+	defaultTTL := flag.Duration("default-ttl", 0, "expiry deadline stamped on every created key (0 disables); EXPIRE/PERSIST override per key")
+	memHigh := flag.Int64("mem-high", 0, "resident sketch bytes that trigger cold-key eviction (0 disables)")
+	memLow := flag.Int64("mem-low", 0, "resident sketch bytes eviction drains down to")
+	sweepInterval := flag.Duration("sweep-interval", 10*time.Second, "period of the background expiry sweep and watermark check (0 disables)")
 	flag.Parse()
 
 	cfg := core.RecommendedML(*p)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	lc := lifecycleOpts{
+		defaultTTL: *defaultTTL, memHigh: *memHigh, memLow: *memLow,
+		sweepInterval: *sweepInterval,
+	}
 	if *nodeID != "" {
-		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr, *strictRouting, *peerTimeout, *xferBatch, *xferWindow)
+		runCluster(ctx, cfg, *addr, *snapshot, *nodeID, *join, *replicas, *gossipInterval, *suspectAfter, *windowSlice, *windowSlices, *metricsAddr, *strictRouting, *peerTimeout, *xferBatch, *xferWindow, lc)
 		return
 	}
 	if *strictRouting {
@@ -121,6 +140,7 @@ func main() {
 	if err := store.SetWindowConfig(*windowSlice, *windowSlices); err != nil {
 		log.Fatal(err)
 	}
+	lc.apply(ctx, store)
 	loadSnapshot(store, *snapshot)
 	srv := server.NewServer(store)
 	srv.SetSnapshotPath(*snapshot)
@@ -143,7 +163,45 @@ func main() {
 	saveSnapshot(store, *snapshot)
 }
 
-func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string, strictRouting bool, peerTimeout time.Duration, xferBatch, xferWindow int) {
+// lifecycleOpts bundles the keyspace-lifecycle flags: default TTL,
+// memory watermarks, and the background sweep period.
+type lifecycleOpts struct {
+	defaultTTL      time.Duration
+	memHigh, memLow int64
+	sweepInterval   time.Duration
+}
+
+// apply configures the store's lifecycle knobs (before it serves) and,
+// when a sweep interval is set, starts the background sweeper: each
+// tick collects a sample of due keys per shard and, above the high
+// watermark, evicts cold keys down to the low one. Lazy expiry on
+// access works regardless — the sweep only bounds how long an untouched
+// expired key can linger.
+func (o lifecycleOpts) apply(ctx context.Context, store *server.Store) {
+	if o.defaultTTL > 0 {
+		store.SetDefaultTTL(o.defaultTTL)
+	}
+	if o.memHigh > 0 {
+		store.SetMemoryWatermarks(o.memHigh, o.memLow)
+	}
+	if o.sweepInterval <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(o.sweepInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				store.Sweep(128)
+			}
+		}
+	}()
+}
+
+func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, join string, replicas int, gossipInterval time.Duration, suspectAfter int, windowSlice time.Duration, windowSlices int, metricsAddr string, strictRouting bool, peerTimeout time.Duration, xferBatch, xferWindow int, lc lifecycleOpts) {
 	node, err := cluster.NewNode(nodeID, cfg, replicas)
 	if err != nil {
 		log.Fatal(err)
@@ -151,6 +209,7 @@ func runCluster(ctx context.Context, cfg core.Config, addr, snapshot, nodeID, jo
 	if err := node.Store().SetWindowConfig(windowSlice, windowSlices); err != nil {
 		log.Fatal(err)
 	}
+	lc.apply(ctx, node.Store())
 	node.SetGossipConfig(cluster.GossipConfig{SuspectAfter: suspectAfter})
 	node.SetStrictRouting(strictRouting)
 	node.SetPeerTimeout(peerTimeout)

@@ -306,6 +306,13 @@ func (p *Pipeline) Dump(key string) {
 	p.Do("DUMP", key)
 }
 
+// Expire queues an EXPIRE key seconds command (ttl rounded up to whole
+// seconds).
+func (p *Pipeline) Expire(key string, ttl time.Duration) {
+	secs := int64((ttl + time.Second - 1) / time.Second)
+	p.Do("EXPIRE", key, strconv.FormatInt(secs, 10))
+}
+
 // Len returns the number of queued commands.
 func (p *Pipeline) Len() int { return p.n }
 
@@ -410,6 +417,46 @@ func (c *Client) WCountAt(key string, window time.Duration, tsMillis int64) (int
 // timestamp, dropped-insert count and full-span estimate.
 func (c *Client) WInfo(key string) (string, error) {
 	return c.Do("WINFO", key)
+}
+
+// Expire sets key's time-to-live in whole seconds (rounded up from the
+// duration); it reports whether the key existed.
+func (c *Client) Expire(key string, ttl time.Duration) (bool, error) {
+	secs := int64((ttl + time.Second - 1) / time.Second)
+	reply, err := c.Do("EXPIRE", key, strconv.FormatInt(secs, 10))
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// PExpire sets key's time-to-live in milliseconds; it reports whether
+// the key existed.
+func (c *Client) PExpire(key string, ttl time.Duration) (bool, error) {
+	reply, err := c.Do("PEXPIRE", key, strconv.FormatInt(ttl.Milliseconds(), 10))
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
+}
+
+// TTL returns key's remaining time-to-live in whole seconds, following
+// the Redis convention: -2 missing key, -1 no deadline.
+func (c *Client) TTL(key string) (int64, error) {
+	reply, err := c.Do("TTL", key)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(reply, 10, 64)
+}
+
+// Persist removes key's deadline; it reports whether one was removed.
+func (c *Client) Persist(key string) (bool, error) {
+	reply, err := c.Do("PERSIST", key)
+	if err != nil {
+		return false, err
+	}
+	return reply == "1", nil
 }
 
 // Del removes a key; it reports whether the key existed.

@@ -223,6 +223,43 @@ func (s *Server) registerBuiltins() {
 			return boolReply(s.store.Delete(args[0])), false
 		},
 	})
+	s.register("EXPIRE", &command{
+		min: 2, max: 2,
+		usage: "-ERR EXPIRE needs a key and a TTL in seconds",
+		run: func(s *Server, args []string) (string, bool) {
+			secs, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil || secs <= 0 || secs > MaxTTLMillis/1000 {
+				return "-ERR EXPIRE seconds must be a positive integer", false
+			}
+			return boolReply(s.store.ExpireAt(args[0], s.store.NowMillis()+secs*1000)), false
+		},
+	})
+	s.register("PEXPIRE", &command{
+		min: 2, max: 2,
+		usage: "-ERR PEXPIRE needs a key and a TTL in milliseconds",
+		run: func(s *Server, args []string) (string, bool) {
+			ms, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil || ms <= 0 || ms > MaxTTLMillis {
+				return "-ERR PEXPIRE milliseconds must be a positive integer", false
+			}
+			return boolReply(s.store.ExpireAt(args[0], s.store.NowMillis()+ms)), false
+		},
+	})
+	s.register("TTL", &command{
+		min: 1, max: 1,
+		usage: "-ERR TTL needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			dl, ok := s.store.DeadlineOf(args[0])
+			return TTLReply(dl, ok, s.store.NowMillis()), false
+		},
+	})
+	s.register("PERSIST", &command{
+		min: 1, max: 1,
+		usage: "-ERR PERSIST needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			return boolReply(s.store.Persist(args[0])), false
+		},
+	})
 	s.register("KEYS", &command{
 		max: -1,
 		run: func(s *Server, args []string) (string, bool) {
@@ -306,6 +343,24 @@ func boolReply(v bool) string {
 		return ":1"
 	}
 	return ":0"
+}
+
+// TTLReply renders the Redis-convention TTL reply from a key's
+// absolute deadline: :-2 missing key, :-1 no deadline, else the
+// remaining whole seconds rounded up. Exported because the cluster
+// layer reuses it after gathering deadlines from the owners.
+func TTLReply(deadlineMillis int64, ok bool, nowMillis int64) string {
+	if !ok {
+		return ":-2"
+	}
+	if deadlineMillis == 0 {
+		return ":-1"
+	}
+	remaining := deadlineMillis - nowMillis
+	if remaining <= 0 {
+		return ":-2" // due but not yet collected: already missing
+	}
+	return ":" + strconv.FormatInt((remaining+999)/1000, 10)
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:7700";

@@ -16,25 +16,28 @@ import (
 // a header plus the dense register array, so snapshots are cheap);
 // windowed keys serialize slot-wise (see the window package).
 //
-// Format (version 3; versions 1 and 2 are still readable):
+// Format (version 4; versions 1–3 are still readable):
 //
 //	bytes 0-3  magic "ELSS"
-//	byte  4    version (3)
+//	byte  4    version (4)
 //	uvarint    metadata length, then the opaque metadata blob
 //	uvarint    number of records
 //	per record:
 //	  uvarint  key length, then the key bytes
 //	  byte     value type tag ('E' plain sketch, 'W' window ring)
+//	  uvarint  expiry deadline, unix milliseconds (0 = none)
 //	  uvarint  blob length, then the value blob
 //
-// Version 2 lacked the per-record type tag (every value was a plain
-// sketch); version 1 additionally lacked the metadata blob. The
-// metadata blob (SetMeta/Meta) is opaque to the server: the cluster
-// package stores its membership map there so a restarted node
-// remembers its cluster.
+// Version 3 lacked the per-record expiry deadline (keys restore
+// without a lifetime); version 2 additionally lacked the type tag
+// (every value was a plain sketch); version 1 additionally lacked the
+// metadata blob. The metadata blob (SetMeta/Meta) is opaque to the
+// server: the cluster package stores its membership map there so a
+// restarted node remembers its cluster.
 const (
 	snapshotMagic      = "ELSS"
-	snapshotVersion    = 3
+	snapshotVersion    = 4
+	snapshotVersionV3  = 3
 	snapshotVersionV2  = 2
 	snapshotVersionV1  = 1
 	snapshotMetaLimit  = 1 << 20
@@ -88,6 +91,9 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		if err := bw.WriteByte(tagged.Type); err != nil {
 			return err
 		}
+		if err := writeUvarint(uint64(tagged.Deadline)); err != nil {
+			return err
+		}
 		if err := writeUvarint(uint64(len(tagged.Blob))); err != nil {
 			return err
 		}
@@ -110,7 +116,7 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		return fmt.Errorf("server: bad snapshot magic %q", header[:len(snapshotMagic)])
 	}
 	version := header[len(snapshotMagic)]
-	if version != snapshotVersion && version != snapshotVersionV2 && version != snapshotVersionV1 {
+	if version < snapshotVersionV1 || version > snapshotVersion {
 		return fmt.Errorf("server: unsupported snapshot version %d", version)
 	}
 	var meta []byte
@@ -130,7 +136,8 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 	if count > snapshotMaxRecords {
 		return fmt.Errorf("server: snapshot claims %d records (limit %d)", count, snapshotMaxRecords)
 	}
-	loaded := make(map[string]SketchValue, count)
+	nowMs := s.NowMillis()
+	loaded := make(map[string]snapRecord, count)
 	for i := uint64(0); i < count; i++ {
 		key, err := readBlob(br, snapshotKeyLimit)
 		if err != nil {
@@ -138,10 +145,22 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		}
 		// v1/v2 records carry no type tag: every value is a plain sketch.
 		tag := valueTagEll
-		if version >= snapshotVersion {
+		if version >= snapshotVersionV3 {
 			if tag, err = br.ReadByte(); err != nil {
 				return fmt.Errorf("server: snapshot record %d type tag: %w", i, err)
 			}
+		}
+		// v1–v3 records carry no deadline: keys restore without one.
+		var deadline int64
+		if version >= snapshotVersion {
+			dl, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("server: snapshot record %d deadline: %w", i, err)
+			}
+			if dl > uint64(MaxDeadlineMillis) {
+				return fmt.Errorf("server: snapshot record %d deadline %d out of range", i, dl)
+			}
+			deadline = int64(dl)
 		}
 		blob, err := readBlob(br, snapshotBlobLimit)
 		if err != nil {
@@ -151,29 +170,42 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d (%q): %w", i, key, err)
 		}
-		loaded[string(key)] = val
+		if deadline != 0 && deadline <= nowMs {
+			continue // expired while the snapshot sat on disk: stay dead
+		}
+		loaded[string(key)] = snapRecord{val: val, deadline: deadline}
 	}
 	s.replaceAll(loaded, meta)
 	return nil
 }
 
+// snapRecord is one decoded snapshot record awaiting installation.
+type snapRecord struct {
+	val      SketchValue
+	deadline int64
+}
+
 // replaceAll swaps the store's entire contents for the loaded values.
 // Entries being replaced are marked dead so mutators that raced the
-// swap retry against the new maps instead of writing into orphans.
-func (s *Store) replaceAll(loaded map[string]SketchValue, meta []byte) {
+// swap retry against the new maps instead of writing into orphans; the
+// resident-bytes gauge is rebuilt from the loaded values.
+func (s *Store) replaceAll(loaded map[string]snapRecord, meta []byte) {
 	fresh := make([]map[string]*entry, numShards)
 	for i := range fresh {
 		fresh[i] = make(map[string]*entry)
 	}
-	for k, val := range loaded {
-		fresh[shardIndex(k)][k] = &entry{val: val}
+	for k, rec := range loaded {
+		e := &entry{val: rec.val, size: rec.val.SizeBytes()}
+		e.deadline.Store(rec.deadline)
+		s.residentBytes.Add(int64(e.size))
+		fresh[shardIndex(k)][k] = e
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, e := range sh.m {
 			e.mu.Lock()
-			e.dead = true
+			s.killLocked(e)
 			e.mu.Unlock()
 		}
 		sh.m = fresh[i]

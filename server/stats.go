@@ -309,8 +309,9 @@ func (s *Stats) Text(store *Store) string {
 		s.Uptime().Milliseconds(), cur, total)
 	if store != nil {
 		hits, misses := store.CacheStats()
-		fmt.Fprintf(&b, " keys=%d shards_used=%d cache_hits=%d cache_misses=%d",
-			store.Len(), store.ShardsUsed(), hits, misses)
+		expired, evicted, resident := store.LifecycleStats()
+		fmt.Fprintf(&b, " keys=%d shards_used=%d cache_hits=%d cache_misses=%d expired_keys=%d evicted_keys=%d resident_bytes=%d",
+			store.Len(), store.ShardsUsed(), hits, misses, expired, evicted, resident)
 	}
 	for _, e := range s.sortedVerbs() {
 		calls := e.v.Calls()
@@ -338,10 +339,14 @@ func (s *Stats) WriteMetrics(w io.Writer, store *Store) {
 	fmt.Fprintf(w, "# TYPE ell_connections_accepted_total counter\nell_connections_accepted_total %d\n", total)
 	if store != nil {
 		hits, misses := store.CacheStats()
+		expired, evicted, resident := store.LifecycleStats()
 		fmt.Fprintf(w, "# TYPE ell_keys gauge\nell_keys %d\n", store.Len())
 		fmt.Fprintf(w, "# TYPE ell_shards_used gauge\nell_shards_used %d\n", store.ShardsUsed())
 		fmt.Fprintf(w, "# TYPE ell_estimate_cache_hits_total counter\nell_estimate_cache_hits_total %d\n", hits)
 		fmt.Fprintf(w, "# TYPE ell_estimate_cache_misses_total counter\nell_estimate_cache_misses_total %d\n", misses)
+		fmt.Fprintf(w, "# TYPE ell_expired_keys_total counter\nell_expired_keys_total %d\n", expired)
+		fmt.Fprintf(w, "# TYPE ell_evicted_keys_total counter\nell_evicted_keys_total %d\n", evicted)
+		fmt.Fprintf(w, "# TYPE ell_resident_bytes gauge\nell_resident_bytes %d\n", resident)
 	}
 	fmt.Fprint(w, "# TYPE ell_verb_calls_total counter\n")
 	fmt.Fprint(w, "# TYPE ell_verb_errors_total counter\n")

@@ -52,6 +52,16 @@ type entry struct {
 	ver  uint64
 	dead bool
 
+	// size is the value's approximate resident footprint as last
+	// accounted against the store's resident-bytes gauge (e.mu held).
+	size int
+
+	// deadline is the key's absolute expiry instant in unix
+	// milliseconds, 0 meaning none. Atomic so lookup paths can skip the
+	// entry lock for the overwhelmingly common no-deadline case; the
+	// expiry decision itself happens under e.mu (see expireDueLocked).
+	deadline atomic.Int64
+
 	// est caches val.Estimate() as of version estVer, so a hot-key
 	// PFCOUNT on an unchanged sketch is O(1) instead of a scan of the
 	// dense register array. estValid distinguishes "no cache yet" from
@@ -129,6 +139,20 @@ type Store struct {
 	winSlice  time.Duration
 	winSlices int
 
+	// now is the store's time source — expiry deadlines are judged
+	// against it. Defaults to time.Now; SetClock injects a fake clock
+	// for deterministic lifecycle tests. Set before serving.
+	now func() time.Time
+
+	// defaultTTL, when positive, stamps every created key with a
+	// deadline defaultTTL from creation. Set before serving.
+	defaultTTL time.Duration
+
+	// hiWater/loWater are the resident-bytes eviction watermarks
+	// (SetMemoryWatermarks); hiWater <= 0 disables eviction. Set
+	// before serving.
+	hiWater, loWater int64
+
 	shards [numShards]shard
 
 	// accs pools union accumulators for Count/Merge so the common
@@ -143,6 +167,13 @@ type Store struct {
 	// cache_hits/cache_misses gauges.
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// Lifecycle gauges: cumulative lazily/sweeper-expired keys,
+	// cumulative watermark-evicted keys, and the approximate resident
+	// footprint of all live values (see entry.size).
+	expiredKeys   atomic.Uint64
+	evictedKeys   atomic.Uint64
+	residentBytes atomic.Int64
 }
 
 // NewStore returns an empty store whose sketches use configuration cfg.
@@ -150,7 +181,7 @@ func NewStore(cfg core.Config) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, winSlice: defaultWindowSlice, winSlices: defaultWindowSlices}
+	s := &Store{cfg: cfg, winSlice: defaultWindowSlice, winSlices: defaultWindowSlices, now: time.Now}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*entry)
 	}
@@ -188,22 +219,31 @@ func (s *Store) shardOfBytes(key []byte) *shard {
 	return &s.shards[hashing.Wy64(key, shardSeed)&(numShards-1)]
 }
 
-// lookup returns the live entry for key, or nil.
+// lookup returns the live entry for key, or nil. An entry whose expiry
+// deadline has passed is collected here — every read path goes through
+// lookup, so an expired key behaves exactly like a missing one.
 func (s *Store) lookup(key string) *entry {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
 	e := sh.m[key]
 	sh.mu.RUnlock()
+	if e != nil && s.expireIfDue(key, e) {
+		return nil
+	}
 	return e
 }
 
 // lookupBytes is lookup with a byte-slice key; the map access compiles
-// to a no-allocation string conversion.
+// to a no-allocation string conversion (the key only materializes on
+// the rare expiry).
 func (s *Store) lookupBytes(key []byte) *entry {
 	sh := s.shardOfBytes(key)
 	sh.mu.RLock()
 	e := sh.m[string(key)]
 	sh.mu.RUnlock()
+	if e != nil && e.deadline.Load() != 0 && s.expireIfDue(string(key), e) {
+		return nil
+	}
 	return e
 }
 
@@ -223,41 +263,53 @@ func (s *Store) newValue(tag byte) SketchValue {
 // getOrCreate returns the live entry for key, creating it with an
 // empty value of the given type when absent. A concurrent creation of
 // the same key with another type wins the usual way — first in; the
-// loser's command then fails its type check.
+// loser's command then fails its type check. An expired entry is
+// collected and re-created fresh — writing into a key past its
+// deadline must behave exactly like writing into a missing one.
 func (s *Store) getOrCreate(key string, tag byte) *entry {
-	sh := s.shardOf(key)
-	sh.mu.RLock()
-	e := sh.m[key]
-	sh.mu.RUnlock()
-	if e != nil {
+	for {
+		sh := s.shardOf(key)
+		sh.mu.RLock()
+		e := sh.m[key]
+		sh.mu.RUnlock()
+		if e == nil {
+			sh.mu.Lock()
+			if e = sh.m[key]; e == nil {
+				e = s.newEntry(tag)
+				sh.m[key] = e
+				sh.mu.Unlock()
+				return e
+			}
+			sh.mu.Unlock()
+		}
+		if s.expireIfDue(key, e) {
+			continue
+		}
 		return e
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if e = sh.m[key]; e != nil {
-		return e
-	}
-	e = &entry{val: s.newValue(tag)}
-	sh.m[key] = e
-	return e
 }
 
 func (s *Store) getOrCreateBytes(key []byte, tag byte) *entry {
-	sh := s.shardOfBytes(key)
-	sh.mu.RLock()
-	e := sh.m[string(key)]
-	sh.mu.RUnlock()
-	if e != nil {
+	for {
+		sh := s.shardOfBytes(key)
+		sh.mu.RLock()
+		e := sh.m[string(key)]
+		sh.mu.RUnlock()
+		if e == nil {
+			sh.mu.Lock()
+			if e = sh.m[string(key)]; e == nil {
+				e = s.newEntry(tag)
+				sh.m[string(key)] = e
+				sh.mu.Unlock()
+				return e
+			}
+			sh.mu.Unlock()
+		}
+		if e.deadline.Load() != 0 && s.expireIfDue(string(key), e) {
+			continue
+		}
 		return e
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if e = sh.m[string(key)]; e != nil {
-		return e
-	}
-	e = &entry{val: s.newValue(tag)}
-	sh.m[string(key)] = e
-	return e
 }
 
 // getAcc returns an empty accumulator sketch with the store's default
@@ -351,6 +403,7 @@ func (s *Store) WindowAdd(key string, ts time.Time, elements ...string) (int, er
 		}
 		accepted := len(elements) - int(c.Dropped()-before)
 		e.ver++
+		s.resizeLocked(e)
 		e.mu.Unlock()
 		return accepted, nil
 	}
@@ -379,6 +432,7 @@ func (s *Store) WindowAddBytes(key []byte, tsMillis int64, elements [][]byte) (i
 		}
 		accepted := len(elements) - int(c.Dropped()-before)
 		e.ver++
+		s.resizeLocked(e)
 		e.mu.Unlock()
 		return accepted, nil
 	}
@@ -614,12 +668,14 @@ func (s *Store) Merge(dest string, sources ...string) error {
 			return fmt.Errorf("server: merge %q: %w", dest, err)
 		}
 		e.ver++
+		s.resizeLocked(e)
 		e.mu.Unlock()
 		return nil
 	}
 }
 
-// Delete removes key; it reports whether the key existed.
+// Delete removes key; it reports whether the key existed. A key whose
+// deadline already passed counts as missing.
 func (s *Store) Delete(key string) bool {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
@@ -629,20 +685,27 @@ func (s *Store) Delete(key string) bool {
 		return false
 	}
 	e.mu.Lock()
-	e.dead = true
+	expired := s.expireDueLocked(e)
+	s.killLocked(e)
 	e.mu.Unlock()
 	delete(sh.m, key)
 	sh.mu.Unlock()
-	return true
+	return !expired
 }
 
-// Keys returns all keys in sorted order.
+// Keys returns all live keys in sorted order; keys past their deadline
+// but not yet collected are filtered out (the deadline check is
+// lock-free, so KEYS stays cheap).
 func (s *Store) Keys() []string {
+	nowMs := s.NowMillis()
 	var keys []string
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for k := range sh.m {
+		for k, e := range sh.m {
+			if dl := e.deadline.Load(); dl != 0 && nowMs >= dl {
+				continue
+			}
 			keys = append(keys, k)
 		}
 		sh.mu.RUnlock()
@@ -689,6 +752,7 @@ func (s *Store) Restore(key string, data []byte) error {
 		}
 		e.val = val
 		e.ver++
+		s.resizeLocked(e)
 		e.mu.Unlock()
 		return nil
 	}
@@ -701,9 +765,27 @@ func (s *Store) Restore(key string, data []byte) error {
 // commutative and idempotent). Windowed blobs merge slot-wise. A
 // type mismatch against a non-empty existing value is ErrWrongType.
 func (s *Store) MergeBlob(key string, data []byte) error {
+	return s.MergeBlobDeadline(key, data, 0)
+}
+
+// MergeBlobDeadline is MergeBlob for blobs that travel with the source
+// key's expiry deadline (unix milliseconds, 0 = none) — rebalance,
+// streaming transfer and replication all use it so a moved key keeps
+// its lifetime. Deadlines merge monotonically: a fresh (empty) entry
+// adopts the incoming deadline verbatim; otherwise the later of the
+// two deadlines wins (treating a local "none" as adoptable, so a
+// racing plain create cannot strip the TTL a rebalance blob carries),
+// and an incoming "none" leaves local state alone — replicas converge
+// on the maximum known deadline no matter the merge order, exactly
+// like the sketches themselves. A blob whose deadline already passed
+// is dropped whole: merging it could only resurrect a ghost.
+func (s *Store) MergeBlobDeadline(key string, data []byte, deadlineMillis int64) error {
 	in, err := decodeValue(data)
 	if err != nil {
 		return err
+	}
+	if deadlineMillis != 0 && deadlineMillis <= s.NowMillis() {
+		return nil
 	}
 	for {
 		e := s.getOrCreate(key, in.Tag())
@@ -712,22 +794,34 @@ func (s *Store) MergeBlob(key string, data []byte) error {
 			e.mu.Unlock()
 			continue
 		}
+		fresh := e.val.empty()
 		err := s.mergeValueLocked(e, in)
 		if err != nil {
 			e.mu.Unlock()
 			return fmt.Errorf("server: merge blob into %q: %w", key, err)
 		}
+		if fresh {
+			e.deadline.Store(deadlineMillis)
+		} else if deadlineMillis != 0 {
+			if dl := e.deadline.Load(); dl == 0 || deadlineMillis > dl {
+				e.deadline.Store(deadlineMillis)
+			}
+		}
 		e.ver++
+		s.resizeLocked(e)
 		e.mu.Unlock()
 		return nil
 	}
 }
 
 // KeyBlob is one (key, serialized value) pair of a bulk absorb — the
-// unit the cluster's streaming transfer frames carry.
+// unit the cluster's streaming transfer frames carry — plus the key's
+// absolute expiry deadline (0 = none), so moved keys keep their
+// lifetime.
 type KeyBlob struct {
-	Key  string
-	Blob []byte
+	Key      string
+	Blob     []byte
+	Deadline int64
 }
 
 // AbsorbBatch merges every pair's blob into its key with MergeBlob's
@@ -740,7 +834,7 @@ type KeyBlob struct {
 // frame-mates. Re-applying an already-merged prefix is a no-op.
 func (s *Store) AbsorbBatch(pairs []KeyBlob) (keys, bytes int, err error) {
 	for _, p := range pairs {
-		if err := s.MergeBlob(p.Key, p.Blob); err != nil {
+		if err := s.MergeBlobDeadline(p.Key, p.Blob, p.Deadline); err != nil {
 			return keys, bytes, err
 		}
 		keys++
@@ -800,12 +894,15 @@ func (s *Store) DumpAll() map[string][]byte {
 // TaggedBlob is a serialized value plus an opaque token identifying
 // the exact state that was dumped; DeleteIfUnchanged uses the token to
 // delete a key only if nothing mutated it after the dump. Type carries
-// the value's type tag (snapshot v3 uses it).
+// the value's type tag (snapshot v3+ uses it); Deadline the key's
+// absolute expiry instant at dump time (snapshot v4 and the cluster
+// transfer paths carry it so a moved key keeps its lifetime).
 type TaggedBlob struct {
-	Blob []byte
-	Type byte
-	e    *entry // identity: Restore swaps entries only via death+recreate
-	ver  uint64 // entry version at dump time: every mutation bumps it
+	Blob     []byte
+	Type     byte
+	Deadline int64
+	e        *entry // identity: Restore swaps entries only via death+recreate
+	ver      uint64 // entry version at dump time: every mutation bumps it
 }
 
 // DumpAllTagged is DumpAll plus a state token per key, for callers that
@@ -832,14 +929,23 @@ func (s *Store) DumpAllTagged() map[string]TaggedBlob {
 			ne.e.mu.Unlock()
 			continue
 		}
+		if s.expireDueLocked(ne.e) {
+			// Past its deadline: an expired key must never be dumped,
+			// snapshotted or handed to a rebalance — that would
+			// resurrect it elsewhere.
+			ne.e.mu.Unlock()
+			s.unlink(ne.key, ne.e)
+			continue
+		}
 		blob, err := ne.e.val.MarshalBinary()
 		tag := ne.e.val.Tag()
 		ver := ne.e.ver
+		dl := ne.e.deadline.Load()
 		ne.e.mu.Unlock()
 		if err != nil {
 			continue // unreachable: value marshaling cannot fail
 		}
-		out[ne.key] = TaggedBlob{Blob: blob, Type: tag, e: ne.e, ver: ver}
+		out[ne.key] = TaggedBlob{Blob: blob, Type: tag, Deadline: dl, e: ne.e, ver: ver}
 	}
 	return out
 }
@@ -860,9 +966,12 @@ func (s *Store) DeleteIfUnchanged(key string, t TaggedBlob) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e != t.e || e.ver != t.ver {
+		// Also covers the expiry race: lazy expiry bumps the version
+		// before the key can be recreated, so a tag dumped before the
+		// deadline never deletes the successor key.
 		return false
 	}
-	e.dead = true
+	s.killLocked(e)
 	delete(sh.m, key)
 	return true
 }

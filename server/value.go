@@ -38,6 +38,10 @@ type SketchValue interface {
 	MarshalBinary() ([]byte, error)
 	// Info renders the INFO reply body.
 	Info() string
+	// SizeBytes approximates the value's resident heap footprint — the
+	// store's resident_bytes gauge and the eviction watermarks sum it
+	// per key. It only needs to be proportional, not exact.
+	SizeBytes() int
 	// empty reports whether the value carries no observed state yet (a
 	// just-created value a replication blob of any type may overwrite).
 	empty() bool
@@ -57,6 +61,7 @@ type ellValue struct {
 func (v *ellValue) Tag() byte                      { return valueTagEll }
 func (v *ellValue) Estimate() float64              { return v.sk.Estimate() }
 func (v *ellValue) MarshalBinary() ([]byte, error) { return v.sk.MarshalBinary() }
+func (v *ellValue) SizeBytes() int                 { return v.sk.MemoryFootprint() }
 func (v *ellValue) empty() bool                    { return v.sk.IsEmpty() }
 
 func (v *ellValue) Info() string {
@@ -73,6 +78,7 @@ type windowValue struct {
 func (v *windowValue) Tag() byte                      { return valueTagWindow }
 func (v *windowValue) Estimate() float64              { return v.c.Estimate(v.c.Latest(), v.c.Span()) }
 func (v *windowValue) MarshalBinary() ([]byte, error) { return v.c.MarshalBinary() }
+func (v *windowValue) SizeBytes() int                 { return v.c.MemoryFootprint() }
 func (v *windowValue) empty() bool                    { return v.c.Latest().IsZero() && v.c.Dropped() == 0 }
 
 func (v *windowValue) Info() string {
