@@ -3,7 +3,7 @@
 GO ?= go
 
 # The serving-path benchmarks whose trajectory BENCH_serving.json tracks.
-SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFAddInstrumented|BenchmarkDispatchPFCount|BenchmarkDispatchWAdd|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount|BenchmarkClusterRoutedWAdd|BenchmarkClusterWindowCount|BenchmarkWindowInsert|BenchmarkWindowEstimate
+SERVING_BENCH = BenchmarkStoreAdd|BenchmarkStoreParallelAdd|BenchmarkStoreCount|BenchmarkServerPFAdd|BenchmarkServerParallelPFAdd|BenchmarkPipelinedPFAdd|BenchmarkDispatchPFAdd|BenchmarkDispatchPFAddInstrumented|BenchmarkDispatchPFCount|BenchmarkDispatchWAdd|BenchmarkClusterRoutedPFAdd|BenchmarkClusterBatchedPFAdd|BenchmarkClusterFanoutPFCount|BenchmarkClusterRoutedWAdd|BenchmarkClusterWindowCount|BenchmarkWindowInsert|BenchmarkWindowEstimate|BenchmarkCodecEncode|BenchmarkCodecDecode
 
 .PHONY: build vet test race bench bench-smoke loadtest fuzz
 
@@ -23,14 +23,14 @@ race:
 # benchstat-comparable raw lines) in BENCH_serving.json. Compare across
 # commits with: jq -r '.raw[]' BENCH_serving.json | benchstat old /dev/stdin
 bench:
-	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime=1s -cpu 1,8 ./server/ ./cluster/ ./window/ \
+	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime=1s -cpu 1,8 ./server/ ./cluster/ ./window/ ./internal/compress/ \
 		| $(GO) run ./cmd/ell-benchjson > BENCH_serving.json
 	@echo wrote BENCH_serving.json
 
 # bench-smoke compiles and runs every benchmark once — a fast
 # does-it-still-run check, not a measurement. CI runs this non-blocking.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/ ./window/
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./server/ ./cluster/ ./window/ ./internal/compress/
 
 # loadtest is the cluster-level smoke: ell-loader boots 3 in-process
 # nodes and drives a mixed zipf workload for 30s — once through a
@@ -55,6 +55,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMapDecode -fuzztime 30s ./cluster/
 	$(GO) test -run '^$$' -fuzz FuzzGossipDecode -fuzztime 30s ./cluster/
 	$(GO) test -run '^$$' -fuzz FuzzTransferDecode -fuzztime 30s ./cluster/
+	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 30s ./internal/compress/
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/compress/
 	$(GO) test -run '^$$' -fuzz FuzzWindowDecode -fuzztime 30s ./window/
 	$(GO) test -run '^$$' -fuzz FuzzWindowVerbFraming -fuzztime 30s ./server/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotV4Decode -fuzztime 30s ./server/

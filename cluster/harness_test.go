@@ -1537,6 +1537,8 @@ func sumTransferStats(nodes []*Node) TransferStats {
 		sum.FrameRetries += s.FrameRetries
 		sum.BytesMoved += s.BytesMoved
 		sum.FallbackKeys += s.FallbackKeys
+		sum.BytesPrecompress += s.BytesPrecompress
+		sum.BytesWire += s.BytesWire
 	}
 	return sum
 }

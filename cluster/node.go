@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"exaloglog/internal/compress"
 	"exaloglog/internal/core"
 	"exaloglog/server"
 	"exaloglog/window"
@@ -69,6 +70,9 @@ type Node struct {
 
 	pushes     atomic.Uint64 // cumulative rebalance ABSORB messages sent
 	autoLeaves atomic.Uint64 // quorum-backed evictions this node coordinated
+
+	digestRounds  atomic.Uint64 // digest anti-entropy peer-rounds initiated
+	digestRepairs atomic.Uint64 // divergent keys shipped by digest repair
 
 	// strict gates the -MOVED answer path: when set, public single-key
 	// data verbs for keys this node does not own are redirected instead
@@ -818,6 +822,19 @@ type ownerBlob struct {
 // Owners are queried concurrently; missing keys are skipped. Both the
 // plain (gather) and windowed (gatherWindows) scatter-gathers sit on
 // this one scaffold and differ only in how they decode and merge.
+// maxGatherBlobBytes caps the decoded size of a single DUMPZ reply. A
+// compressed blob can legitimately expand past the line-protocol cap,
+// so this mirrors the window package's largest wire ring rather than
+// the frame limit.
+const maxGatherBlobBytes = 1 << 28
+
+// isUnknownCommand reports whether err is a peer's well-formed "-ERR
+// unknown command ..." reply — the signature of a pre-codec peer that
+// doesn't speak DUMPZ.
+func isUnknownCommand(err error) bool {
+	return server.IsReplyErr(err) && strings.Contains(err.Error(), "unknown command")
+}
+
 func (n *Node) gatherOwnerBlobs(m *Map, keys []string) ([]ownerBlob, error) {
 	type ownerJobs struct {
 		owner Member
@@ -853,14 +870,30 @@ func (n *Node) gatherOwnerBlobs(m *Map, keys []string) ([]ownerBlob, error) {
 				blobs[i] = got
 				return
 			}
+			// Prefer the compressed dump: an 8-key scatter-gather count
+			// moves a fraction of the raw register bytes. A peer from
+			// before the codec answers "unknown command" — re-fetch that
+			// owner's batch with plain DUMP (and remember nothing: the
+			// next gather probes again, so an upgraded peer is picked up).
+			compressed := true
 			cmds := make([][]string, len(oj.keys))
 			for j, key := range oj.keys {
-				cmds[j] = []string{"DUMP", key}
+				cmds[j] = []string{"DUMPZ", key}
 			}
 			results, err := n.peers.pipeline(oj.owner.Addr, cmds)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: dump from %s: %w", oj.owner.ID, err)
 				return
+			}
+			if len(results) > 0 && isUnknownCommand(results[0].Err) {
+				compressed = false
+				for j, key := range oj.keys {
+					cmds[j] = []string{"DUMP", key}
+				}
+				if results, err = n.peers.pipeline(oj.owner.Addr, cmds); err != nil {
+					errs[i] = fmt.Errorf("cluster: dump from %s: %w", oj.owner.ID, err)
+					return
+				}
 			}
 			for j, res := range results {
 				if errors.Is(res.Err, server.ErrNoSuchKey) {
@@ -874,6 +907,12 @@ func (n *Node) gatherOwnerBlobs(m *Map, keys []string) ([]ownerBlob, error) {
 				if err != nil {
 					errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", oj.keys[j], oj.owner.ID, err)
 					return
+				}
+				if compressed {
+					if blob, err = compress.DecodeBlob(blob, maxGatherBlobBytes); err != nil {
+						errs[i] = fmt.Errorf("cluster: dump %q from %s: %w", oj.keys[j], oj.owner.ID, err)
+						return
+					}
 				}
 				got = append(got, ownerBlob{oj.keys[j], oj.owner.ID, blob})
 			}
@@ -1394,10 +1433,20 @@ func (n *Node) handleCluster(args []string) string {
 		}
 		return fmt.Sprintf("+GRANTED %d %s", e, n.currentMap().Encode())
 	case "SYNC":
+		// Full operator-facing anti-entropy: converge maps, drain
+		// strays, then run a digest round so replica divergence heals
+		// without the full re-push CLUSTER REBALANCE would cost.
 		if err := n.Sync(); err != nil {
 			return "-ERR sync: " + err.Error()
 		}
+		if err := n.DigestSync(); err != nil {
+			return "-ERR sync: " + err.Error()
+		}
 		return "+OK"
+	case "DSUM":
+		return n.handleDigestSum(rest)
+	case "DKEYS":
+		return n.handleDigestKeys(rest)
 	case "GOSSIP":
 		return n.handleGossip(rest)
 	case "HEALTH":

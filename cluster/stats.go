@@ -37,6 +37,14 @@ type ClusterStats struct {
 	XferFrameRetries uint64 // frames re-sent on resumed streams
 	XferBytes        uint64 // payload bytes framed
 	XferFallbacks    uint64 // keys degraded to per-key ABSORB
+
+	// Wire-codec and digest anti-entropy counters (see transfer.go
+	// and digestsync.go). Precompress vs wire is the compression
+	// ledger: their ratio is the transport's achieved reduction.
+	XferBytesPrecompress uint64 // frame payload bytes before the codec ran
+	XferBytesWire        uint64 // frame payload bytes actually framed onto the wire
+	SyncDigestRounds     uint64 // digest anti-entropy rounds completed
+	SyncKeysRepaired     uint64 // divergent keys re-shipped by digest rounds
 }
 
 // StatsCounters returns a snapshot of this node's cluster-layer
@@ -62,6 +70,11 @@ func (n *Node) StatsCounters() ClusterStats {
 		XferFrameRetries: n.xfer.retries.Load(),
 		XferBytes:        n.xfer.bytes.Load(),
 		XferFallbacks:    n.xfer.fallbacks.Load(),
+
+		XferBytesPrecompress: n.xfer.preBytes.Load(),
+		XferBytesWire:        n.xfer.wireBytes.Load(),
+		SyncDigestRounds:     n.digestRounds.Load(),
+		SyncKeysRepaired:     n.digestRepairs.Load(),
 	}
 }
 
@@ -75,12 +88,14 @@ func (n *Node) statsBody() string {
 	// k=v pairs by name, but prefix-matching tests and scripts stay
 	// stable that way.
 	return fmt.Sprintf(
-		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d moved_replies=%d map_refetches=%d xfer_streams=%d xfer_resumed=%d xfer_frames=%d xfer_frame_retries=%d xfer_bytes=%d xfer_fallbacks=%d\n%s",
+		"node=%s gossip_rounds=%d suspects_raised=%d auto_leaves=%d mlpfadd_groups=%d mlpfadd_batches=%d rebal_pushes=%d moved_replies=%d map_refetches=%d xfer_streams=%d xfer_resumed=%d xfer_frames=%d xfer_frame_retries=%d xfer_bytes=%d xfer_fallbacks=%d xfer_bytes_precompress=%d xfer_bytes_wire=%d sync_digest_rounds=%d sync_keys_repaired=%d\n%s",
 		n.id, c.GossipRounds, c.SuspectsRaised, c.AutoLeaves,
 		c.MLPFAddGroups, c.MLPFAddBatches, c.RebalPushes,
 		c.MovedReplies, c.MapRefetches,
 		c.XferStreams, c.XferResumed, c.XferFrames,
 		c.XferFrameRetries, c.XferBytes, c.XferFallbacks,
+		c.XferBytesPrecompress, c.XferBytesWire,
+		c.SyncDigestRounds, c.SyncKeysRepaired,
 		n.srv.StatsText())
 }
 
@@ -141,6 +156,10 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_frame_retries_total counter\nell_cluster_xfer_frame_retries_total %d\n", c.XferFrameRetries)
 	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_bytes_total counter\nell_cluster_xfer_bytes_total %d\n", c.XferBytes)
 	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_fallback_keys_total counter\nell_cluster_xfer_fallback_keys_total %d\n", c.XferFallbacks)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_bytes_precompress_total counter\nell_cluster_xfer_bytes_precompress_total %d\n", c.XferBytesPrecompress)
+	fmt.Fprintf(w, "# TYPE ell_cluster_xfer_bytes_wire_total counter\nell_cluster_xfer_bytes_wire_total %d\n", c.XferBytesWire)
+	fmt.Fprintf(w, "# TYPE ell_cluster_sync_digest_rounds_total counter\nell_cluster_sync_digest_rounds_total %d\n", c.SyncDigestRounds)
+	fmt.Fprintf(w, "# TYPE ell_cluster_sync_keys_repaired_total counter\nell_cluster_sync_keys_repaired_total %d\n", c.SyncKeysRepaired)
 }
 
 // Server exposes the node's embedded server, e.g. for its Stats core

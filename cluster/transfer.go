@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"exaloglog/internal/compress"
 	"exaloglog/server"
 )
 
@@ -54,9 +56,17 @@ import (
 // which carries each record's expiry deadline so a key's lifetime rides
 // rebalance with its registers). frameMagicV1 frames — no deadline
 // field — are still decoded, with every deadline read as 0.
+//
+// frameMagicZ ("ELX3") is ELX2 with every record blob run through the
+// wire codec (internal/compress EncodeBlob): sparse sketches shrink by
+// orders of magnitude. A sender only emits ELX3 after the receiver
+// granted compression in the BEGIN handshake (c=1), and skips it per
+// frame when the codec wins too little; a receiver decodes all three
+// magics unconditionally — the frame is self-describing.
 const (
 	frameMagic   = "ELX2"
 	frameMagicV1 = "ELX1"
+	frameMagicZ  = "ELX3"
 )
 
 const (
@@ -100,6 +110,10 @@ type TransferConfig struct {
 	// pushes use per-key ABSORB directly (a one-key handshake+frame+end
 	// exchange would cost more round trips than it saves).
 	MinStreamKeys int
+	// NoCompress disables the ELX3 compressed frame format (elld
+	// -xfer-compress=false). The zero value — compression on — keeps
+	// the zero-fields-keep-defaults convention.
+	NoCompress bool
 }
 
 func defaultTransferConfig() TransferConfig {
@@ -169,6 +183,13 @@ type transferState struct {
 	retries   atomic.Uint64 // frames re-sent on a resumed stream
 	bytes     atomic.Uint64 // payload (blob) bytes framed
 	fallbacks atomic.Uint64 // keys degraded to per-key ABSORB
+	preBytes  atomic.Uint64 // frame bytes before compression (ELX2-equivalent)
+	wireBytes atomic.Uint64 // frame bytes actually written (pre-base64)
+
+	// legacy makes this node's receiver behave like a pre-ELX3 build —
+	// BEGIN rejects the c= token by arity and compressed frames are
+	// refused — so mixed-version negotiation is testable in-process.
+	legacy atomic.Bool
 
 	mu    sync.Mutex
 	sess  map[string]*xferSession
@@ -190,23 +211,27 @@ type xferSession struct {
 // xfer_* fields of CLUSTER STATS and the ell_cluster_xfer_*_total
 // Prometheus rows.
 type TransferStats struct {
-	StreamsOpened  uint64 // XFER streams opened
-	StreamsResumed uint64 // streams resumed after a timeout/drop
-	FramesSent     uint64 // frames written, re-sends included
-	FrameRetries   uint64 // frames re-sent on resumed streams
-	BytesMoved     uint64 // payload bytes framed
-	FallbackKeys   uint64 // keys that degraded to per-key ABSORB
+	StreamsOpened    uint64 // XFER streams opened
+	StreamsResumed   uint64 // streams resumed after a timeout/drop
+	FramesSent       uint64 // frames written, re-sends included
+	FrameRetries     uint64 // frames re-sent on resumed streams
+	BytesMoved       uint64 // payload bytes framed
+	FallbackKeys     uint64 // keys that degraded to per-key ABSORB
+	BytesPrecompress uint64 // frame bytes before compression (ELX2-equivalent)
+	BytesWire        uint64 // frame bytes actually written, pre-base64
 }
 
 // TransferStats returns this node's cumulative bulk-transfer counters.
 func (n *Node) TransferStats() TransferStats {
 	return TransferStats{
-		StreamsOpened:  n.xfer.streams.Load(),
-		StreamsResumed: n.xfer.resumed.Load(),
-		FramesSent:     n.xfer.frames.Load(),
-		FrameRetries:   n.xfer.retries.Load(),
-		BytesMoved:     n.xfer.bytes.Load(),
-		FallbackKeys:   n.xfer.fallbacks.Load(),
+		StreamsOpened:    n.xfer.streams.Load(),
+		StreamsResumed:   n.xfer.resumed.Load(),
+		FramesSent:       n.xfer.frames.Load(),
+		FrameRetries:     n.xfer.retries.Load(),
+		BytesMoved:       n.xfer.bytes.Load(),
+		FallbackKeys:     n.xfer.fallbacks.Load(),
+		BytesPrecompress: n.xfer.preBytes.Load(),
+		BytesWire:        n.xfer.wireBytes.Load(),
 	}
 }
 
@@ -234,6 +259,63 @@ func encodeFrame(items []server.KeyBlob) []byte {
 	return buf
 }
 
+// uvarintLen returns how many bytes binary.AppendUvarint emits for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// frameSizeRaw is the exact size of encodeFrame(items) without building
+// it — the "bytes before compression" number the xfer_bytes_precompress
+// counter and the bench columns report.
+func frameSizeRaw(items []server.KeyBlob) int {
+	size := len(frameMagic) + uvarintLen(uint64(len(items)))
+	for _, it := range items {
+		size += uvarintLen(uint64(len(it.Key))) + len(it.Key) +
+			uvarintLen(uint64(it.Deadline)) +
+			uvarintLen(uint64(len(it.Blob))) + len(it.Blob)
+	}
+	return size
+}
+
+// encodeFrameCompressed serializes items as an ELX3 frame — ELX2 with
+// each record blob run through the wire codec. When the codec saves
+// less than ~5% over the whole frame it returns a plain ELX2 frame
+// instead (the ratio is poor for dense sketches; spending decoder CPU
+// for nothing helps nobody). pre is the ELX2-equivalent size either way.
+func encodeFrameCompressed(items []server.KeyBlob) (buf []byte, pre int) {
+	pre = frameSizeRaw(items)
+	zblobs := make([][]byte, len(items))
+	zTotal, rawTotal := 0, 0
+	for i, it := range items {
+		zblobs[i] = compress.EncodeBlob(it.Blob)
+		zTotal += len(zblobs[i])
+		rawTotal += len(it.Blob)
+	}
+	if zTotal*20 >= rawTotal*19 { // under 5% saved: not worth the magic switch
+		return encodeFrame(items), pre
+	}
+	size := len(frameMagicZ) + binary.MaxVarintLen64
+	for i, it := range items {
+		size += 3*binary.MaxVarintLen64 + len(it.Key) + len(zblobs[i])
+	}
+	buf = make([]byte, 0, size)
+	buf = append(buf, frameMagicZ...)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for i, it := range items {
+		buf = binary.AppendUvarint(buf, uint64(len(it.Key)))
+		buf = append(buf, it.Key...)
+		buf = binary.AppendUvarint(buf, uint64(it.Deadline))
+		buf = binary.AppendUvarint(buf, uint64(len(zblobs[i])))
+		buf = append(buf, zblobs[i]...)
+	}
+	return buf, pre
+}
+
 // decodeFrame parses one transfer frame. Wire input is untrusted, so
 // every claimed length is capped by the bytes actually present BEFORE
 // it sizes an allocation or a slice (the window.FromBinary rule): the
@@ -245,10 +327,11 @@ func decodeFrame(buf []byte) ([]server.KeyBlob, error) {
 		return nil, errors.New("cluster: xfer frame: bad magic")
 	}
 	magic := string(buf[:len(frameMagic)])
-	if magic != frameMagic && magic != frameMagicV1 {
+	if magic != frameMagic && magic != frameMagicV1 && magic != frameMagicZ {
 		return nil, errors.New("cluster: xfer frame: bad magic")
 	}
-	withDeadline := magic == frameMagic
+	withDeadline := magic != frameMagicV1
+	compressed := magic == frameMagicZ
 	rest := buf[len(frameMagic):]
 	next := func() (uint64, bool) {
 		v, w := binary.Uvarint(rest)
@@ -285,8 +368,19 @@ func decodeFrame(buf []byte) ([]server.KeyBlob, error) {
 		if !ok || blen > uint64(len(rest)) {
 			return nil, errors.New("cluster: xfer frame: bad blob length")
 		}
-		items = append(items, server.KeyBlob{Key: key, Blob: rest[:blen:blen], Deadline: deadline})
+		blob := rest[:blen:blen]
 		rest = rest[blen:]
+		if compressed {
+			// The per-blob cap mirrors the frame cap: a compressed record
+			// may legitimately expand well past its wire size, but never
+			// past what an uncompressed frame could have carried.
+			dec, err := compress.DecodeBlob(blob, maxFrameBytes)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: xfer frame record %d: %w", i, err)
+			}
+			blob = dec
+		}
+		items = append(items, server.KeyBlob{Key: key, Blob: blob, Deadline: deadline})
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("cluster: xfer frame: %d trailing bytes", len(rest))
@@ -306,11 +400,20 @@ var errXferStale = errors.New("cluster: xfer stream refused: receiver map epoch 
 // cannot help — degrade straight to per-key ABSORB.
 var errXferReject = errors.New("cluster: xfer stream rejected by receiver")
 
-// xferFrame is one pre-encoded outbound frame: its base64 wire payload,
-// the items it carries (kept for the per-key fallback path) and their
-// raw blob byte count.
+// errXferNoCompress reports that the receiver did not grant the c=1
+// compression request (an old build rejects the token by arity; a new
+// one simply omits the grant). The caller rebuilds its frames in the
+// ELX2 format and streams again — negotiation, not failure, so it
+// consumes no retry-budget attempt.
+var errXferNoCompress = errors.New("cluster: xfer receiver declined compression")
+
+// xferFrame is one pre-encoded outbound frame: its binary payload
+// (base64-encoded into pooled scratch at write time), the ELX2-
+// equivalent size for the compression counters, the items it carries
+// (kept for the per-key fallback path) and their raw blob byte count.
 type xferFrame struct {
-	b64       string
+	raw       []byte
+	rawPre    int
 	items     []server.KeyBlob
 	blobBytes int
 }
@@ -318,8 +421,9 @@ type xferFrame struct {
 // buildFrames groups items into frames of at most cfg.BatchKeys keys
 // and roughly cfg.FrameBytes payload bytes each (always at least one
 // item per frame), and returns the frames plus the key/byte totals the
-// XFER END checksum carries.
-func buildFrames(items []server.KeyBlob, cfg TransferConfig) (frames []xferFrame, totKeys, totBytes uint64) {
+// XFER END checksum carries. With compressed set the frames use the
+// ELX3 format (per frame, only where the codec actually wins).
+func buildFrames(items []server.KeyBlob, cfg TransferConfig, compressed bool) (frames []xferFrame, totKeys, totBytes uint64) {
 	for i := 0; i < len(items); {
 		j, raw := i, 0
 		for j < len(items) && j-i < cfg.BatchKeys {
@@ -335,8 +439,17 @@ func buildFrames(items []server.KeyBlob, cfg TransferConfig) (frames []xferFrame
 		for _, it := range batch {
 			blobBytes += len(it.Blob)
 		}
+		var payload []byte
+		var pre int
+		if compressed {
+			payload, pre = encodeFrameCompressed(batch)
+		} else {
+			payload = encodeFrame(batch)
+			pre = len(payload)
+		}
 		frames = append(frames, xferFrame{
-			b64:       base64.StdEncoding.EncodeToString(encodeFrame(batch)),
+			raw:       payload,
+			rawPre:    pre,
 			items:     batch,
 			blobBytes: blobBytes,
 		})
@@ -345,6 +458,32 @@ func buildFrames(items []server.KeyBlob, cfg TransferConfig) (frames []xferFrame
 		i = j
 	}
 	return frames, totKeys, totBytes
+}
+
+// lineScratch pools the per-stream scratch buffer frame lines are
+// assembled (and base64-encoded) into, so a steady stream of frames
+// allocates no per-frame wire buffers on the sender; the receiver
+// borrows from the same pool for its base64 text copy. frameScratch
+// pools the receiver's binary decode target separately (the two are
+// alive at the same time).
+var (
+	lineScratch  = sync.Pool{New: func() any { return new([]byte) }}
+	frameScratch = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// appendFrameLine assembles one "CLUSTER XFER FRAME <sid> <seq> <b64>"
+// line (no trailing newline) into dst and returns it, growing dst only
+// when the frame outgrows every previous tenant of the buffer.
+func appendFrameLine(dst []byte, sid string, seq uint64, raw []byte) []byte {
+	dst = append(dst, "CLUSTER XFER FRAME "...)
+	dst = append(dst, sid...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, ' ')
+	n := base64.StdEncoding.EncodedLen(len(raw))
+	dst = slices.Grow(dst, n)
+	base64.StdEncoding.Encode(dst[len(dst):len(dst)+n], raw)
+	return dst[:len(dst)+n]
 }
 
 // xferBackoff is the pause before retry attempt (1-based): exponential
@@ -387,14 +526,24 @@ func parseXferReply(line string) (string, error) {
 // map instead of retrying blindly.
 func (n *Node) streamTo(addr string, epoch uint64, items []server.KeyBlob) map[string]error {
 	cfg := n.transferConfig()
-	frames, totKeys, totBytes := buildFrames(items, cfg)
+	useC := !cfg.NoCompress
+	frames, totKeys, totBytes := buildFrames(items, cfg, useC)
 	sid := fmt.Sprintf("%s.%d", n.id, n.xfer.sid.Add(1))
 	var acked, sent uint64 // frames cumulatively acked / highest frame written
 	for attempt := 0; attempt <= cfg.RetryBudget; attempt++ {
 		if attempt > 0 {
 			time.Sleep(xferBackoff(cfg.BackoffBase, attempt))
 		}
-		err := n.runStream(addr, epoch, sid, frames, totKeys, totBytes, &acked, &sent, attempt > 0, cfg)
+		err := n.runStream(addr, epoch, sid, frames, totKeys, totBytes, &acked, &sent, attempt > 0, useC, cfg)
+		if errors.Is(err, errXferNoCompress) {
+			// Negotiated down: the receiver cannot take ELX3. Rebuild the
+			// unsent frames in the ELX2 format and stream again — same
+			// grouping, so frame numbering (and any acked prefix) holds.
+			useC = false
+			frames, totKeys, totBytes = buildFrames(items, cfg, false)
+			attempt--
+			continue
+		}
 		if err == nil {
 			if n.peers.alive != nil {
 				n.peers.alive(addr) // a completed stream is liveness evidence
@@ -437,7 +586,7 @@ func (n *Node) streamTo(addr string, epoch uint64, items []server.KeyBlob) map[s
 // cumulative ack reads, END checksum. Every write and read runs under
 // cfg.Timeout; progress is reported back through *acked and *sent so
 // the next attempt resumes instead of restarting.
-func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFrame, totKeys, totBytes uint64, acked, sent *uint64, resume bool, cfg TransferConfig) error {
+func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFrame, totKeys, totBytes uint64, acked, sent *uint64, resume, wantC bool, cfg TransferConfig) error {
 	// The harness fault hook sees every logical protocol step BEFORE its
 	// I/O (like pool.do), so simulated partitions and gates apply to
 	// streams without real sockets hanging under them.
@@ -447,7 +596,11 @@ func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFra
 		}
 		return nil
 	}
-	if err := consult("CLUSTER", "XFER", "BEGIN", "sid="+sid, "seq="+strconv.FormatUint(*acked+1, 10)); err != nil {
+	beginHook := []string{"CLUSTER", "XFER", "BEGIN", "sid=" + sid, "seq=" + strconv.FormatUint(*acked+1, 10)}
+	if wantC {
+		beginHook = append(beginHook, "c=1")
+	}
+	if err := consult(beginHook...); err != nil {
 		return err
 	}
 	// A dedicated connection, NOT the peer pool: a stream holds its
@@ -481,7 +634,11 @@ func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFra
 		return strings.TrimRight(line, "\r\n"), nil
 	}
 
-	if err := writeLine(fmt.Sprintf("CLUSTER XFER BEGIN e=%d sid=%s seq=%d", epoch, sid, *acked+1)); err != nil {
+	begin := fmt.Sprintf("CLUSTER XFER BEGIN e=%d sid=%s seq=%d", epoch, sid, *acked+1)
+	if wantC {
+		begin += " c=1"
+	}
+	if err := writeLine(begin); err != nil {
 		return err
 	}
 	line, err := readLine()
@@ -490,11 +647,21 @@ func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFra
 	}
 	body, err := parseXferReply(line)
 	if err != nil {
+		if wantC && errors.Is(err, errXferReject) {
+			// An old receiver rejects the c= token by arity. Negotiate
+			// down: the caller re-streams without compression, where a
+			// repeat rejection is a real one.
+			return errXferNoCompress
+		}
 		return err
 	}
 	fields := strings.Fields(body)
-	if len(fields) != 2 || fields[0] != "OK" || !strings.HasPrefix(fields[1], "seq=") {
+	if len(fields) < 2 || len(fields) > 3 || fields[0] != "OK" || !strings.HasPrefix(fields[1], "seq=") {
 		return fmt.Errorf("%w: unexpected XFER BEGIN reply %q", errXferReject, line)
+	}
+	if wantC && (len(fields) != 3 || fields[2] != "c=1") {
+		// The receiver answered BEGIN but did not grant compression.
+		return errXferNoCompress
 	}
 	start, perr := strconv.ParseUint(strings.TrimPrefix(fields[1], "seq="), 10, 64)
 	if perr != nil {
@@ -511,6 +678,19 @@ func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFra
 		n.xfer.resumed.Add(1)
 	}
 
+	lp := lineScratch.Get().(*[]byte)
+	defer func() {
+		lineScratch.Put(lp)
+	}()
+	writeFrameLine := func(seq uint64, f xferFrame) error {
+		*lp = appendFrameLine((*lp)[:0], sid, seq, f.raw)
+		conn.SetWriteDeadline(time.Now().Add(cfg.Timeout))
+		if _, err := w.Write(*lp); err != nil {
+			return err
+		}
+		return w.WriteByte('\n')
+	}
+
 	total := uint64(len(frames))
 	next := *acked + 1
 	unread := 0 // replies outstanding: every written frame produces exactly one
@@ -518,14 +698,19 @@ func (n *Node) runStream(addr string, epoch uint64, sid string, frames []xferFra
 		for next <= total && unread < cfg.Window {
 			f := frames[next-1]
 			seqStr := strconv.FormatUint(next, 10)
-			if err := consult("CLUSTER", "XFER", "FRAME", sid, seqStr); err != nil {
+			// The trailing magic token tells the hook which frame format
+			// is about to hit the wire (ELX2/ELX3) without shipping the
+			// payload through it.
+			if err := consult("CLUSTER", "XFER", "FRAME", sid, seqStr, string(f.raw[:4])); err != nil {
 				return err
 			}
-			if err := writeLine("CLUSTER XFER FRAME " + sid + " " + seqStr + " " + f.b64); err != nil {
+			if err := writeFrameLine(next, f); err != nil {
 				return err
 			}
 			n.xfer.frames.Add(1)
 			n.xfer.bytes.Add(uint64(f.blobBytes))
+			n.xfer.preBytes.Add(uint64(f.rawPre))
+			n.xfer.wireBytes.Add(uint64(len(f.raw)))
 			if next <= *sent {
 				n.xfer.retries.Add(1) // re-sent on a resumed stream
 			} else {
@@ -648,6 +833,15 @@ func (n *Node) handleXfer(rest []string) string {
 }
 
 func (n *Node) handleXferBegin(args []string) string {
+	// The optional trailing c=1 token asks for ELX3 compressed frames;
+	// the grant is echoed in the reply. A legacy-mode receiver (and any
+	// pre-ELX3 build, whose arity check this mirrors) rejects the token
+	// wholesale — the sender then negotiates down to ELX2.
+	wantC := false
+	if !n.xfer.legacy.Load() && len(args) == 4 && args[3] == "c=1" {
+		wantC = true
+		args = args[:3]
+	}
 	if len(args) != 3 || !strings.HasPrefix(args[0], "e=") ||
 		!strings.HasPrefix(args[1], "sid=") || !strings.HasPrefix(args[2], "seq=") {
 		return "-ERR CLUSTER XFER BEGIN needs e=<epoch> sid=<id> seq=<n>"
@@ -676,6 +870,11 @@ func (n *Node) handleXferBegin(args []string) string {
 	// The session is authoritative about what it already applied: the
 	// reply tells the sender where to (re)start, which both resumes
 	// broken streams and skips frames whose ack was lost in flight.
+	// The compression grant is only echoed when asked for, so an old
+	// sender's strict two-field reply parse keeps working.
+	if wantC {
+		return fmt.Sprintf("+OK seq=%d c=1", s.cum+1)
+	}
 	return fmt.Sprintf("+OK seq=%d", s.cum+1)
 }
 
@@ -707,9 +906,30 @@ func (n *Node) handleXferFrame(args []string) string {
 	if seq != s.cum+1 {
 		return fmt.Sprintf("-ERR xfer: frame gap (have %d, got %d)", s.cum, seq)
 	}
-	raw, err := base64.StdEncoding.DecodeString(args[2])
+	// Decode into pooled scratch: the base64 text is copied into one
+	// pooled buffer (strings can't feed base64.Decode directly) and
+	// decoded into another, so a steady frame stream allocates no
+	// per-frame receive buffers. The decoded items may alias the pooled
+	// buffer; AbsorbBatch's merge paths copy everything they keep, so
+	// both buffers are reusable the moment it returns.
+	b64p := lineScratch.Get().(*[]byte)
+	rawp := frameScratch.Get().(*[]byte)
+	defer func() {
+		lineScratch.Put(b64p)
+		frameScratch.Put(rawp)
+	}()
+	*b64p = append((*b64p)[:0], args[2]...)
+	need := base64.StdEncoding.DecodedLen(len(*b64p))
+	*rawp = slices.Grow((*rawp)[:0], need)
+	nDec, err := base64.StdEncoding.Decode((*rawp)[:need], *b64p)
 	if err != nil {
 		return "-ERR xfer: bad base64: " + err.Error()
+	}
+	raw := (*rawp)[:nDec]
+	if n.xfer.legacy.Load() && len(raw) >= len(frameMagicZ) && string(raw[:len(frameMagicZ)]) == frameMagicZ {
+		// Legacy mode refuses compressed frames like a pre-ELX3 build's
+		// magic check would.
+		return "-ERR cluster: xfer frame: bad magic"
 	}
 	items, err := decodeFrame(raw)
 	if err != nil {

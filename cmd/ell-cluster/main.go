@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"exaloglog/cluster"
@@ -121,6 +122,9 @@ func main() {
 		// protocol's one-reply-one-line rule); unfold for humans.
 		for _, row := range strings.Split(mustDo(c, parts...), "; ") {
 			fmt.Println(row)
+			if line := compressionSummary(row); line != "" {
+				fmt.Println(line)
+			}
 		}
 	case "join":
 		if len(rest) != 2 {
@@ -202,6 +206,31 @@ func main() {
 // concurrent one under the epoch order; the reply then starts with
 // SUPERSEDED and carries the winning map's (epoch, version,
 // coordinator) so the operator sees WHAT won instead of a silent no-op.
+// compressionSummary derives the transfer codec's achieved reduction
+// from a node's cluster-counter row: precompress bytes vs bytes that
+// actually hit the wire. Returns "" until the node has framed at least
+// one compressed transfer (both counters zero), or for non-counter
+// rows.
+func compressionSummary(row string) string {
+	if !strings.HasPrefix(row, "node=") {
+		return ""
+	}
+	vals := make(map[string]uint64)
+	for _, f := range strings.Fields(row) {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+				vals[k] = n
+			}
+		}
+	}
+	pre, wire := vals["xfer_bytes_precompress"], vals["xfer_bytes_wire"]
+	if pre == 0 || wire == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  xfer compression: %d -> %d bytes (%.2fx)",
+		pre, wire, float64(pre)/float64(wire))
+}
+
 func printMutation(reply string) {
 	if rest, ok := strings.CutPrefix(reply, "SUPERSEDED"); ok {
 		fmt.Printf("superseded: a concurrent membership change won (%s); inspect 'map' and re-issue if still wanted\n",

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"exaloglog/internal/compress"
 )
 
 // Server serves the sketch store over TCP with a line-oriented protocol.
@@ -34,6 +36,7 @@ import (
 //	KEYS                              → +<space-separated sorted keys>
 //	INFO key                          → +<value-typed description>
 //	DUMP key                          → =<base64 of the serialized value>
+//	DUMPZ key                         → =<base64 of the codec-compressed value>
 //	RESTORE key <base64>              → +OK
 //	SAVE                              → +OK (snapshot to the configured path)
 //	PING                              → +PONG
@@ -286,6 +289,17 @@ func (s *Server) registerBuiltins() {
 				return "-ERR no such key", false
 			}
 			return "=" + base64.StdEncoding.EncodeToString(data), false
+		},
+	})
+	s.register("DUMPZ", &command{
+		min: 1, max: 1,
+		usage: "-ERR DUMPZ needs exactly one key",
+		run: func(s *Server, args []string) (string, bool) {
+			data, ok := s.store.Dump(args[0])
+			if !ok {
+				return "-ERR no such key", false
+			}
+			return "=" + base64.StdEncoding.EncodeToString(compress.EncodeBlob(data)), false
 		},
 	})
 	s.register("RESTORE", &command{

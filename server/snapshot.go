@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"exaloglog/internal/compress"
 )
 
 // Snapshot persistence: the whole store serializes to a compact binary
@@ -16,10 +18,10 @@ import (
 // a header plus the dense register array, so snapshots are cheap);
 // windowed keys serialize slot-wise (see the window package).
 //
-// Format (version 4; versions 1–3 are still readable):
+// Format (version 5; versions 1–4 are still readable):
 //
 //	bytes 0-3  magic "ELSS"
-//	byte  4    version (4)
+//	byte  4    version (5)
 //	uvarint    metadata length, then the opaque metadata blob
 //	uvarint    number of records
 //	per record:
@@ -28,6 +30,11 @@ import (
 //	  uvarint  expiry deadline, unix milliseconds (0 = none)
 //	  uvarint  blob length, then the value blob
 //
+// Version 5 runs each value blob through the wire codec
+// (internal/compress EncodeBlob): sparse sketches shrink dramatically
+// on disk, and because the codec passes uncompressed data through
+// unchanged, a v5 record's blob may also be a raw value blob (the
+// codec declined to compress). Version 4 wrote raw blobs only.
 // Version 3 lacked the per-record expiry deadline (keys restore
 // without a lifetime); version 2 additionally lacked the type tag
 // (every value was a plain sketch); version 1 additionally lacked the
@@ -36,7 +43,8 @@ import (
 // restarted node remembers its cluster.
 const (
 	snapshotMagic      = "ELSS"
-	snapshotVersion    = 4
+	snapshotVersion    = 5
+	snapshotVersionV4  = 4
 	snapshotVersionV3  = 3
 	snapshotVersionV2  = 2
 	snapshotVersionV1  = 1
@@ -94,10 +102,11 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		if err := writeUvarint(uint64(tagged.Deadline)); err != nil {
 			return err
 		}
-		if err := writeUvarint(uint64(len(tagged.Blob))); err != nil {
+		blob := compress.EncodeBlob(tagged.Blob)
+		if err := writeUvarint(uint64(len(blob))); err != nil {
 			return err
 		}
-		if _, err := bw.Write(tagged.Blob); err != nil {
+		if _, err := bw.Write(blob); err != nil {
 			return err
 		}
 	}
@@ -152,7 +161,7 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		}
 		// v1–v3 records carry no deadline: keys restore without one.
 		var deadline int64
-		if version >= snapshotVersion {
+		if version >= snapshotVersionV4 {
 			dl, err := binary.ReadUvarint(br)
 			if err != nil {
 				return fmt.Errorf("server: snapshot record %d deadline: %w", i, err)
@@ -165,6 +174,12 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		blob, err := readBlob(br, snapshotBlobLimit)
 		if err != nil {
 			return fmt.Errorf("server: snapshot record %d blob: %w", i, err)
+		}
+		if version >= snapshotVersion {
+			// v5 blobs ride the wire codec; raw blobs pass through.
+			if blob, err = compress.DecodeBlob(blob, snapshotBlobLimit); err != nil {
+				return fmt.Errorf("server: snapshot record %d blob: %w", i, err)
+			}
 		}
 		val, err := decodeValueTagged(tag, blob)
 		if err != nil {

@@ -302,6 +302,94 @@ func TestSnapshotV3WindowRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotV4RawBlobLoad: version-4 snapshots (per-record deadlines,
+// raw uncompressed blobs — what every pre-codec build wrote) must still
+// load with counts and deadlines intact. The bytes are built by the
+// test's own encoder, since the shipped writer now emits v5 only.
+func TestSnapshotV4RawBlobLoad(t *testing.T) {
+	orig := populatedStore(t, 3)
+	deadline := time.Now().Add(time.Hour).UnixMilli()
+	if !orig.ExpireAt("key-1", deadline) {
+		t.Fatal("fixture: ExpireAt on key-1 failed")
+	}
+	tagged := orig.DumpAllTagged()
+
+	var buf bytes.Buffer
+	buf.WriteString("ELSS")
+	buf.WriteByte(4)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		buf.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	writeUvarint(0) // no metadata
+	keys := make([]string, 0, len(tagged))
+	for k := range tagged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		tb := tagged[k]
+		writeUvarint(uint64(len(k)))
+		buf.WriteString(k)
+		buf.WriteByte(tb.Type)
+		writeUvarint(uint64(tb.Deadline))
+		writeUvarint(uint64(len(tb.Blob)))
+		buf.Write(tb.Blob) // raw: v4 never compressed
+	}
+
+	restored, _ := NewStore(core.RecommendedML(8))
+	if err := restored.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("v4 snapshot rejected: %v", err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("v4 load restored %d keys, want %d", restored.Len(), orig.Len())
+	}
+	for _, k := range keys {
+		a, _ := orig.Count(k)
+		b, err := restored.Count(k)
+		if err != nil || a != b {
+			t.Errorf("v4 load count %s = %v (%v), want %v", k, b, err, a)
+		}
+	}
+	if got, _ := restored.DeadlineOf("key-1"); got != deadline {
+		t.Errorf("v4 load deadline = %d, want %d", got, deadline)
+	}
+}
+
+// TestSnapshotV5CompressesSparseBlobs: the v5 writer runs blobs through
+// the wire codec, so a store of near-empty sketches snapshots far
+// smaller than the dense register arrays it holds in memory.
+func TestSnapshotV5CompressesSparseBlobs(t *testing.T) {
+	st, err := NewStore(core.RecommendedML(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes := 0
+	for k := 0; k < 50; k++ {
+		key := fmt.Sprintf("sparse-%d", k)
+		if _, err := st.Add(key, "one-element"); err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := st.Dump(key)
+		rawBytes += len(blob)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()*2 >= rawBytes {
+		t.Errorf("v5 snapshot is %d bytes for %d raw blob bytes — expected at least a 2× reduction on sparse sketches", buf.Len(), rawBytes)
+	}
+	restored, _ := NewStore(core.RecommendedML(12))
+	if err := restored.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != st.Len() {
+		t.Fatalf("restored %d keys, want %d", restored.Len(), st.Len())
+	}
+}
+
 func TestSnapshotCorruptInputs(t *testing.T) {
 	st := populatedStore(t, 2)
 	var buf bytes.Buffer

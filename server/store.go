@@ -69,6 +69,13 @@ type entry struct {
 	est      float64
 	estVer   uint64
 	estValid bool
+
+	// dig caches the anti-entropy content digest of (key, serialized
+	// value) as of version digVer — see digest.go. Like the estimate
+	// cache it needs no invalidation hook: a ver mismatch is staleness.
+	dig    uint64
+	digVer uint64
+	digOK  bool
 }
 
 // estimateEll returns the entry's current plain-sketch estimate under
